@@ -1,0 +1,412 @@
+//! CART-style decision tree — the user study's baseline summarizer (§8).
+//!
+//! The paper adapts scikit-learn's `DecisionTreeClassifier` to separate the
+//! top-`L` tuples from the rest: train a gini-impurity tree with equality
+//! splits on the categorical grouping attributes, tune its height so the
+//! number of *positive* leaves (majority top-`L`) is as close as possible
+//! to — but not above — `k`, and present each positive leaf's root-to-leaf
+//! predicate conjunction as a "cluster". The predicates mix `=` and `≠`,
+//! which is exactly the extra complexity the user study interrogates.
+
+use qagview_common::{QagError, Result};
+use qagview_lattice::{AnswerSet, TupleId};
+
+/// One predicate along a root-to-leaf path: attribute `attr` compared to
+/// `code`, positively (`=`) or negatively (`≠`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Attribute index.
+    pub attr: usize,
+    /// Compared domain code.
+    pub code: u32,
+    /// `true` for `=`, `false` for `≠`.
+    pub equals: bool,
+}
+
+/// A positive-leaf rule: the conjunction of predicates plus leaf statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Root-to-leaf predicates.
+    pub predicates: Vec<Predicate>,
+    /// Top-`L` tuples at the leaf.
+    pub positives: usize,
+    /// Non-top-`L` tuples at the leaf.
+    pub negatives: usize,
+    /// Average `val` of all tuples at the leaf.
+    pub avg_val: f64,
+}
+
+impl Rule {
+    /// Whether a tuple satisfies every predicate.
+    pub fn matches(&self, codes: &[u32]) -> bool {
+        self.predicates
+            .iter()
+            .all(|p| (codes[p.attr] == p.code) == p.equals)
+    }
+
+    /// Complexity = number of predicates (the §8 memorability driver).
+    pub fn complexity(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Render with attribute names and domain text.
+    pub fn render(&self, answers: &AnswerSet) -> String {
+        if self.predicates.is_empty() {
+            return "(always)".into();
+        }
+        let parts: Vec<String> = self
+            .predicates
+            .iter()
+            .map(|p| {
+                format!(
+                    "{} {} {}",
+                    answers.attr_names()[p.attr],
+                    if p.equals { "=" } else { "≠" },
+                    answers.code_text(p.attr, p.code)
+                )
+            })
+            .collect();
+        parts.join(" ∧ ")
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        positives: usize,
+        negatives: usize,
+        sum_val: f64,
+    },
+    Split {
+        pred: Predicate,
+        yes: usize,
+        no: usize,
+    },
+}
+
+/// A trained tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    max_depth: usize,
+}
+
+fn gini(pos: f64, neg: f64) -> f64 {
+    let n = pos + neg;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTree {
+    /// Train with gini splits to at most `max_depth` levels. Tuples ranked
+    /// `< l` are the positive class.
+    pub fn train(answers: &AnswerSet, l: usize, max_depth: usize) -> Result<Self> {
+        if l == 0 || l > answers.len() {
+            return Err(QagError::param(format!(
+                "L={l} out of range 1..={}",
+                answers.len()
+            )));
+        }
+        let all: Vec<TupleId> = (0..answers.len() as u32).collect();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            max_depth,
+        };
+        tree.grow(answers, l, &all, 0);
+        Ok(tree)
+    }
+
+    fn grow(&mut self, answers: &AnswerSet, l: usize, ids: &[TupleId], depth: usize) -> usize {
+        let positives = ids.iter().filter(|&&t| (t as usize) < l).count();
+        let negatives = ids.len() - positives;
+        let sum_val: f64 = ids.iter().map(|&t| answers.val(t)).sum();
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                positives,
+                negatives,
+                sum_val,
+            });
+            nodes.len() - 1
+        };
+        if depth >= self.max_depth || positives == 0 || negatives == 0 {
+            return make_leaf(&mut self.nodes);
+        }
+        // Best (attr, code) equality split by gini gain.
+        let parent_gini = gini(positives as f64, negatives as f64);
+        let mut best: Option<(f64, Predicate)> = None;
+        for attr in 0..answers.arity() {
+            let mut seen: std::collections::BTreeSet<u32> = Default::default();
+            for &t in ids {
+                seen.insert(answers.tuple(t)[attr]);
+            }
+            if seen.len() < 2 {
+                continue;
+            }
+            for &code in &seen {
+                let mut yp = 0usize;
+                let mut yn = 0usize;
+                for &t in ids {
+                    if answers.tuple(t)[attr] == code {
+                        if (t as usize) < l {
+                            yp += 1;
+                        } else {
+                            yn += 1;
+                        }
+                    }
+                }
+                let (np, nn) = (positives - yp, negatives - yn);
+                let ny = (yp + yn) as f64;
+                let nn_total = (np + nn) as f64;
+                let n = ids.len() as f64;
+                let weighted =
+                    ny / n * gini(yp as f64, yn as f64) + nn_total / n * gini(np as f64, nn as f64);
+                let gain = parent_gini - weighted;
+                if gain > 1e-12 && best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
+                    best = Some((
+                        gain,
+                        Predicate {
+                            attr,
+                            code,
+                            equals: true,
+                        },
+                    ));
+                }
+            }
+        }
+        let Some((_, pred)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        let (yes_ids, no_ids): (Vec<TupleId>, Vec<TupleId>) = ids
+            .iter()
+            .partition(|&&t| answers.tuple(t)[pred.attr] == pred.code);
+        let idx = self.nodes.len();
+        // Reserve the split slot, then grow children.
+        self.nodes.push(Node::Leaf {
+            positives,
+            negatives,
+            sum_val,
+        });
+        let yes = self.grow(answers, l, &yes_ids, depth + 1);
+        let no = self.grow(answers, l, &no_ids, depth + 1);
+        self.nodes[idx] = Node::Split { pred, yes, no };
+        idx
+    }
+
+    /// The height limit this tree was trained with.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Predict whether a tuple lands in a positive (majority top-`L`) leaf.
+    pub fn predict(&self, codes: &[u32]) -> bool {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf {
+                    positives,
+                    negatives,
+                    ..
+                } => return positives > negatives,
+                Node::Split { pred, yes, no } => {
+                    idx = if (codes[pred.attr] == pred.code) == pred.equals {
+                        *yes
+                    } else {
+                        *no
+                    };
+                }
+            }
+        }
+    }
+
+    /// Positive-leaf rules (the §8 "clusters").
+    pub fn rules(&self) -> Vec<Rule> {
+        let mut out = Vec::new();
+        self.collect_rules(0, &mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_rules(&self, idx: usize, path: &mut Vec<Predicate>, out: &mut Vec<Rule>) {
+        match &self.nodes[idx] {
+            Node::Leaf {
+                positives,
+                negatives,
+                sum_val,
+            } => {
+                if positives > negatives {
+                    let total = positives + negatives;
+                    out.push(Rule {
+                        predicates: path.clone(),
+                        positives: *positives,
+                        negatives: *negatives,
+                        avg_val: if total == 0 {
+                            0.0
+                        } else {
+                            sum_val / total as f64
+                        },
+                    });
+                }
+            }
+            Node::Split { pred, yes, no } => {
+                path.push(*pred);
+                self.collect_rules(*yes, path, out);
+                path.pop();
+                path.push(Predicate {
+                    equals: false,
+                    ..*pred
+                });
+                self.collect_rules(*no, path, out);
+                path.pop();
+            }
+        }
+    }
+
+    /// Number of positive leaves.
+    pub fn positive_leaf_count(&self) -> usize {
+        self.rules().len()
+    }
+}
+
+/// The §8 height-tuning: train at increasing depth, keep the deepest tree
+/// whose positive-leaf count stays `≤ k` (and as close to `k` as possible).
+pub fn fit_for_k(answers: &AnswerSet, l: usize, k: usize) -> Result<DecisionTree> {
+    if k == 0 {
+        return Err(QagError::param("decision tree baseline requires k >= 1"));
+    }
+    let mut best: Option<DecisionTree> = None;
+    for depth in 1..=(answers.arity() * 4).max(4) {
+        let tree = DecisionTree::train(answers, l, depth)?;
+        let leaves = tree.positive_leaf_count();
+        if leaves > 0 && leaves <= k {
+            let better = best
+                .as_ref()
+                .is_none_or(|b| leaves >= b.positive_leaf_count());
+            if better {
+                best = Some(tree);
+            }
+        } else if leaves > k {
+            break; // deeper trees only fragment further
+        }
+    }
+    best.ok_or_else(|| QagError::Execution(format!("no tree with 1..={k} positive leaves exists")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    /// Top-3 tuples share a = x; the rest don't.
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 9.0).unwrap();
+        b.push(&["x", "q"], 8.0).unwrap();
+        b.push(&["x", "r"], 7.0).unwrap();
+        b.push(&["y", "p"], 3.0).unwrap();
+        b.push(&["y", "q"], 2.0).unwrap();
+        b.push(&["z", "r"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn learns_the_separating_attribute() {
+        let s = answers();
+        let tree = DecisionTree::train(&s, 3, 3).unwrap();
+        // Perfect separation on a = x.
+        for t in 0..s.len() as u32 {
+            assert_eq!(tree.predict(s.tuple(t)), (t as usize) < 3, "tuple {t}");
+        }
+        let rules = tree.rules();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].render(&s), "a = x");
+        assert_eq!(rules[0].positives, 3);
+        assert_eq!(rules[0].negatives, 0);
+    }
+
+    #[test]
+    fn rules_match_their_leaves() {
+        let s = answers();
+        let tree = DecisionTree::train(&s, 3, 4).unwrap();
+        for rule in tree.rules() {
+            for t in 0..s.len() as u32 {
+                if rule.matches(s.tuple(t)) {
+                    assert!(tree.predict(s.tuple(t)), "rule/leaf disagreement on {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let s = answers();
+        let tree = DecisionTree::train(&s, 3, 0).unwrap();
+        // Majority is negative (3 vs 3 → not strictly more positives).
+        assert_eq!(tree.positive_leaf_count(), 0);
+        assert!(!tree.predict(s.tuple(0)));
+    }
+
+    #[test]
+    fn fit_for_k_respects_budget() {
+        let s = answers();
+        let tree = fit_for_k(&s, 3, 2).unwrap();
+        assert!(tree.positive_leaf_count() >= 1);
+        assert!(tree.positive_leaf_count() <= 2);
+    }
+
+    #[test]
+    fn mixed_leaves_report_avg_val() {
+        // Force an impure positive leaf by limiting depth on a harder
+        // instance.
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 9.0).unwrap();
+        b.push(&["x", "q"], 8.0).unwrap();
+        b.push(&["x", "r"], 1.0).unwrap(); // negative sharing a = x
+        b.push(&["y", "p"], 0.5).unwrap();
+        let s = b.finish().unwrap();
+        let tree = DecisionTree::train(&s, 2, 1).unwrap();
+        let rules = tree.rules();
+        assert_eq!(rules.len(), 1);
+        let r = &rules[0];
+        assert_eq!((r.positives, r.negatives), (2, 1));
+        assert!((r.avg_val - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negated_predicates_appear_on_no_branches() {
+        // Two positive groups force a path through a ≠ branch.
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 9.0).unwrap();
+        b.push(&["y", "p"], 8.0).unwrap();
+        b.push(&["z", "q"], 1.0).unwrap();
+        b.push(&["w", "q"], 0.5).unwrap();
+        let s = b.finish().unwrap();
+        let tree = DecisionTree::train(&s, 2, 3).unwrap();
+        let rules = tree.rules();
+        assert!(!rules.is_empty());
+        for t in 0..2u32 {
+            assert!(tree.predict(s.tuple(t)));
+        }
+        for t in 2..4u32 {
+            assert!(!tree.predict(s.tuple(t)));
+        }
+    }
+
+    #[test]
+    fn complexity_counts_predicates() {
+        let s = answers();
+        let tree = DecisionTree::train(&s, 3, 4).unwrap();
+        for rule in tree.rules() {
+            assert_eq!(rule.complexity(), rule.predicates.len());
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let s = answers();
+        assert!(DecisionTree::train(&s, 0, 2).is_err());
+        assert!(DecisionTree::train(&s, 7, 2).is_err());
+        assert!(fit_for_k(&s, 3, 0).is_err());
+    }
+}

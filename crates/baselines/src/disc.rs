@@ -1,0 +1,134 @@
+//! DisC diversity (paper App. A.5.3, adapting Drosou & Pitoura [8]).
+//!
+//! A *DisC diverse subset* `S'` of a set `P` at radius `r`: every element
+//! of `P` is within distance `r` of some element of `S'` (coverage), and no
+//! two elements of `S'` are within distance `r` of each other
+//! (independence). Any maximal independent set of the `r`-neighborhood
+//! graph qualifies; minimizing `|S'|` is NP-hard, so — like the original
+//! paper — a greedy construction is used, scanning elements in descending
+//! score order so high-value representatives are preferred.
+
+use qagview_common::{QagError, Result};
+use qagview_lattice::{AnswerSet, TupleId};
+
+fn hamming(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Greedy DisC diverse subset of the top-`l` elements at radius `r`.
+///
+/// Returns the chosen representatives in pick order (descending score).
+pub fn disc_diverse_subset(answers: &AnswerSet, l: usize, r: usize) -> Result<Vec<TupleId>> {
+    if l == 0 || l > answers.len() {
+        return Err(QagError::param(format!(
+            "L={l} out of range 1..={}",
+            answers.len()
+        )));
+    }
+    let mut chosen: Vec<TupleId> = Vec::new();
+    // Descending-score scan = ascending tuple id.
+    for t in 0..l as u32 {
+        let independent = chosen
+            .iter()
+            .all(|&c| hamming(answers.tuple(c), answers.tuple(t)) > r);
+        if independent {
+            chosen.push(t);
+        }
+    }
+    Ok(chosen)
+}
+
+/// Verify the DisC property for a candidate subset (used by tests and the
+/// App. A.5 comparison harness).
+pub fn is_disc_diverse(answers: &AnswerSet, l: usize, r: usize, subset: &[TupleId]) -> bool {
+    // Independence.
+    for (i, &a) in subset.iter().enumerate() {
+        for &b in &subset[i + 1..] {
+            if hamming(answers.tuple(a), answers.tuple(b)) <= r {
+                return false;
+            }
+        }
+    }
+    // Coverage.
+    (0..l as u32).all(|t| {
+        subset
+            .iter()
+            .any(|&c| hamming(answers.tuple(c), answers.tuple(t)) <= r)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        b.push(&["x", "p", "1"], 9.0).unwrap();
+        b.push(&["x", "p", "2"], 8.0).unwrap();
+        b.push(&["x", "q", "1"], 7.0).unwrap();
+        b.push(&["y", "q", "3"], 6.0).unwrap();
+        b.push(&["z", "r", "4"], 5.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn greedy_output_satisfies_disc_property() {
+        let s = answers();
+        for r in 0..=3 {
+            let subset = disc_diverse_subset(&s, 5, r).unwrap();
+            assert!(
+                is_disc_diverse(&s, 5, r, &subset),
+                "radius {r}: {subset:?} violates DisC"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_zero_selects_everything() {
+        let s = answers();
+        let subset = disc_diverse_subset(&s, 5, 0).unwrap();
+        assert_eq!(subset.len(), 5);
+    }
+
+    #[test]
+    fn larger_radius_selects_fewer() {
+        let s = answers();
+        let small = disc_diverse_subset(&s, 5, 1).unwrap();
+        let large = disc_diverse_subset(&s, 5, 3).unwrap();
+        assert!(large.len() <= small.len());
+        assert!(!large.is_empty());
+    }
+
+    #[test]
+    fn high_value_elements_preferred() {
+        let s = answers();
+        let subset = disc_diverse_subset(&s, 5, 2).unwrap();
+        assert_eq!(subset[0], 0, "the top element is always independent first");
+    }
+
+    #[test]
+    fn no_size_bound_is_the_papers_criticism() {
+        // Unlike the qagview framework, nothing caps |S'|: with r = 0 the
+        // answer is as large as L itself.
+        let s = answers();
+        let subset = disc_diverse_subset(&s, 4, 0).unwrap();
+        assert_eq!(subset.len(), 4);
+    }
+
+    #[test]
+    fn validates_l() {
+        let s = answers();
+        assert!(disc_diverse_subset(&s, 0, 1).is_err());
+        assert!(disc_diverse_subset(&s, 6, 1).is_err());
+    }
+
+    #[test]
+    fn verifier_detects_violations() {
+        let s = answers();
+        // Ranks 1 and 2 are at distance 1: not independent at r=1.
+        assert!(!is_disc_diverse(&s, 5, 1, &[0, 1]));
+        // Missing coverage: {rank 5} alone cannot cover rank 1 at r=1.
+        assert!(!is_disc_diverse(&s, 5, 1, &[4]));
+    }
+}

@@ -1,0 +1,184 @@
+//! Diversified top-`k` (paper App. A.5.2, adapting Qin et al. [31]).
+//!
+//! Select at most `k` *elements* (not patterns) such that every selected
+//! pair is at distance `≥ D` (Hamming over the grouping attributes) and the
+//! **sum** of scores is maximized. The paper evaluates a brute-force
+//! implementation over the top-`L` elements and reports, per pick, the
+//! average value of the elements within distance `D − 1` (the implicit
+//! "cluster" around each representative).
+
+use qagview_common::{QagError, Result};
+use qagview_lattice::{AnswerSet, TupleId};
+
+/// One selected representative element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversifiedPick {
+    /// The selected element.
+    pub tuple: TupleId,
+    /// Its own score.
+    pub score: f64,
+    /// Average score of top-`L` elements within distance `D − 1`
+    /// (including itself) — the implicit cluster the pick represents.
+    pub neighborhood_avg: f64,
+}
+
+/// Exact diversified top-`k` over the top-`l` elements via DFS with
+/// distance pruning (the instance sizes of App. A.5 are tiny).
+pub fn diversified_topk(
+    answers: &AnswerSet,
+    l: usize,
+    k: usize,
+    d: usize,
+) -> Result<Vec<DiversifiedPick>> {
+    if k == 0 || l == 0 || l > answers.len() {
+        return Err(QagError::param(
+            "diversified top-k requires k >= 1 and 1 <= L <= n",
+        ));
+    }
+    if l > 30 {
+        return Err(QagError::param(
+            "exact diversified top-k is exponential; use L <= 30 (the paper used L = 10)",
+        ));
+    }
+    let mut search = Search {
+        answers,
+        ids: (0..l as u32).collect(),
+        d,
+        chosen: Vec::new(),
+        best: None,
+    };
+    search.dfs(0, k, 0.0);
+    let (_, picks) = search
+        .best
+        .ok_or_else(|| QagError::internal("empty selection space"))?;
+    Ok(picks
+        .into_iter()
+        .map(|t| {
+            let (sum, cnt) = neighborhood(answers, l, t, d.saturating_sub(1));
+            DiversifiedPick {
+                tuple: t,
+                score: answers.val(t),
+                neighborhood_avg: sum / cnt as f64,
+            }
+        })
+        .collect())
+}
+
+struct Search<'a> {
+    answers: &'a AnswerSet,
+    ids: Vec<TupleId>,
+    d: usize,
+    chosen: Vec<TupleId>,
+    best: Option<(f64, Vec<TupleId>)>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, start: usize, remaining: usize, sum: f64) {
+        if self.best.as_ref().is_none_or(|(bs, _)| sum > *bs) && !self.chosen.is_empty() {
+            self.best = Some((sum, self.chosen.clone()));
+        }
+        if remaining == 0 {
+            return;
+        }
+        for offset in 0..self.ids.len().saturating_sub(start) {
+            let t = self.ids[start + offset];
+            let ok = self
+                .chosen
+                .iter()
+                .all(|&c| hamming(self.answers.tuple(c), self.answers.tuple(t)) >= self.d);
+            if !ok {
+                continue;
+            }
+            self.chosen.push(t);
+            let val = self.answers.val(t);
+            self.dfs(start + offset + 1, remaining - 1, sum + val);
+            self.chosen.pop();
+        }
+    }
+}
+
+fn hamming(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+fn neighborhood(answers: &AnswerSet, l: usize, center: TupleId, radius: usize) -> (f64, usize) {
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for t in 0..l as u32 {
+        if hamming(answers.tuple(center), answers.tuple(t)) <= radius {
+            sum += answers.val(t);
+            cnt += 1;
+        }
+    }
+    (sum, cnt.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        b.push(&["x", "p", "1"], 9.0).unwrap();
+        b.push(&["x", "p", "2"], 8.5).unwrap(); // distance 1 from rank 1
+        b.push(&["y", "q", "3"], 7.0).unwrap(); // distance 3 from rank 1
+        b.push(&["z", "r", "4"], 6.0).unwrap();
+        b.push(&["x", "q", "1"], 5.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn maximizes_sum_subject_to_distance() {
+        let s = answers();
+        // D=3: ranks 1 and 2 conflict; best pair is {rank1, rank3} = 16.
+        let picks = diversified_topk(&s, 5, 2, 3).unwrap();
+        let total: f64 = picks.iter().map(|p| p.score).sum();
+        assert_eq!(picks.len(), 2);
+        assert!((total - 16.0).abs() < 1e-12, "total {total}");
+        for (i, a) in picks.iter().enumerate() {
+            for b in &picks[i + 1..] {
+                assert!(hamming(s.tuple(a.tuple), s.tuple(b.tuple)) >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn d_zero_degenerates_to_top_k() {
+        let s = answers();
+        let picks = diversified_topk(&s, 5, 3, 0).unwrap();
+        let ids: Vec<u32> = picks.iter().map(|p| p.tuple).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn neighborhood_average_includes_close_low_value_elements() {
+        let s = answers();
+        // Rank 1's neighborhood at radius 2 includes ranks 2 and 5 — so the
+        // implicit cluster average is dragged below the pick's own score
+        // (the paper's criticism of representative-based diversification).
+        let picks = diversified_topk(&s, 5, 1, 3).unwrap();
+        assert_eq!(picks[0].tuple, 0);
+        assert!(picks[0].neighborhood_avg < picks[0].score);
+    }
+
+    #[test]
+    fn infeasible_distance_yields_fewer_picks() {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 3.0).unwrap();
+        b.push(&["x", "q"], 2.0).unwrap();
+        let s = b.finish().unwrap();
+        // Every pair is at distance 1 < 2: only singletons feasible.
+        let picks = diversified_topk(&s, 2, 2, 2).unwrap();
+        assert_eq!(picks.len(), 1);
+        assert_eq!(picks[0].tuple, 0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let s = answers();
+        assert!(diversified_topk(&s, 0, 1, 1).is_err());
+        assert!(diversified_topk(&s, 99, 1, 1).is_err());
+        assert!(diversified_topk(&s, 5, 0, 1).is_err());
+    }
+}

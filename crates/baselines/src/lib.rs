@@ -1,0 +1,34 @@
+//! Comparator algorithms from the paper's related work (§2, App. A.5, §8).
+//!
+//! The paper argues that neighbouring formulations do not solve its
+//! problem; App. A.5 backs this with qualitative tables produced by adapted
+//! implementations of each, and §8's user study compares against decision
+//! trees. This crate implements them all from scratch:
+//!
+//! * [`smart_drilldown`] — Joglekar et al.'s smart drill-down operator [24]
+//!   with the paper's value-adapted scoring
+//!   `Σ MCount(r, R) · W(r) · val(r)`.
+//! * [`diversified_topk`] — Qin et al.'s diversified top-`k` [31]:
+//!   max-score element subsets with pairwise distance `≥ D`.
+//! * [`disc`] — Drosou & Pitoura's DisC diversity [8]: a minimal
+//!   independent covering subset at radius `r`.
+//! * [`mmr`] — the λ-parameterized MMR-style diversification evaluated in
+//!   App. A.5.4 [41].
+//! * [`decision_tree`] — a CART-style classifier (gini, categorical
+//!   equality splits, height tuned so positive leaves `≤ k`) matching the
+//!   §8 scikit-learn adaptation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decision_tree;
+pub mod disc;
+pub mod diversified_topk;
+pub mod mmr;
+pub mod smart_drilldown;
+
+pub use decision_tree::{fit_for_k, DecisionTree, Rule};
+pub use disc::disc_diverse_subset;
+pub use diversified_topk::{diversified_topk, DiversifiedPick};
+pub use mmr::mmr_select;
+pub use smart_drilldown::{smart_drilldown, DrillRule, RuleSource};

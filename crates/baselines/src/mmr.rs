@@ -1,0 +1,131 @@
+//! λ-parameterized MMR-style diversification (paper App. A.5.4, [41]).
+//!
+//! Greedy Maximal-Marginal-Relevance selection over the top-`L` elements:
+//! the first pick is the highest-scored element; each subsequent pick
+//! maximizes `(1 − λ) · rel(e) + λ · div(e)` where `rel` is the min-max
+//! normalized score and `div` is the normalized minimum distance to the
+//! already-selected set. `λ = 0` degenerates to plain top-`k`; `λ = 1`
+//! ignores relevance entirely — matching the App. A.5.4 table.
+
+use qagview_common::{QagError, Result};
+use qagview_lattice::{AnswerSet, TupleId};
+
+fn hamming(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Select `k` elements from the top-`l` by greedy MMR with trade-off `λ`.
+pub fn mmr_select(answers: &AnswerSet, l: usize, k: usize, lambda: f64) -> Result<Vec<TupleId>> {
+    if k == 0 || l == 0 || l > answers.len() {
+        return Err(QagError::param("MMR requires k >= 1 and 1 <= L <= n"));
+    }
+    if !(0.0..=1.0).contains(&lambda) {
+        return Err(QagError::param(format!(
+            "lambda={lambda} must be in [0, 1]"
+        )));
+    }
+    let m = answers.arity() as f64;
+    let vals: Vec<f64> = (0..l as u32).map(|t| answers.val(t)).collect();
+    let (vmin, vmax) = vals
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (vmax - vmin).max(1e-12);
+    let rel = |t: TupleId| (answers.val(t) - vmin) / span;
+
+    let mut selected: Vec<TupleId> = vec![0]; // highest score first
+    while selected.len() < k.min(l) {
+        let mut best: Option<(f64, TupleId)> = None;
+        for t in 0..l as u32 {
+            if selected.contains(&t) {
+                continue;
+            }
+            let min_dist = selected
+                .iter()
+                .map(|&s| hamming(answers.tuple(s), answers.tuple(t)))
+                .min()
+                .unwrap_or(0) as f64
+                / m;
+            let score = (1.0 - lambda) * rel(t) + lambda * min_dist;
+            // Ties break toward the higher-ranked (smaller id) element, so
+            // λ = 0 reproduces the plain top-k exactly.
+            if best.is_none_or(|(bs, _)| score > bs) {
+                best = Some((score, t));
+            }
+        }
+        match best {
+            Some((_, t)) => selected.push(t),
+            None => break,
+        }
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+        b.push(&["1975", "20s", "M", "Student"], 4.24).unwrap();
+        b.push(&["1980", "20s", "M", "Programmer"], 4.13).unwrap();
+        b.push(&["1980", "10s", "M", "Student"], 3.96).unwrap();
+        b.push(&["1980", "20s", "M", "Student"], 3.91).unwrap();
+        b.push(&["1985", "20s", "M", "Programmer"], 3.86).unwrap();
+        b.push(&["1995", "30s", "F", "Educator"], 3.70).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lambda_zero_is_plain_topk() {
+        let s = answers();
+        let sel = mmr_select(&s, 6, 4, 0.0).unwrap();
+        assert_eq!(sel, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn moderate_lambda_swaps_in_diverse_tail_elements() {
+        // The App. A.5.4 behaviour: as λ grows the redundant low-rank pick
+        // is replaced by the very different (1995, 30s, F, Educator). The
+        // exact crossover λ depends on score normalization; with min-max
+        // normalization it happens by λ = 0.5.
+        let s = answers();
+        for lambda in [0.5, 0.8] {
+            let sel = mmr_select(&s, 6, 4, lambda).unwrap();
+            assert!(
+                sel.contains(&5),
+                "λ={lambda}: expected the diverse educator pick, got {sel:?}"
+            );
+            assert_eq!(sel[0], 0, "first pick is always the top element");
+        }
+        // Low λ stays relevance-driven (the top-4 block).
+        assert_eq!(mmr_select(&s, 6, 4, 0.2).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lambda_one_ignores_relevance() {
+        let s = answers();
+        let sel = mmr_select(&s, 6, 3, 1.0).unwrap();
+        // After the seed, picks maximize distance only; the educator (all
+        // four attributes different) must appear immediately.
+        assert_eq!(sel[1], 5);
+    }
+
+    #[test]
+    fn k_capped_by_l() {
+        let s = answers();
+        let sel = mmr_select(&s, 3, 10, 0.5).unwrap();
+        assert_eq!(sel.len(), 3);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let s = answers();
+        assert!(mmr_select(&s, 6, 0, 0.5).is_err());
+        assert!(mmr_select(&s, 0, 1, 0.5).is_err());
+        assert!(mmr_select(&s, 6, 1, 1.5).is_err());
+        assert!(mmr_select(&s, 6, 1, -0.1).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Value-adapted smart drill-down (paper App. A.5.1, adapting [24]).
+//!
+//! Smart drill-down selects an *ordered* set of `k` rules (patterns with
+//! `∗`) maximizing `Σ_r MCount(r, R) · W(r)`, where the marginal count
+//! `MCount` ignores tuples covered by earlier rules and the weight `W` is
+//! the number of non-`∗` attributes. To compare against a value-aware
+//! summarizer, the paper multiplies in `val(r)` — the average value of the
+//! rule's *uncovered* tuples — and runs the greedy algorithm (shown to work
+//! well in [24]) over either all elements or the top-`L` only.
+
+use qagview_common::{FixedBitSet, QagError, Result};
+use qagview_lattice::{AnswerSet, Pattern};
+
+/// Which elements seed the rule space and the coverage accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleSource {
+    /// Rules generated from (and scored over) all elements of `S`.
+    AllElements,
+    /// Rules generated from the top-`L` elements only.
+    TopL(usize),
+}
+
+/// One selected rule with its scoring components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrillRule {
+    /// The rule pattern.
+    pub pattern: Pattern,
+    /// Marginal tuple count at selection time.
+    pub marginal_count: usize,
+    /// Non-`∗` attribute count.
+    pub weight: usize,
+    /// Average value of the marginal tuples.
+    pub avg_val: f64,
+}
+
+impl DrillRule {
+    /// The adapted score contribution `MCount · W · val`.
+    pub fn score(&self) -> f64 {
+        self.marginal_count as f64 * self.weight as f64 * self.avg_val
+    }
+}
+
+/// Greedy value-adapted smart drill-down: pick `k` rules maximizing the
+/// marginal adapted score.
+///
+/// # Errors
+///
+/// Rejects `k == 0`, an out-of-range `TopL`, or an attribute count too
+/// large for eager rule generation.
+pub fn smart_drilldown(
+    answers: &AnswerSet,
+    k: usize,
+    source: RuleSource,
+) -> Result<Vec<DrillRule>> {
+    if k == 0 {
+        return Err(QagError::param("smart drill-down requires k >= 1"));
+    }
+    let seed_count = match source {
+        RuleSource::AllElements => answers.len(),
+        RuleSource::TopL(l) => {
+            if l == 0 || l > answers.len() {
+                return Err(QagError::param(format!(
+                    "TopL({l}) out of range 1..={}",
+                    answers.len()
+                )));
+            }
+            l
+        }
+    };
+    if answers.arity() > 16 {
+        return Err(QagError::param(
+            "rule generation supports at most 16 attributes",
+        ));
+    }
+
+    // Rule space: all generalizations of the seed elements, deduplicated.
+    let mut rules: Vec<Pattern> = Vec::new();
+    let mut seen: std::collections::HashSet<Pattern> = Default::default();
+    for t in 0..seed_count as u32 {
+        Pattern::for_each_generalization(answers.tuple(t), |slots| {
+            let p = Pattern::new(slots.to_vec());
+            if seen.insert(p.clone()) {
+                rules.push(p);
+            }
+        });
+    }
+
+    // Precompute coverage over the scoring universe.
+    let universe = seed_count as u32;
+    let coverage: Vec<Vec<u32>> = rules
+        .iter()
+        .map(|r| {
+            (0..universe)
+                .filter(|&t| r.covers_tuple(answers.tuple(t)))
+                .collect::<Vec<u32>>()
+        })
+        .collect();
+
+    let mut covered = FixedBitSet::new(seed_count);
+    let mut picked: Vec<DrillRule> = Vec::new();
+    for _ in 0..k {
+        let mut best: Option<(f64, usize, DrillRule)> = None;
+        for (ri, rule) in rules.iter().enumerate() {
+            let weight = rule.arity() - rule.level();
+            if weight == 0 {
+                continue; // the all-∗ rule carries no information
+            }
+            let mut mcount = 0usize;
+            let mut sum = 0.0;
+            for &t in &coverage[ri] {
+                if !covered.contains(t as usize) {
+                    mcount += 1;
+                    sum += answers.val(t);
+                }
+            }
+            if mcount == 0 {
+                continue;
+            }
+            let avg_val = sum / mcount as f64;
+            let candidate = DrillRule {
+                pattern: rule.clone(),
+                marginal_count: mcount,
+                weight,
+                avg_val,
+            };
+            let score = candidate.score();
+            let better = match &best {
+                None => true,
+                Some((bs, bi, _)) => {
+                    score > *bs
+                        || (score == *bs
+                            && rule.cmp_for_ties(&rules[*bi]) == std::cmp::Ordering::Less)
+                }
+            };
+            if better {
+                best = Some((score, ri, candidate));
+            }
+        }
+        let Some((_, ri, rule)) = best else { break };
+        for &t in &coverage[ri] {
+            covered.insert(t as usize);
+        }
+        picked.push(rule);
+    }
+    Ok(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    /// A relation where the most *frequent* pattern is NOT the most
+    /// valuable one — the App. A.5.1 failure mode.
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        // Valuable but narrow: (gold, ·) × 2 at the top.
+        b.push(&["gold", "p"], 9.0).unwrap();
+        b.push(&["gold", "q"], 8.0).unwrap();
+        // Frequent but mixed-value: (common, ·) × 4 spanning the ranking.
+        b.push(&["common", "p"], 5.0).unwrap();
+        b.push(&["common", "q"], 4.0).unwrap();
+        b.push(&["common", "r"], 1.0).unwrap();
+        b.push(&["common", "s"], 0.5).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn greedy_returns_k_rules_with_positive_scores() {
+        let s = answers();
+        let rules = smart_drilldown(&s, 3, RuleSource::AllElements).unwrap();
+        assert!(rules.len() <= 3 && !rules.is_empty());
+        for r in &rules {
+            assert!(r.score() > 0.0);
+            assert!(r.weight >= 1);
+        }
+    }
+
+    #[test]
+    fn prefers_high_count_patterns_even_when_mixed_value() {
+        // The adapted score still multiplies count; with enough commons the
+        // frequent pattern wins the first pick — the paper's criticism.
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["gold", "p"], 9.0).unwrap();
+        for (i, v) in [5.0, 4.5, 4.0, 3.5, 3.0, 2.5, 2.0, 1.5].iter().enumerate() {
+            b.push(&["common", &format!("q{i}")], *v).unwrap();
+        }
+        let s = b.finish().unwrap();
+        let rules = smart_drilldown(&s, 1, RuleSource::AllElements).unwrap();
+        let first = s.pattern_to_string(&rules[0].pattern);
+        assert!(
+            first.contains("common"),
+            "count-driven pick expected, got {first}"
+        );
+    }
+
+    #[test]
+    fn top_l_source_restricts_universe() {
+        let s = answers();
+        let rules = smart_drilldown(&s, 2, RuleSource::TopL(2)).unwrap();
+        // Only gold tuples exist in the universe.
+        for r in &rules {
+            assert!(s.pattern_to_string(&r.pattern).contains("gold"));
+        }
+    }
+
+    #[test]
+    fn marginal_counts_do_not_double_count() {
+        let s = answers();
+        let rules = smart_drilldown(&s, 4, RuleSource::AllElements).unwrap();
+        let total: usize = rules.iter().map(|r| r.marginal_count).sum();
+        assert!(total <= s.len(), "marginals exceed universe: {total}");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let s = answers();
+        assert!(smart_drilldown(&s, 0, RuleSource::AllElements).is_err());
+        assert!(smart_drilldown(&s, 2, RuleSource::TopL(0)).is_err());
+        assert!(smart_drilldown(&s, 2, RuleSource::TopL(99)).is_err());
+    }
+}

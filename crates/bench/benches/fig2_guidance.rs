@@ -1,0 +1,42 @@
+//! Fig. 2 / §7.2: generation time of the parameter-selection guidance
+//! visualization data.
+//!
+//! Paper claim: 20–40 ms for m in 4..10 at N ≈ 2087 — interactive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qagview_bench::movielens_answers;
+use qagview_interactive::{PrecomputeConfig, Precomputed};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_guidance");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (m, having) in [(4usize, 30usize), (6, 30), (8, 20), (10, 8)] {
+        let answers = movielens_answers(m, having, 42).expect("workload");
+        let l = 15.min(answers.len());
+        let d_max = 3.min(m);
+        group.bench_with_input(BenchmarkId::new("guidance_generation", m), &l, |b, &l| {
+            b.iter(|| {
+                let pre = Precomputed::build(
+                    &answers,
+                    l,
+                    PrecomputeConfig {
+                        k_min: 2,
+                        k_max: 15,
+                        d_min: 1,
+                        d_max,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                black_box(pre.guidance())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Fixed-capacity bitsets for tuple coverage bookkeeping.
+//!
+//! The Max-Avg objective (paper Def. 4.1) is the average value of the *union*
+//! of tuples covered by the chosen clusters, so the greedy algorithms need a
+//! fast "is tuple `t` already covered?" probe and fast union bookkeeping.
+//! A flat `Vec<u64>` bitset indexed by dense tuple id is the right shape:
+//! the answer relation of an aggregate query rarely exceeds a few tens of
+//! thousands of rows (paper §7.4: N = 47,361 for TPC-DS).
+
+/// A fixed-capacity bitset over `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl FixedBitSet {
+    /// Create an all-zero bitset of capacity `len`.
+    pub fn new(len: usize) -> Self {
+        FixedBitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Capacity (number of addressable bits).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Test bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i`, returning whether it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let newly = *word & mask == 0;
+        *word |= mask;
+        self.ones += usize::from(newly);
+        newly
+    }
+
+    /// Clear bit `i`, returning whether it was previously set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        *word &= !mask;
+        self.ones -= usize::from(was);
+        was
+    }
+
+    /// Clear all bits, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &FixedBitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        let mut ones = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            ones += a.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    /// Count how many indices in the sorted slice `ids` are *not* set.
+    ///
+    /// This is the hot probe of the naive `UpdateSolution` path: computing
+    /// `|cov(c) \ T_i|` for a candidate cluster `c` against the current
+    /// coverage `T_i`.
+    pub fn count_missing(&self, ids: &[u32]) -> usize {
+        ids.iter().filter(|&&i| !self.contains(i as usize)).count()
+    }
+
+    /// Iterate over the set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = FixedBitSet::new(130);
+        assert!(!b.contains(0));
+        assert!(b.insert(0));
+        assert!(!b.insert(0));
+        assert!(b.insert(64));
+        assert!(b.insert(129));
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert_eq!(b.count_ones(), 3);
+        assert!(b.remove(64));
+        assert!(!b.remove(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        let b = FixedBitSet::new(10);
+        let _ = b.contains(10);
+    }
+
+    #[test]
+    fn union_recounts() {
+        let mut a = FixedBitSet::new(100);
+        let mut b = FixedBitSet::new(100);
+        a.insert(1);
+        a.insert(50);
+        b.insert(50);
+        b.insert(99);
+        a.union_with(&b);
+        assert_eq!(a.count_ones(), 3);
+        assert!(a.contains(1) && a.contains(50) && a.contains(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_capacity_mismatch_panics() {
+        let mut a = FixedBitSet::new(10);
+        let b = FixedBitSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn count_missing_matches_linear_check() {
+        let mut b = FixedBitSet::new(32);
+        for i in [3usize, 5, 8, 21] {
+            b.insert(i);
+        }
+        assert_eq!(b.count_missing(&[1, 3, 5, 7, 21, 31]), 3); // 1, 7, 31
+        assert_eq!(b.count_missing(&[]), 0);
+        assert_eq!(b.count_missing(&[3, 5, 8, 21]), 0);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut b = FixedBitSet::new(200);
+        let expected = [0usize, 63, 64, 65, 127, 128, 199];
+        for &i in &expected {
+            b.insert(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = FixedBitSet::new(70);
+        b.insert(69);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.contains(69));
+        assert_eq!(b.len(), 70);
+    }
+
+    #[test]
+    fn zero_capacity_set() {
+        let b = FixedBitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient alias for `Result<T, QagError>`.
+pub type Result<T> = std::result::Result<T, QagError>;
+
+/// Errors produced anywhere in the qagview workspace.
+///
+/// The variants are deliberately coarse: this is a library meant to be driven
+/// programmatically, and callers mostly need to distinguish *user* mistakes
+/// (bad SQL, unknown column, invalid parameters) from *internal* invariant
+/// violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QagError {
+    /// A SQL string failed to tokenize or parse.
+    Parse {
+        /// Human-readable description of the failure.
+        message: String,
+        /// Byte offset into the input where the failure was detected.
+        offset: usize,
+    },
+    /// A query referenced a table/column that does not exist or has the
+    /// wrong type.
+    Binding(String),
+    /// Query execution failed (e.g. aggregate over an empty input where the
+    /// semantics are undefined).
+    Execution(String),
+    /// Invalid summarization parameters (e.g. `k == 0`, `D > m + 1`).
+    InvalidParameter(String),
+    /// A schema mismatch between two components (e.g. comparing solutions
+    /// computed over different relations).
+    SchemaMismatch(String),
+    /// An internal invariant was violated; indicates a bug in this library.
+    Internal(String),
+}
+
+impl QagError {
+    /// Shorthand constructor for [`QagError::Parse`].
+    pub fn parse(message: impl Into<String>, offset: usize) -> Self {
+        QagError::Parse {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Shorthand constructor for [`QagError::InvalidParameter`].
+    pub fn param(message: impl Into<String>) -> Self {
+        QagError::InvalidParameter(message.into())
+    }
+
+    /// Shorthand constructor for [`QagError::Internal`].
+    pub fn internal(message: impl Into<String>) -> Self {
+        QagError::Internal(message.into())
+    }
+}
+
+impl fmt::Display for QagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QagError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QagError::Binding(m) => write!(f, "binding error: {m}"),
+            QagError::Execution(m) => write!(f, "execution error: {m}"),
+            QagError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            QagError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            QagError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error_includes_offset() {
+        let e = QagError::parse("unexpected token", 17);
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected token");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(QagError::Binding("no such column x".into())
+            .to_string()
+            .contains("binding"));
+        assert!(QagError::Execution("divide by zero".into())
+            .to_string()
+            .contains("execution"));
+        assert!(QagError::param("k must be positive")
+            .to_string()
+            .contains("invalid parameter"));
+        assert!(QagError::SchemaMismatch("arity".into())
+            .to_string()
+            .contains("schema"));
+        assert!(QagError::internal("oops").to_string().contains("internal"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(QagError::param("x"), QagError::param("x"));
+        assert_ne!(QagError::param("x"), QagError::param("y"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(QagError::internal("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

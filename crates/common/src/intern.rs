@@ -1,0 +1,190 @@
+//! String interning — the paper's §6.3 "hash values for fields" optimization.
+//!
+//! Attribute values in aggregate query answers are frequently text
+//! (occupations, genres, demographic codes). The paper reports a ~50×
+//! speed-up from replacing strings with integer handles inside the cluster
+//! machinery. [`Interner`] performs that mapping once at ingestion time:
+//! every distinct string receives a dense [`Symbol`] (`u32`), and all
+//! pattern/lattice operations downstream compare and hash plain integers.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A dense handle to an interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them. The ordering on symbols is the *interning order*, which is stable
+/// for a deterministic ingestion pipeline and therefore usable for
+/// deterministic tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional string ↔ [`Symbol`] table.
+///
+/// # Examples
+///
+/// ```
+/// use qagview_common::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("Student");
+/// let b = interner.intern("Programmer");
+/// let a2 = interner.intern("Student");
+/// assert_eq!(a, a2);
+/// assert_ne!(a, b);
+/// assert_eq!(interner.resolve(a), "Student");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner pre-sized for `capacity` distinct strings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Interner {
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            strings: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(
+            u32::try_from(self.strings.len())
+                .expect("interner overflow: more than u32::MAX strings"),
+        );
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a symbol without interning. Returns `None` for unknown strings.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolve a symbol, returning `None` for foreign symbols.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered_by_first_appearance() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), Symbol(0));
+        assert_eq!(i.intern("b"), Symbol(1));
+        assert_eq!(i.intern("c"), Symbol(2));
+        assert_eq!(i.intern("a"), Symbol(0));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let words = ["Student", "Programmer", "Engineer", ""];
+        let syms: Vec<Symbol> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *w);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        i.intern("known");
+        assert!(i.get("known").is_some());
+        assert!(i.get("unknown").is_none());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn try_resolve_rejects_foreign_symbols() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(Symbol(3)), None);
+    }
+
+    #[test]
+    fn iter_yields_interning_order() {
+        let mut i = Interner::new();
+        i.intern("one");
+        i.intern("two");
+        let collected: Vec<(u32, String)> = i.iter().map(|(s, v)| (s.0, v.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "one".to_string()), (1, "two".to_string())]
+        );
+    }
+
+    #[test]
+    fn empty_reporting() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        i.intern("x");
+        assert!(!i.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Shared kernel for the `qagview` workspace.
+//!
+//! This crate hosts the small, dependency-free building blocks used by every
+//! other crate in the reproduction of *"Interactive Summarization and
+//! Exploration of Top Aggregate Query Answers"* (Wen et al., 2018):
+//!
+//! * [`error`] — the workspace-wide error type.
+//! * [`hash`] — an FxHash-style fast hasher plus `HashMap`/`HashSet` aliases.
+//!   The paper's §6.3 "hash values for fields" optimization boils down to
+//!   hashing small integers instead of strings; a cheap multiplicative hasher
+//!   is the natural companion.
+//! * [`intern`] — the string interner implementing that §6.3 optimization:
+//!   every categorical field value is mapped once to a dense `u32` symbol and
+//!   all downstream pattern algebra operates on symbols.
+//! * [`bitset`] — fixed-capacity bitsets used for tuple coverage bookkeeping.
+//! * [`value`] — the dynamic value model shared by the storage and query
+//!   layers.
+//! * [`rng`] — deterministic seeded random number helpers so every dataset
+//!   and randomized algorithm in the workspace is reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitset;
+pub mod error;
+pub mod hash;
+pub mod intern;
+pub mod rng;
+pub mod value;
+
+pub use bitset::FixedBitSet;
+pub use error::{QagError, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, Symbol};
+pub use value::Value;

@@ -1,0 +1,182 @@
+//! Deterministic randomness helpers.
+//!
+//! Every randomized component in the workspace (dataset generators, the
+//! `random-`/`k-means-Fixed-Order` algorithm variants, the simulated user
+//! study) takes an explicit `u64` seed so that experiments are exactly
+//! reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Build a deterministic RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream label.
+///
+/// Used to give independent deterministic streams to sub-generators (e.g.
+/// users vs. movies vs. ratings) without sharing RNG state.
+pub fn child_seed(parent: u64, label: &str) -> u64 {
+    let mut h = parent ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in label.as_bytes() {
+        h = (h.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+    h
+}
+
+/// A precomputed Zipf(α) sampler over `0..n`.
+///
+/// TPC-DS-style categorical domains are highly skewed; the generator uses
+/// this to produce realistic domain frequency distributions. Implemented via
+/// inverse-CDF lookup with binary search (no external distribution crate).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf sampler over `n` items with skew `alpha >= 0`.
+    ///
+    /// `alpha == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one item");
+        assert!(alpha >= 0.0, "Zipf skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one item index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Sample an index in `0..weights.len()` proportionally to `weights`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index requires weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        let xs: Vec<u32> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let xs: Vec<u32> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn child_seed_varies_with_label() {
+        assert_ne!(child_seed(7, "users"), child_seed(7, "movies"));
+        assert_eq!(child_seed(7, "users"), child_seed(7, "users"));
+    }
+
+    #[test]
+    fn zipf_uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = seeded(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = seeded(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "rank 0 should dominate: {counts:?}");
+        assert!(counts[0] > counts[9] * 3, "heavy skew expected: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_rejects_empty_domain() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = seeded(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_single_item() {
+        let mut rng = seeded(0);
+        assert_eq!(weighted_index(&mut rng, &[5.0]), 0);
+    }
+}

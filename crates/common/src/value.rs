@@ -1,0 +1,214 @@
+//! Dynamic value model shared by the storage and query layers.
+
+use crate::intern::Symbol;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed cell value.
+///
+/// Categorical strings are stored as interned [`Symbol`]s (§6.3 of the paper:
+/// "hash values for fields"); the owning table's [`crate::Interner`] resolves
+/// them for display.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (aggregate scores, e.g. `avg(rating)`).
+    Float(f64),
+    /// Interned categorical string.
+    Str(Symbol),
+    /// Boolean flag (e.g. the MovieLens per-genre indicator columns).
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The coarse type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+            Value::Null => "null",
+        }
+    }
+
+    /// Interpret this value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Interpret this value as an integer if it is an `Int` or a `Bool`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// The interned symbol, if this is a string value.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Str(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style comparison between two values.
+    ///
+    /// Numeric types compare numerically across `Int`/`Float`; `Bool` and
+    /// `Str` only compare with themselves; `Null` compares with nothing
+    /// (returns `None`, mirroring three-valued logic where comparisons with
+    /// NULL are UNKNOWN). Mixed non-numeric types return `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// SQL equality: NULL = anything is UNKNOWN (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a == b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            (Value::Bool(a), b) | (b, Value::Bool(a)) if b.as_f64().is_some() => {
+                // Permit `flag = 1` style predicates on indicator columns.
+                Some(b.as_f64() == Some(f64::from(u8::from(*a))))
+            }
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x == y),
+                _ => Some(false),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(4).sql_cmp(&Value::Int(1)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn string_comparison_uses_symbol_order() {
+        let a = Value::Str(Symbol(0));
+        let b = Value::Str(Symbol(1));
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+        assert_eq!(a.sql_eq(&b), Some(false));
+        assert_eq!(a.sql_eq(&Value::Str(Symbol(0))), Some(true));
+    }
+
+    #[test]
+    fn bool_int_equality_for_indicator_columns() {
+        assert_eq!(Value::Bool(true).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(0).sql_eq(&Value::Bool(false)), Some(true));
+        assert_eq!(Value::Bool(true).sql_eq(&Value::Int(0)), Some(false));
+    }
+
+    #[test]
+    fn mixed_incomparable_types() {
+        assert_eq!(Value::Str(Symbol(0)).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Str(Symbol(0)).sql_eq(&Value::Int(1)), Some(false));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Bool(true).as_i64(), Some(1));
+        assert_eq!(Value::Str(Symbol(2)).as_symbol(), Some(Symbol(2)));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::Float(0.0).type_name(), "float");
+        assert_eq!(Value::Str(Symbol(0)).type_name(), "str");
+        assert_eq!(Value::Bool(false).type_name(), "bool");
+        assert_eq!(Value::Null.type_name(), "null");
+    }
+}

@@ -1,0 +1,314 @@
+//! The Bottom-Up greedy algorithm (paper §5.1, Algorithm 1).
+//!
+//! Start from the top-`L` singleton clusters — which satisfy coverage and
+//! incomparability but possibly not distance or size — then repeatedly
+//! `Merge` greedily:
+//!
+//! 1. **Distance phase**: while two clusters are closer than `D`, merge the
+//!    violating pair whose merge yields the best resulting solution average.
+//! 2. **Size phase**: while more than `k` clusters remain, merge the best
+//!    pair over *all* pairs.
+//!
+//! Invariants maintained throughout (§5.1): coverage of the top-`L` answers,
+//! incomparability, and a never-decreasing minimum pairwise distance
+//! (Prop. 4.2).
+//!
+//! Two published variants are selectable through [`BottomUpOptions`]: a
+//! start at level `D − 1` ancestors instead of singletons, and the
+//! `avg(LCA)` greedy rule — both reported by the paper as "comparable or
+//! worse" and benchmarked here for the same conclusion.
+
+use crate::params::Params;
+use crate::solution::Solution;
+use crate::working::{greedy_apply, EvalMode, Evaluator, GreedyRule, WorkingSet};
+use qagview_common::{QagError, Result};
+use qagview_lattice::{AnswerSet, CandidateIndex, Pattern, STAR};
+
+/// Which clusters seed the Bottom-Up working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BottomUpStart {
+    /// The top-`L` singleton clusters (Algorithm 1, line 1).
+    #[default]
+    Singletons,
+    /// The §5.1 variant (i): deterministic level-`D−1` ancestors of each
+    /// top-`L` element (star the trailing `D−1` attributes). Distinct
+    /// patterns built this way are automatically at distance `≥ D`, so the
+    /// distance phase starts satisfied.
+    LevelDMinus1,
+}
+
+/// Tuning knobs for [`bottom_up`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BottomUpOptions {
+    /// Marginal evaluation strategy (Delta Judgment on by default).
+    pub eval: EvalMode,
+    /// Seed cluster choice.
+    pub start: BottomUpStart,
+    /// Greedy selection rule.
+    pub rule: GreedyRule,
+}
+
+/// Run Algorithm 1. `index` must have been built for `params.l`.
+pub fn bottom_up(
+    answers: &AnswerSet,
+    index: &CandidateIndex,
+    params: &Params,
+    opts: BottomUpOptions,
+) -> Result<Solution> {
+    params.validate(answers)?;
+    check_index(index, params)?;
+    let mut w = seed(answers, index, params, opts.start)?;
+    let mut evaluator = Evaluator::new(opts.eval);
+    run_phases(
+        &mut w,
+        params.d,
+        params.k,
+        &mut evaluator,
+        opts.rule,
+        |_| {},
+    )?;
+    Ok(w.to_solution())
+}
+
+/// Shared guard: the candidate index must match the requested `L`.
+pub(crate) fn check_index(index: &CandidateIndex, params: &Params) -> Result<()> {
+    if index.l() != params.l {
+        return Err(QagError::param(format!(
+            "candidate index was built for L={} but the run requests L={}",
+            index.l(),
+            params.l
+        )));
+    }
+    Ok(())
+}
+
+fn seed<'a>(
+    answers: &'a AnswerSet,
+    index: &'a CandidateIndex,
+    params: &Params,
+    start: BottomUpStart,
+) -> Result<WorkingSet<'a>> {
+    match start {
+        BottomUpStart::Singletons => WorkingSet::with_top_l_singletons(answers, index),
+        BottomUpStart::LevelDMinus1 => {
+            let stars = params.d.saturating_sub(1);
+            let m = answers.arity();
+            let mut w = WorkingSet::new(answers, index);
+            let mut seen = std::collections::BTreeSet::new();
+            for t in 0..params.l as u32 {
+                let mut slots = answers.tuple(t).to_vec();
+                for slot in slots.iter_mut().skip(m - stars) {
+                    *slot = STAR;
+                }
+                let p = Pattern::new(slots);
+                if seen.insert(p.clone()) {
+                    let id = index.require(&p)?;
+                    w.add_candidate(id)?;
+                }
+            }
+            Ok(w)
+        }
+    }
+}
+
+/// The two merge phases of Algorithm 1, exposed for reuse by the Hybrid
+/// algorithm and the incremental precomputation (§6.2). `on_merge` observes
+/// the working set after every applied merge.
+pub fn run_phases<F>(
+    w: &mut WorkingSet<'_>,
+    d: usize,
+    k: usize,
+    evaluator: &mut Evaluator,
+    rule: GreedyRule,
+    mut on_merge: F,
+) -> Result<()>
+where
+    F: FnMut(&WorkingSet<'_>),
+{
+    // Phase 1: enforce the distance constraint.
+    loop {
+        let pairs = w.violating_pairs(d);
+        if pairs.is_empty() {
+            break;
+        }
+        let specs: Vec<_> = pairs
+            .into_iter()
+            .map(|(i, j)| crate::working::MergeSpec::Pair(i, j))
+            .collect();
+        if greedy_apply(w, &specs, evaluator, rule)?.is_none() {
+            break;
+        }
+        on_merge(w);
+    }
+    // Phase 2: enforce the size constraint.
+    while w.len() > k {
+        let pairs = w.all_pairs();
+        let specs: Vec<_> = pairs
+            .into_iter()
+            .map(|(i, j)| crate::working::MergeSpec::Pair(i, j))
+            .collect();
+        if greedy_apply(w, &specs, evaluator, rule)?.is_none() {
+            break;
+        }
+        on_merge(w);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    /// A small relation where (x, *, 1) is the obviously good summary of
+    /// the top answers and low-value tuples share attributes with them.
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        b.push(&["x", "p", "1"], 9.0).unwrap();
+        b.push(&["x", "q", "1"], 8.0).unwrap();
+        b.push(&["x", "r", "1"], 7.0).unwrap();
+        b.push(&["y", "p", "2"], 6.0).unwrap();
+        b.push(&["y", "q", "2"], 5.0).unwrap();
+        b.push(&["z", "p", "1"], 1.0).unwrap();
+        b.push(&["z", "q", "2"], 0.5).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn setup(l: usize) -> (AnswerSet, CandidateIndex) {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, l).unwrap();
+        (s, idx)
+    }
+
+    #[test]
+    fn respects_all_constraints() {
+        let (s, idx) = setup(5);
+        for d in 0..=3 {
+            for k in 1..=5 {
+                let params = Params::new(k, 5, d);
+                let sol = bottom_up(&s, &idx, &params, BottomUpOptions::default()).unwrap();
+                sol.verify(&s, &params).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn no_merging_needed_when_k_geq_l_and_d_small() {
+        let (s, idx) = setup(3);
+        let params = Params::new(3, 3, 1);
+        let sol = bottom_up(&s, &idx, &params, BottomUpOptions::default()).unwrap();
+        // Top-3 singletons are pairwise distance >= 1 already.
+        assert_eq!(sol.len(), 3);
+        assert!((sol.avg() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_phase_finds_good_generalization() {
+        let (s, idx) = setup(3);
+        let params = Params::new(1, 3, 0);
+        let sol = bottom_up(&s, &idx, &params, BottomUpOptions::default()).unwrap();
+        assert_eq!(sol.len(), 1);
+        // (x, *, 1) covers exactly the top 3: avg 8.0. The trivial all-star
+        // would have avg 36.5/7 ≈ 5.2.
+        assert_eq!(s.pattern_to_string(&sol.clusters[0].pattern), "(x, *, 1)");
+        assert!((sol.avg() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_phase_merges_close_clusters() {
+        let (s, idx) = setup(5);
+        let params = Params::new(5, 5, 2);
+        let sol = bottom_up(&s, &idx, &params, BottomUpOptions::default()).unwrap();
+        sol.verify(&s, &params).unwrap();
+        // Top-5 singletons contain pairs at distance 1 ((x,p,1)-(x,q,1) etc.)
+        // so merging must occur.
+        assert!(sol.len() < 5);
+    }
+
+    #[test]
+    fn monotone_min_distance_across_run() {
+        let (s, idx) = setup(5);
+        let mut w = WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let mut evaluator = Evaluator::new(EvalMode::Delta);
+        let mut min_dists: Vec<usize> = vec![w.min_pairwise_distance().unwrap()];
+        run_phases(&mut w, 2, 1, &mut evaluator, GreedyRule::SolutionAvg, |w| {
+            if let Some(d) = w.min_pairwise_distance() {
+                min_dists.push(d);
+            }
+        })
+        .unwrap();
+        for pair in min_dists.windows(2) {
+            assert!(pair[1] >= pair[0], "min distance decreased: {min_dists:?}");
+        }
+    }
+
+    #[test]
+    fn level_start_variant_feasible_and_prediverse() {
+        let (s, idx) = setup(5);
+        let params = Params::new(3, 5, 3);
+        let opts = BottomUpOptions {
+            start: BottomUpStart::LevelDMinus1,
+            ..BottomUpOptions::default()
+        };
+        let sol = bottom_up(&s, &idx, &params, opts).unwrap();
+        sol.verify(&s, &params).unwrap();
+    }
+
+    #[test]
+    fn pair_avg_rule_is_feasible() {
+        let (s, idx) = setup(5);
+        let params = Params::new(2, 5, 2);
+        let opts = BottomUpOptions {
+            rule: GreedyRule::PairAvg,
+            ..BottomUpOptions::default()
+        };
+        let sol = bottom_up(&s, &idx, &params, opts).unwrap();
+        sol.verify(&s, &params).unwrap();
+    }
+
+    #[test]
+    fn naive_and_delta_agree() {
+        let (s, idx) = setup(5);
+        for d in 0..=3 {
+            for k in 1..=4 {
+                let params = Params::new(k, 5, d);
+                let naive = bottom_up(
+                    &s,
+                    &idx,
+                    &params,
+                    BottomUpOptions {
+                        eval: EvalMode::Naive,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let delta = bottom_up(
+                    &s,
+                    &idx,
+                    &params,
+                    BottomUpOptions {
+                        eval: EvalMode::Delta,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(naive.patterns(), delta.patterns(), "k={k} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_l_mismatch_rejected() {
+        let (s, idx) = setup(3);
+        let params = Params::new(2, 4, 0);
+        assert!(bottom_up(&s, &idx, &params, BottomUpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn beats_trivial_lower_bound() {
+        let (s, idx) = setup(5);
+        let params = Params::new(2, 5, 1);
+        let sol = bottom_up(&s, &idx, &params, BottomUpOptions::default()).unwrap();
+        assert!(sol.avg() > s.mean_val());
+    }
+}

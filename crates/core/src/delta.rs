@@ -1,0 +1,218 @@
+//! The Delta-Judgment optimization (paper §6.3, Algorithm 2).
+//!
+//! Every greedy round evaluates `avg(O ∪ LCA(C1, C2))` for many candidate
+//! merges. Done naively, each evaluation walks the candidate's full coverage
+//! list against the current coverage `T_i`. Delta Judgment instead caches,
+//! per candidate `c`, the marginal benefit `Δ = (Σ val, count)` of
+//! `cov(c) \ T_i` along with the round `i` it was computed at:
+//!
+//! * up-to-date entries answer in O(1);
+//! * entries stale by exactly one round are refreshed against the (small)
+//!   coverage diff `T_j \ T_{j-1}` of the last merge;
+//! * older entries are recomputed from the coverage list.
+//!
+//! The tentative objective is then
+//! `v = (sum(T_i) + Δsum) / (|T_i| + Δcnt)` — the formula at the end of
+//! Algorithm 2. (The paper's pseudocode swaps the Δsum/Δcnt assignments on
+//! its lines 6–7 and 10–11; this implementation follows the evident intent.)
+
+use crate::working::WorkingSet;
+use qagview_common::FxHashMap;
+use qagview_lattice::CandId;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// The working-set round this entry is valid for.
+    round: u32,
+    dsum: f64,
+    dcnt: u32,
+}
+
+/// Cache of per-candidate marginal benefits with round-stamped staleness.
+#[derive(Debug, Default)]
+pub struct DeltaCache {
+    entries: FxHashMap<CandId, Entry>,
+}
+
+impl DeltaCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached candidates (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries (e.g. when reusing the cache across restarts).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Marginal `(Σ val, count)` of `cov(id) \ T` for working set `w`,
+    /// served from the cache when possible.
+    pub fn marginal(&mut self, w: &WorkingSet<'_>, id: CandId) -> (f64, u32) {
+        let now = w.round();
+        if let Some(e) = self.entries.get_mut(&id) {
+            if e.round == now {
+                return (e.dsum, e.dcnt);
+            }
+            if e.round + 1 == now {
+                // Refresh against last round's coverage diff: tuples that
+                // became covered no longer contribute to the marginal.
+                let cov = &w.index().info(id).cov;
+                for &t in w.last_added() {
+                    if cov.binary_search(&t).is_ok() {
+                        e.dsum -= w.answers().val(t);
+                        e.dcnt -= 1;
+                    }
+                }
+                e.round = now;
+                return (e.dsum, e.dcnt);
+            }
+        }
+        // Cache miss or entry too stale: full recomputation.
+        let (dsum, dcnt) = w.marginal_naive(id);
+        self.entries.insert(
+            id,
+            Entry {
+                round: now,
+                dsum,
+                dcnt,
+            },
+        );
+        (dsum, dcnt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::working::{EvalMode, Evaluator, GreedyRule, MergeSpec};
+    use qagview_lattice::{AnswerSet, AnswerSetBuilder, CandidateIndex};
+
+    /// Scores are dyadic rationals so incremental float updates are exact
+    /// and delta/naive agreement can be asserted bit-for-bit.
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        b.push(&["x", "p", "1"], 8.25).unwrap();
+        b.push(&["x", "q", "1"], 6.5).unwrap();
+        b.push(&["y", "p", "2"], 4.75).unwrap();
+        b.push(&["y", "q", "1"], 2.5).unwrap();
+        b.push(&["x", "p", "2"], 1.25).unwrap();
+        b.push(&["y", "p", "1"], 0.5).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cache_hit_after_first_computation() {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, 4).unwrap();
+        let w = crate::WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let mut cache = DeltaCache::new();
+        let id = idx.id_of(&qagview_lattice::Pattern::all_star(3)).unwrap();
+        let first = cache.marginal(&w, id);
+        let second = cache.marginal(&w, id);
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+        // all-star covers all 6; 4 are already covered.
+        assert_eq!(first.1, 2);
+    }
+
+    #[test]
+    fn one_round_stale_entries_refresh_against_diff() {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, 4).unwrap();
+        let mut w = crate::WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let mut cache = DeltaCache::new();
+        let star = idx.id_of(&qagview_lattice::Pattern::all_star(3)).unwrap();
+        let before = cache.marginal(&w, star);
+        assert_eq!(before.1, 2);
+        // Merge ranks 1 & 3 -> (*,p,*)? (x,p,1) vs (y,p,2) -> (*,p,*),
+        // which newly covers (x,p,2) and (y,p,1).
+        w.apply_merge(MergeSpec::Pair(0, 2)).unwrap();
+        assert_eq!(w.last_added().len(), 2);
+        let after = cache.marginal(&w, star);
+        let naive = w.marginal_naive(star);
+        assert_eq!(after.1, naive.1);
+        assert_eq!(after.0, naive.0, "dyadic scores must match exactly");
+        assert_eq!(after.1, 0);
+    }
+
+    #[test]
+    fn much_staler_entries_fully_recompute() {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, 4).unwrap();
+        let mut w = crate::WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let mut cache = DeltaCache::new();
+        let star = idx.id_of(&qagview_lattice::Pattern::all_star(3)).unwrap();
+        let _ = cache.marginal(&w, star);
+        // Two coverage mutations make the entry stale by 2.
+        w.apply_merge(MergeSpec::Pair(0, 2)).unwrap();
+        w.apply_merge(MergeSpec::Pair(0, 1)).unwrap();
+        let after = cache.marginal(&w, star);
+        let naive = w.marginal_naive(star);
+        assert_eq!(after, naive);
+    }
+
+    #[test]
+    fn delta_and_naive_evaluators_choose_identical_merges() {
+        // Run two full greedy reductions side by side; with dyadic scores
+        // the evaluation is exact, so the chosen merges must be identical.
+        let s = answers();
+        let idx = CandidateIndex::build(&s, 5).unwrap();
+        let mut w_naive = crate::WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let mut w_delta = w_naive.clone();
+        let mut ev_naive = Evaluator::new(EvalMode::Naive);
+        let mut ev_delta = Evaluator::new(EvalMode::Delta);
+        while w_naive.len() > 1 {
+            let specs_naive: Vec<MergeSpec> = w_naive
+                .all_pairs()
+                .into_iter()
+                .map(|(i, j)| MergeSpec::Pair(i, j))
+                .collect();
+            let a = crate::working::greedy_apply(
+                &mut w_naive,
+                &specs_naive,
+                &mut ev_naive,
+                GreedyRule::SolutionAvg,
+            )
+            .unwrap();
+            let specs_delta: Vec<MergeSpec> = w_delta
+                .all_pairs()
+                .into_iter()
+                .map(|(i, j)| MergeSpec::Pair(i, j))
+                .collect();
+            let b = crate::working::greedy_apply(
+                &mut w_delta,
+                &specs_delta,
+                &mut ev_delta,
+                GreedyRule::SolutionAvg,
+            )
+            .unwrap();
+            assert_eq!(a, b, "naive and delta paths diverged");
+            assert_eq!(w_naive.members(), w_delta.members());
+            assert_eq!(w_naive.sum(), w_delta.sum());
+        }
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut cache = DeltaCache::new();
+        assert!(cache.is_empty());
+        let s = answers();
+        let idx = CandidateIndex::build(&s, 2).unwrap();
+        let w = crate::WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let id = idx.require(&s.singleton(0)).unwrap();
+        let _ = cache.marginal(&w, id);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

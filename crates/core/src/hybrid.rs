@@ -1,0 +1,147 @@
+//! The Hybrid greedy algorithm (paper §5.3).
+//!
+//! Bottom-Up yields the best quality but is quadratic in its cluster count;
+//! Fixed-Order is fast but explores a smaller solution space. Hybrid runs a
+//! Fixed-Order phase with an enlarged pool of `c·k` clusters (`c > 1`), then
+//! a Bottom-Up size phase to shrink the pool from `c·k` to `k` — collecting
+//! redundant elements along the way exactly like Bottom-Up's `Merge`.
+
+use crate::bottom_up::run_phases;
+use crate::fixed_order::{fixed_order_phase, Seeding};
+use crate::params::Params;
+use crate::solution::Solution;
+use crate::working::{EvalMode, Evaluator, GreedyRule};
+use qagview_common::{QagError, Result};
+use qagview_lattice::{AnswerSet, CandidateIndex};
+
+/// Default pool enlargement factor `c` (the paper requires `c > 1`).
+pub const DEFAULT_POOL_FACTOR: usize = 2;
+
+/// Run the Hybrid algorithm with pool factor `c`.
+///
+/// # Errors
+///
+/// `c < 2` is rejected: `c == 1` degenerates to plain Fixed-Order.
+pub fn hybrid_with(
+    answers: &AnswerSet,
+    index: &CandidateIndex,
+    params: &Params,
+    c: usize,
+    eval: EvalMode,
+) -> Result<Solution> {
+    params.validate(answers)?;
+    crate::bottom_up::check_index(index, params)?;
+    if c < 2 {
+        return Err(QagError::param(format!(
+            "Hybrid pool factor c={c} must be at least 2"
+        )));
+    }
+    let pool = c.saturating_mul(params.k);
+    let mut w = fixed_order_phase(answers, index, params, pool, Seeding::None, eval)?;
+    let mut evaluator = Evaluator::new(eval);
+    // The Fixed-Order phase already enforces distance; only the size phase
+    // remains (run_phases' distance phase is a no-op here but kept for
+    // robustness against future seeding variants).
+    run_phases(
+        &mut w,
+        params.d,
+        params.k,
+        &mut evaluator,
+        GreedyRule::SolutionAvg,
+        |_| {},
+    )?;
+    Ok(w.to_solution())
+}
+
+/// Run the Hybrid algorithm with the default pool factor.
+pub fn hybrid(
+    answers: &AnswerSet,
+    index: &CandidateIndex,
+    params: &Params,
+    eval: EvalMode,
+) -> Result<Solution> {
+    hybrid_with(answers, index, params, DEFAULT_POOL_FACTOR, eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::{bottom_up, BottomUpOptions};
+    use crate::fixed_order::fixed_order;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        b.push(&["x", "p", "1"], 9.5).unwrap();
+        b.push(&["x", "q", "1"], 8.5).unwrap();
+        b.push(&["x", "r", "1"], 7.5).unwrap();
+        b.push(&["y", "p", "2"], 7.0).unwrap();
+        b.push(&["y", "q", "2"], 6.0).unwrap();
+        b.push(&["w", "p", "3"], 5.5).unwrap();
+        b.push(&["z", "p", "1"], 1.0).unwrap();
+        b.push(&["z", "q", "2"], 0.5).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn setup(l: usize) -> (AnswerSet, CandidateIndex) {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, l).unwrap();
+        (s, idx)
+    }
+
+    #[test]
+    fn feasible_across_grid() {
+        let (s, idx) = setup(6);
+        for d in 0..=3 {
+            for k in 1..=6 {
+                let params = Params::new(k, 6, d);
+                let sol = hybrid(&s, &idx, &params, EvalMode::Delta).unwrap();
+                sol.verify(&s, &params).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_pool_factor() {
+        let (s, idx) = setup(3);
+        let params = Params::new(2, 3, 0);
+        assert!(hybrid_with(&s, &idx, &params, 1, EvalMode::Delta).is_err());
+    }
+
+    #[test]
+    fn quality_between_fixed_order_and_bottom_up_on_average() {
+        // The paper's claim is a tendency, not a theorem; verify it on this
+        // instance where the pools matter.
+        let (s, idx) = setup(6);
+        let params = Params::new(2, 6, 1);
+        let fo = fixed_order(&s, &idx, &params, Seeding::None, EvalMode::Delta).unwrap();
+        let hy = hybrid(&s, &idx, &params, EvalMode::Delta).unwrap();
+        let bu = bottom_up(&s, &idx, &params, BottomUpOptions::default()).unwrap();
+        assert!(
+            hy.avg() + 1e-9 >= fo.avg(),
+            "hybrid {} < fixed-order {}",
+            hy.avg(),
+            fo.avg()
+        );
+        assert!(bu.avg() + 1e-9 >= hy.avg() - 1e-9);
+    }
+
+    #[test]
+    fn larger_pool_factor_feasible() {
+        let (s, idx) = setup(6);
+        let params = Params::new(2, 6, 2);
+        for c in 2..=4 {
+            let sol = hybrid_with(&s, &idx, &params, c, EvalMode::Delta).unwrap();
+            sol.verify(&s, &params).unwrap();
+        }
+    }
+
+    #[test]
+    fn pool_capped_solution_still_meets_k() {
+        let (s, idx) = setup(6);
+        let params = Params::new(1, 6, 0);
+        let sol = hybrid(&s, &idx, &params, EvalMode::Delta).unwrap();
+        assert!(sol.len() <= 1);
+        sol.verify(&s, &params).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Summarization of top aggregate query answers — the primary contribution
+//! of *"Interactive Summarization and Exploration of Top Aggregate Query
+//! Answers"* (Wen, Zhu, Roy, Yang; arXiv 1807.11634).
+//!
+//! Given the answer relation `S` of an aggregate query, the framework
+//! selects at most `k` clusters (patterns with don't-care `∗` values) that
+//! cover the top-`L` answers, keep pairwise distance `≥ D`, form an
+//! antichain, and maximize the **Max-Avg** objective: the average score of
+//! all tuples of `S` covered by the chosen clusters (Def. 4.1). Both the
+//! optimization problem (for `k ≥ L`) and even feasibility checking (for
+//! `k < L`) are NP-hard (§4.3), so the paper ships greedy heuristics built
+//! on the cluster semilattice:
+//!
+//! * [`bottom_up`] — Algorithm 1: start from the top-`L` singletons, then
+//!   greedily `Merge` (replace two clusters by their LCA) first to enforce
+//!   the distance constraint and then to enforce the size constraint.
+//! * [`fixed_order`] — Algorithm 3: stream the top-`L` elements in
+//!   descending score order into an online solution (plus the paper's
+//!   `random-` and `k-means-` seeded variants).
+//! * [`hybrid`] — §5.3: a Fixed-Order phase with an enlarged pool of
+//!   `c · k` clusters followed by a Bottom-Up reduction phase; the workhorse
+//!   of the interactive precomputation in `qagview-interactive`.
+//! * [`brute_force`] — the exact reference solver used for Fig. 5.
+//! * [`minsize`] — the Min-Size alternative objective the paper mentions in
+//!   footnote 5, kept as an extension.
+//!
+//! The §6.3 *Delta Judgment* optimization (Algorithm 2) is implemented in
+//! [`delta`] and can be toggled per run ([`EvalMode`]) so the Fig. 8(b)
+//! ablation can quantify it.
+//!
+//! # Quick start
+//!
+//! ```
+//! use qagview_lattice::AnswerSetBuilder;
+//! use qagview_core::Summarizer;
+//!
+//! let mut b = AnswerSetBuilder::new(vec!["genre".into(), "who".into()]);
+//! b.push(&["adventure", "student"], 4.5).unwrap();
+//! b.push(&["adventure", "coder"], 4.3).unwrap();
+//! b.push(&["romance", "student"], 2.0).unwrap();
+//! b.push(&["romance", "coder"], 1.5).unwrap();
+//! let answers = b.finish().unwrap();
+//!
+//! let summarizer = Summarizer::new(&answers, 2).unwrap(); // L = 2
+//! let solution = summarizer.hybrid(1, 0).unwrap();        // k = 1, D = 0
+//! // One cluster (adventure, *) summarizes both top answers.
+//! assert_eq!(solution.clusters.len(), 1);
+//! assert_eq!(answers.pattern_to_string(&solution.clusters[0].pattern),
+//!            "(adventure, *)");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bottom_up;
+pub mod brute_force;
+pub mod delta;
+pub mod fixed_order;
+pub mod hybrid;
+pub mod kmodes;
+pub mod minsize;
+pub mod params;
+pub mod solution;
+pub mod summarizer;
+pub mod working;
+
+pub use bottom_up::{bottom_up, run_phases, BottomUpOptions, BottomUpStart};
+pub use brute_force::{brute_force, BruteForceOptions};
+pub use delta::DeltaCache;
+pub use fixed_order::{fixed_order, fixed_order_phase, Seeding};
+pub use hybrid::{hybrid, hybrid_with, DEFAULT_POOL_FACTOR};
+pub use kmodes::{covering_pattern, kmodes, KModesResult};
+pub use minsize::min_size_greedy;
+pub use params::Params;
+pub use solution::{Solution, SolutionCluster};
+pub use summarizer::Summarizer;
+pub use working::{greedy_apply, EvalMode, Evaluator, GreedyRule, MergeSpec, WorkingSet};

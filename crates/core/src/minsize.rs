@@ -1,0 +1,149 @@
+//! The Min-Size alternative objective (paper footnote 5).
+//!
+//! Instead of maximizing the covered average, Min-Size minimizes the number
+//! of *redundant* elements — covered tuples outside the top-`L` — subject to
+//! the same feasibility constraints. The paper investigated and set aside
+//! this objective ("may miss some interesting global properties … less
+//! useful for summarization"); it is provided here as an extension so the
+//! comparison can be reproduced.
+
+use crate::params::Params;
+use crate::solution::Solution;
+use crate::working::{MergeSpec, WorkingSet};
+use qagview_common::Result;
+use qagview_lattice::{AnswerSet, CandId, CandidateIndex};
+
+/// Marginal redundancy of absorbing candidate `id`: how many *new* covered
+/// tuples fall outside the top-`L`.
+fn marginal_redundant(w: &WorkingSet<'_>, id: CandId, l: usize) -> usize {
+    w.index()
+        .info(id)
+        .cov
+        .iter()
+        .filter(|&&t| (t as usize) >= l && !w.is_tuple_covered(t))
+        .count()
+}
+
+/// Pick and apply the pair merge minimizing added redundancy (ties: higher
+/// resulting average, then smaller LCA pattern).
+fn greedy_min_size_step(
+    w: &mut WorkingSet<'_>,
+    pairs: &[(usize, usize)],
+    l: usize,
+) -> Result<bool> {
+    let mut best: Option<(usize, f64, qagview_lattice::Pattern, MergeSpec)> = None;
+    for &(i, j) in pairs {
+        let lca = w.pattern(i).lca(w.pattern(j));
+        let lca_id = w.index().require(&lca)?;
+        let redundant = marginal_redundant(w, lca_id, l);
+        let (dsum, dcnt) = w.marginal_naive(lca_id);
+        let avg = w.avg_after(dsum, dcnt);
+        let better = match &best {
+            None => true,
+            Some((br, bavg, bpat, _)) => {
+                redundant < *br
+                    || (redundant == *br
+                        && (avg > *bavg
+                            || (avg == *bavg
+                                && lca.cmp_for_ties(bpat) == std::cmp::Ordering::Less)))
+            }
+        };
+        if better {
+            best = Some((redundant, avg, lca, MergeSpec::Pair(i, j)));
+        }
+    }
+    match best {
+        None => Ok(false),
+        Some((_, _, _, spec)) => {
+            w.apply_merge(spec)?;
+            Ok(true)
+        }
+    }
+}
+
+/// Greedy Min-Size summarization: Bottom-Up's phase structure with the
+/// redundancy-minimizing greedy rule.
+pub fn min_size_greedy(
+    answers: &AnswerSet,
+    index: &CandidateIndex,
+    params: &Params,
+) -> Result<Solution> {
+    params.validate(answers)?;
+    crate::bottom_up::check_index(index, params)?;
+    let mut w = WorkingSet::with_top_l_singletons(answers, index)?;
+    loop {
+        let pairs = w.violating_pairs(params.d);
+        if pairs.is_empty() {
+            break;
+        }
+        if !greedy_min_size_step(&mut w, &pairs, params.l)? {
+            break;
+        }
+    }
+    while w.len() > params.k {
+        let pairs = w.all_pairs();
+        if !greedy_min_size_step(&mut w, &pairs, params.l)? {
+            break;
+        }
+    }
+    Ok(w.to_solution())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::{bottom_up, BottomUpOptions};
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        b.push(&["x", "p", "1"], 9.0).unwrap();
+        b.push(&["x", "q", "1"], 8.0).unwrap();
+        b.push(&["y", "p", "2"], 7.0).unwrap();
+        b.push(&["y", "q", "2"], 6.0).unwrap();
+        b.push(&["x", "p", "2"], 2.0).unwrap();
+        b.push(&["z", "q", "1"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn setup(l: usize) -> (AnswerSet, CandidateIndex) {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, l).unwrap();
+        (s, idx)
+    }
+
+    #[test]
+    fn feasible_across_grid() {
+        let (s, idx) = setup(4);
+        for d in 0..=3 {
+            for k in 1..=4 {
+                let params = Params::new(k, 4, d);
+                let sol = min_size_greedy(&s, &idx, &params).unwrap();
+                sol.verify(&s, &params).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn picks_up_no_more_redundancy_than_max_avg_here() {
+        let (s, idx) = setup(4);
+        let params = Params::new(2, 4, 0);
+        let ms = min_size_greedy(&s, &idx, &params).unwrap();
+        let ma = bottom_up(&s, &idx, &params, BottomUpOptions::default()).unwrap();
+        assert!(
+            ms.redundant(4) <= ma.redundant(4),
+            "min-size {} > max-avg {}",
+            ms.redundant(4),
+            ma.redundant(4)
+        );
+    }
+
+    #[test]
+    fn no_merges_needed_keeps_singletons() {
+        let (s, idx) = setup(3);
+        let params = Params::new(3, 3, 0);
+        let sol = min_size_greedy(&s, &idx, &params).unwrap();
+        assert_eq!(sol.len(), 3);
+        assert_eq!(sol.redundant(3), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Summarization parameters `(k, L, D)` — the user-facing knobs of Def. 4.1.
+
+use qagview_common::{QagError, Result};
+use qagview_lattice::AnswerSet;
+
+/// The three input parameters of the optimization problem (Def. 4.1):
+///
+/// * `k` — maximum number of clusters displayed,
+/// * `l` — the top-`L` original answers that must be covered,
+/// * `d` — minimum pairwise distance between chosen clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Params {
+    /// Size constraint `k ≥ 1`.
+    pub k: usize,
+    /// Coverage constraint `1 ≤ L ≤ n`.
+    pub l: usize,
+    /// Distance constraint `0 ≤ D ≤ m`.
+    pub d: usize,
+}
+
+impl Params {
+    /// Construct parameters.
+    pub fn new(k: usize, l: usize, d: usize) -> Self {
+        Params { k, l, d }
+    }
+
+    /// Validate against a concrete answer relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QagError::InvalidParameter`] when any constraint cannot be
+    /// interpreted: `k == 0`, `l` outside `1..=n`, or `d > m` (two clusters
+    /// can never be more than `m` apart, so `d > m` forces `|O| ≤ 1` — a
+    /// degenerate request we reject rather than silently satisfy).
+    pub fn validate(&self, answers: &AnswerSet) -> Result<()> {
+        if self.k == 0 {
+            return Err(QagError::param("size constraint k must be at least 1"));
+        }
+        if self.l == 0 || self.l > answers.len() {
+            return Err(QagError::param(format!(
+                "coverage constraint L={} must be in 1..={}",
+                self.l,
+                answers.len()
+            )));
+        }
+        if self.d > answers.arity() {
+            return Err(QagError::param(format!(
+                "distance constraint D={} exceeds the number of attributes m={}",
+                self.d,
+                answers.arity()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "y"], 2.0).unwrap();
+        b.push(&["x", "z"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_params() {
+        let s = answers();
+        assert!(Params::new(1, 1, 0).validate(&s).is_ok());
+        assert!(Params::new(4, 2, 2).validate(&s).is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(Params::new(0, 1, 0).validate(&answers()).is_err());
+    }
+
+    #[test]
+    fn rejects_l_out_of_range() {
+        let s = answers();
+        assert!(Params::new(1, 0, 0).validate(&s).is_err());
+        assert!(Params::new(1, 3, 0).validate(&s).is_err());
+    }
+
+    #[test]
+    fn rejects_d_above_arity() {
+        assert!(Params::new(1, 1, 3).validate(&answers()).is_err());
+    }
+}

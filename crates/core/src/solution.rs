@@ -1,0 +1,344 @@
+//! Finished solutions: the two-layer output of the framework.
+
+use crate::params::Params;
+use qagview_common::{FixedBitSet, QagError, Result};
+use qagview_lattice::{is_antichain, AnswerSet, Pattern, TupleId};
+use std::fmt::Write as _;
+
+/// One chosen cluster with its second-layer contents (paper Fig. 1b/1c).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionCluster {
+    /// The first-layer pattern shown to the user.
+    pub pattern: Pattern,
+    /// Ids (= ranks − 1) of *all* tuples of `S` covered by this cluster,
+    /// ascending. May include "redundant" tuples outside the top-`L`.
+    pub members: Vec<TupleId>,
+    /// Sum of member scores.
+    pub sum: f64,
+}
+
+impl SolutionCluster {
+    /// Average score of the cluster's members (`avg(C)`, §4.1).
+    pub fn avg(&self) -> f64 {
+        if self.members.is_empty() {
+            0.0
+        } else {
+            self.sum / self.members.len() as f64
+        }
+    }
+}
+
+/// A complete solution `O`: the chosen clusters plus the Max-Avg objective
+/// bookkeeping over their *union* coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Chosen clusters, sorted by descending cluster average (display order).
+    pub clusters: Vec<SolutionCluster>,
+    /// Number of distinct tuples covered by the union of clusters.
+    pub covered: usize,
+    /// Sum of scores over the union (each tuple counted once — Def. 4.1).
+    pub sum: f64,
+}
+
+impl Solution {
+    /// The Max-Avg objective `avg(O)`: average score of the union coverage.
+    pub fn avg(&self) -> f64 {
+        if self.covered == 0 {
+            0.0
+        } else {
+            self.sum / self.covered as f64
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the solution has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster patterns, in display order.
+    pub fn patterns(&self) -> Vec<Pattern> {
+        self.clusters.iter().map(|c| c.pattern.clone()).collect()
+    }
+
+    /// Count of covered tuples outside the top-`L` — the "redundant"
+    /// elements the Min-Size objective (footnote 5) minimizes.
+    pub fn redundant(&self, l: usize) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.clusters {
+            for &t in &c.members {
+                if t as usize >= l {
+                    seen.insert(t);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Verify every feasibility condition of Def. 4.1 against `answers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QagError::Internal`] naming the violated condition; used
+    /// pervasively by tests and debug assertions.
+    pub fn verify(&self, answers: &AnswerSet, params: &Params) -> Result<()> {
+        // (1) Size.
+        if self.clusters.len() > params.k {
+            return Err(QagError::internal(format!(
+                "size violation: {} clusters > k={}",
+                self.clusters.len(),
+                params.k
+            )));
+        }
+        // (2) Coverage of the top-L.
+        let mut covered = FixedBitSet::new(answers.len());
+        for c in &self.clusters {
+            for &t in &c.members {
+                covered.insert(t as usize);
+            }
+        }
+        for t in 0..params.l {
+            if !covered.contains(t) {
+                return Err(QagError::internal(format!(
+                    "coverage violation: top-L tuple at rank {} uncovered",
+                    t + 1
+                )));
+            }
+        }
+        // (3) Distance.
+        let patterns = self.patterns();
+        for (i, a) in patterns.iter().enumerate() {
+            for b in &patterns[i + 1..] {
+                let dist = a.distance(b);
+                if dist < params.d {
+                    return Err(QagError::internal(format!(
+                        "distance violation: d({}, {}) = {dist} < D={}",
+                        answers.pattern_to_string(a),
+                        answers.pattern_to_string(b),
+                        params.d
+                    )));
+                }
+            }
+        }
+        // (4) Incomparability.
+        if !is_antichain(&patterns) {
+            return Err(QagError::internal(
+                "incomparability violation: not an antichain",
+            ));
+        }
+        // Bookkeeping consistency: members must actually be covered, and the
+        // union statistics must match.
+        let mut union_sum = 0.0;
+        let mut union_cnt = 0usize;
+        let mut seen = FixedBitSet::new(answers.len());
+        for c in &self.clusters {
+            let mut sum = 0.0;
+            for &t in &c.members {
+                if !c.pattern.covers_tuple(answers.tuple(t)) {
+                    return Err(QagError::internal(format!(
+                        "member {} not covered by its cluster pattern",
+                        t
+                    )));
+                }
+                sum += answers.val(t);
+                if seen.insert(t as usize) {
+                    union_sum += answers.val(t);
+                    union_cnt += 1;
+                }
+            }
+            if (sum - c.sum).abs() > 1e-6 {
+                return Err(QagError::internal("cluster sum bookkeeping mismatch"));
+            }
+        }
+        if union_cnt != self.covered || (union_sum - self.sum).abs() > 1e-6 {
+            return Err(QagError::internal("union coverage bookkeeping mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Render the two-layer view of Fig. 1b/1c: each cluster row followed by
+    /// (optionally) its member tuples with ranks.
+    pub fn render(&self, answers: &AnswerSet, expand: bool) -> String {
+        let mut out = String::new();
+        let header = answers.attr_names().join(" | ");
+        let _ = writeln!(out, "{header} | avg val");
+        for c in &self.clusters {
+            let _ = writeln!(
+                out,
+                "{} | {:.2}  [{} tuples]",
+                answers.pattern_to_string(&c.pattern),
+                c.avg(),
+                c.members.len()
+            );
+            if expand {
+                for &t in &c.members {
+                    let row: Vec<&str> = (0..answers.arity())
+                        .map(|i| answers.code_text(i, answers.tuple(t)[i]))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "    {} | {:.2} | rank {}",
+                        row.join(", "),
+                        answers.val(t),
+                        t + 1
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "overall avg = {:.4} over {} tuples",
+            self.avg(),
+            self.covered
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::{AnswerSetBuilder, STAR};
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 4.0).unwrap();
+        b.push(&["x", "q"], 3.0).unwrap();
+        b.push(&["y", "p"], 2.0).unwrap();
+        b.push(&["y", "q"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn cluster(answers: &AnswerSet, slots: Vec<u32>) -> SolutionCluster {
+        let pattern = Pattern::new(slots);
+        let (members, sum) = answers.scan_coverage(&pattern);
+        SolutionCluster {
+            pattern,
+            members,
+            sum,
+        }
+    }
+
+    fn x_star_solution(s: &AnswerSet) -> Solution {
+        let x = s.code_of(0, "x").unwrap();
+        let c = cluster(s, vec![x, STAR]);
+        let covered = c.members.len();
+        let sum = c.sum;
+        Solution {
+            clusters: vec![c],
+            covered,
+            sum,
+        }
+    }
+
+    #[test]
+    fn avg_is_union_average() {
+        let s = answers();
+        let sol = x_star_solution(&s);
+        assert_eq!(sol.covered, 2);
+        assert!((sol.avg() - 3.5).abs() < 1e-12);
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn verify_accepts_feasible() {
+        let s = answers();
+        let sol = x_star_solution(&s);
+        sol.verify(&s, &Params::new(1, 2, 0)).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_size_violation() {
+        let s = answers();
+        let x = s.code_of(0, "x").unwrap();
+        let y = s.code_of(0, "y").unwrap();
+        let c1 = cluster(&s, vec![x, STAR]);
+        let c2 = cluster(&s, vec![y, STAR]);
+        let covered = 4;
+        let sum = 10.0;
+        let sol = Solution {
+            clusters: vec![c1, c2],
+            covered,
+            sum,
+        };
+        let err = sol.verify(&s, &Params::new(1, 2, 0)).unwrap_err();
+        assert!(err.to_string().contains("size violation"));
+    }
+
+    #[test]
+    fn verify_rejects_uncovered_top_l() {
+        let s = answers();
+        let sol = x_star_solution(&s);
+        let err = sol.verify(&s, &Params::new(1, 3, 0)).unwrap_err();
+        assert!(err.to_string().contains("coverage violation"));
+    }
+
+    #[test]
+    fn verify_rejects_distance_violation() {
+        let s = answers();
+        let x = s.code_of(0, "x").unwrap();
+        let p = s.code_of(1, "p").unwrap();
+        let q = s.code_of(1, "q").unwrap();
+        let c1 = cluster(&s, vec![x, p]);
+        let c2 = cluster(&s, vec![x, q]);
+        let sum = c1.sum + c2.sum;
+        let sol = Solution {
+            clusters: vec![c1, c2],
+            covered: 2,
+            sum,
+        };
+        // d = 1 (only attribute b differs) < D = 2.
+        let err = sol.verify(&s, &Params::new(2, 2, 2)).unwrap_err();
+        assert!(err.to_string().contains("distance violation"));
+    }
+
+    #[test]
+    fn verify_rejects_comparable_clusters() {
+        let s = answers();
+        let x = s.code_of(0, "x").unwrap();
+        let p = s.code_of(1, "p").unwrap();
+        let c1 = cluster(&s, vec![x, STAR]);
+        let c2 = cluster(&s, vec![x, p]);
+        let covered = 2;
+        let sum = 7.0;
+        let sol = Solution {
+            clusters: vec![c1, c2],
+            covered,
+            sum,
+        };
+        let err = sol.verify(&s, &Params::new(2, 2, 0)).unwrap_err();
+        assert!(err.to_string().contains("antichain"));
+    }
+
+    #[test]
+    fn verify_rejects_bad_bookkeeping() {
+        let s = answers();
+        let mut sol = x_star_solution(&s);
+        sol.sum += 1.0;
+        assert!(sol.verify(&s, &Params::new(1, 2, 0)).is_err());
+    }
+
+    #[test]
+    fn redundant_counts_tuples_outside_top_l() {
+        let s = answers();
+        let sol = x_star_solution(&s);
+        assert_eq!(sol.redundant(1), 1); // rank-2 tuple is redundant for L=1
+        assert_eq!(sol.redundant(2), 0);
+    }
+
+    #[test]
+    fn render_contains_patterns_and_ranks() {
+        let s = answers();
+        let sol = x_star_solution(&s);
+        let collapsed = sol.render(&s, false);
+        assert!(collapsed.contains("(x, *)"));
+        assert!(!collapsed.contains("rank"));
+        let expanded = sol.render(&s, true);
+        assert!(expanded.contains("rank 1"));
+        assert!(expanded.contains("rank 2"));
+    }
+}

@@ -1,0 +1,201 @@
+//! High-level facade over the summarization algorithms.
+
+use crate::bottom_up::{bottom_up, BottomUpOptions};
+use crate::brute_force::{brute_force, BruteForceOptions};
+use crate::fixed_order::{fixed_order, Seeding};
+use crate::hybrid::{hybrid_with, DEFAULT_POOL_FACTOR};
+use crate::minsize::min_size_greedy;
+use crate::params::Params;
+use crate::solution::{Solution, SolutionCluster};
+use crate::working::EvalMode;
+use qagview_common::Result;
+use qagview_lattice::{AnswerSet, CandidateIndex, Pattern};
+
+/// One-stop entry point: owns the candidate index for a fixed `(S, L)` and
+/// dispatches to the algorithms of §5.
+///
+/// Building the index is the paper's per-query "initialization" step
+/// (Fig. 6g); reusing a `Summarizer` across `(k, D)` choices amortizes it
+/// exactly as the prototype does.
+#[derive(Debug)]
+pub struct Summarizer<'a> {
+    answers: &'a AnswerSet,
+    index: CandidateIndex,
+}
+
+impl<'a> Summarizer<'a> {
+    /// Build the candidate index for coverage level `l` (the §6.3 optimized
+    /// path).
+    pub fn new(answers: &'a AnswerSet, l: usize) -> Result<Self> {
+        Ok(Summarizer {
+            answers,
+            index: CandidateIndex::build(answers, l)?,
+        })
+    }
+
+    /// Use a pre-built index (e.g. the naive-build ablation).
+    pub fn with_index(answers: &'a AnswerSet, index: CandidateIndex) -> Self {
+        Summarizer { answers, index }
+    }
+
+    /// The underlying answer relation.
+    pub fn answers(&self) -> &'a AnswerSet {
+        self.answers
+    }
+
+    /// The candidate index (shared with `qagview-interactive`).
+    pub fn index(&self) -> &CandidateIndex {
+        &self.index
+    }
+
+    /// The coverage level `L` this summarizer serves.
+    pub fn l(&self) -> usize {
+        self.index.l()
+    }
+
+    fn params(&self, k: usize, d: usize) -> Params {
+        Params::new(k, self.index.l(), d)
+    }
+
+    /// Bottom-Up (Algorithm 1) with default options.
+    pub fn bottom_up(&self, k: usize, d: usize) -> Result<Solution> {
+        bottom_up(
+            self.answers,
+            &self.index,
+            &self.params(k, d),
+            BottomUpOptions::default(),
+        )
+    }
+
+    /// Bottom-Up with explicit options (variants / eval mode).
+    pub fn bottom_up_with(&self, k: usize, d: usize, opts: BottomUpOptions) -> Result<Solution> {
+        bottom_up(self.answers, &self.index, &self.params(k, d), opts)
+    }
+
+    /// Fixed-Order (Algorithm 3), plain.
+    pub fn fixed_order(&self, k: usize, d: usize) -> Result<Solution> {
+        fixed_order(
+            self.answers,
+            &self.index,
+            &self.params(k, d),
+            Seeding::None,
+            EvalMode::Delta,
+        )
+    }
+
+    /// Fixed-Order with a seeding variant.
+    pub fn fixed_order_with(&self, k: usize, d: usize, seeding: Seeding) -> Result<Solution> {
+        fixed_order(
+            self.answers,
+            &self.index,
+            &self.params(k, d),
+            seeding,
+            EvalMode::Delta,
+        )
+    }
+
+    /// Hybrid (§5.3) with the default pool factor `c = 2`.
+    pub fn hybrid(&self, k: usize, d: usize) -> Result<Solution> {
+        hybrid_with(
+            self.answers,
+            &self.index,
+            &self.params(k, d),
+            DEFAULT_POOL_FACTOR,
+            EvalMode::Delta,
+        )
+    }
+
+    /// Hybrid with an explicit pool factor.
+    pub fn hybrid_with(&self, k: usize, d: usize, c: usize) -> Result<Solution> {
+        hybrid_with(
+            self.answers,
+            &self.index,
+            &self.params(k, d),
+            c,
+            EvalMode::Delta,
+        )
+    }
+
+    /// Exact brute-force reference (exponential; small instances only).
+    pub fn brute_force(&self, k: usize, d: usize) -> Result<Solution> {
+        brute_force(
+            self.answers,
+            &self.index,
+            &self.params(k, d),
+            BruteForceOptions::default(),
+        )
+    }
+
+    /// Min-Size greedy (footnote-5 alternative objective).
+    pub fn min_size(&self, k: usize, d: usize) -> Result<Solution> {
+        min_size_greedy(self.answers, &self.index, &self.params(k, d))
+    }
+
+    /// The trivial feasible solution — a single all-`∗` cluster — whose
+    /// average is the paper's "Lower Bound" baseline.
+    pub fn trivial(&self) -> Solution {
+        let pattern = Pattern::all_star(self.answers.arity());
+        let (members, sum) = self.answers.scan_coverage(&pattern);
+        let covered = members.len();
+        Solution {
+            clusters: vec![SolutionCluster {
+                pattern,
+                members,
+                sum,
+            }],
+            covered,
+            sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 4.0).unwrap();
+        b.push(&["x", "q"], 3.0).unwrap();
+        b.push(&["y", "p"], 2.0).unwrap();
+        b.push(&["y", "q"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dispatches_all_algorithms() {
+        let s = answers();
+        let sm = Summarizer::new(&s, 2).unwrap();
+        assert_eq!(sm.l(), 2);
+        let params = Params::new(2, 2, 1);
+        for sol in [
+            sm.bottom_up(2, 1).unwrap(),
+            sm.fixed_order(2, 1).unwrap(),
+            sm.hybrid(2, 1).unwrap(),
+            sm.brute_force(2, 1).unwrap(),
+            sm.min_size(2, 1).unwrap(),
+        ] {
+            sol.verify(&s, &params).unwrap();
+        }
+    }
+
+    #[test]
+    fn trivial_solution_covers_everything() {
+        let s = answers();
+        let sm = Summarizer::new(&s, 2).unwrap();
+        let t = sm.trivial();
+        assert_eq!(t.covered, 4);
+        assert!((t.avg() - 2.5).abs() < 1e-12);
+        t.verify(&s, &Params::new(1, 2, 0)).unwrap();
+    }
+
+    #[test]
+    fn with_index_accepts_naive_build() {
+        let s = answers();
+        let idx = CandidateIndex::build_naive(&s, 2).unwrap();
+        let sm = Summarizer::with_index(&s, idx);
+        let sol = sm.hybrid(1, 0).unwrap();
+        sol.verify(&s, &Params::new(1, 2, 0)).unwrap();
+    }
+}

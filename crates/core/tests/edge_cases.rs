@@ -1,0 +1,173 @@
+//! Edge cases and failure injection for the summarization pipeline.
+
+use qagview_core::{EvalMode, Params, Summarizer};
+use qagview_lattice::{AnswerSet, AnswerSetBuilder, CandidateIndex};
+
+fn single_tuple() -> AnswerSet {
+    let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+    b.push(&["x", "y"], 5.0).unwrap();
+    b.finish().unwrap()
+}
+
+fn flat_values(n: usize) -> AnswerSet {
+    let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+    for i in 0..n {
+        b.push(&[&format!("x{i}"), &format!("y{i}")], 1.0).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+#[test]
+fn single_tuple_relation() {
+    let s = single_tuple();
+    let sm = Summarizer::new(&s, 1).unwrap();
+    for (k, d) in [(1, 0), (1, 2), (3, 1)] {
+        let sol = sm.hybrid(k, d).unwrap();
+        assert_eq!(sol.len(), 1);
+        assert_eq!(sol.covered, 1);
+        assert!((sol.avg() - 5.0).abs() < 1e-12);
+        sol.verify(&s, &Params::new(k, 1, d)).unwrap();
+    }
+    // Brute force agrees.
+    assert!((sm.brute_force(1, 0).unwrap().avg() - 5.0).abs() < 1e-12);
+}
+
+#[test]
+fn all_equal_values_any_feasible_solution_is_optimal() {
+    let s = flat_values(6);
+    let sm = Summarizer::new(&s, 4).unwrap();
+    for d in 0..=2 {
+        for k in 1..=4 {
+            let sol = sm.hybrid(k, d).unwrap();
+            sol.verify(&s, &Params::new(k, 4, d)).unwrap();
+            assert!(
+                (sol.avg() - 1.0).abs() < 1e-12,
+                "flat values: avg must be 1.0"
+            );
+        }
+    }
+}
+
+#[test]
+fn maximal_distance_forces_single_cluster_or_full_stars() {
+    // D = m: any two clusters must disagree/star everywhere.
+    let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+    b.push(&["x", "p"], 4.0).unwrap();
+    b.push(&["x", "q"], 3.0).unwrap();
+    b.push(&["y", "p"], 2.0).unwrap();
+    let s = b.finish().unwrap();
+    let sm = Summarizer::new(&s, 3).unwrap();
+    let sol = sm.bottom_up(3, 2).unwrap();
+    sol.verify(&s, &Params::new(3, 3, 2)).unwrap();
+    // Pairs sharing a concrete value (distance 1) cannot co-exist.
+    for (i, a) in sol.clusters.iter().enumerate() {
+        for bcl in &sol.clusters[i + 1..] {
+            assert!(a.pattern.distance(&bcl.pattern) >= 2);
+        }
+    }
+}
+
+#[test]
+fn k_exceeding_l_keeps_singletons() {
+    let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+    for i in 0..5 {
+        b.push(&[&format!("v{i}")], 5.0 - i as f64).unwrap();
+    }
+    let s = b.finish().unwrap();
+    let sm = Summarizer::new(&s, 2).unwrap();
+    let sol = sm.bottom_up(5, 0).unwrap();
+    // k=5 >= L=2 and D=0: the top-2 singletons are optimal per §4.3 (1).
+    assert_eq!(sol.len(), 2);
+    assert!((sol.avg() - 4.5).abs() < 1e-12);
+}
+
+#[test]
+fn value_ties_are_deterministic() {
+    let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+    // Many ties across the ranking.
+    for (i, v) in [3.0, 3.0, 3.0, 2.0, 2.0, 1.0].iter().enumerate() {
+        b.push(&[&format!("x{}", i % 3), &format!("y{i}")], *v)
+            .unwrap();
+    }
+    let s = b.finish().unwrap();
+    let sm = Summarizer::new(&s, 4).unwrap();
+    let first = sm.hybrid(2, 1).unwrap();
+    for _ in 0..5 {
+        let again = sm.hybrid(2, 1).unwrap();
+        assert_eq!(first.patterns(), again.patterns());
+    }
+}
+
+#[test]
+fn l_equal_to_n_covers_everything() {
+    let s = flat_values(5);
+    let sm = Summarizer::new(&s, 5).unwrap();
+    let sol = sm.hybrid(2, 0).unwrap();
+    sol.verify(&s, &Params::new(2, 5, 0)).unwrap();
+    assert_eq!(sol.covered, 5);
+}
+
+#[test]
+fn mismatched_index_and_params_rejected() {
+    let s = flat_values(5);
+    let index = CandidateIndex::build(&s, 3).unwrap();
+    let params = Params::new(2, 4, 0); // L=4 but index built for L=3
+    assert!(qagview_core::bottom_up(&s, &index, &params, Default::default()).is_err());
+    assert!(qagview_core::fixed_order(
+        &s,
+        &index,
+        &params,
+        qagview_core::Seeding::None,
+        EvalMode::Delta
+    )
+    .is_err());
+    assert!(qagview_core::hybrid(&s, &index, &params, EvalMode::Delta).is_err());
+}
+
+#[test]
+fn invalid_parameters_rejected_uniformly() {
+    let s = flat_values(5);
+    let sm = Summarizer::new(&s, 3).unwrap();
+    assert!(sm.hybrid(0, 0).is_err(), "k = 0");
+    assert!(sm.hybrid(2, 3).is_err(), "D > m");
+    assert!(Summarizer::new(&s, 0).is_err(), "L = 0");
+    assert!(Summarizer::new(&s, 6).is_err(), "L > n");
+}
+
+#[test]
+fn corrupted_solutions_detected() {
+    // Failure injection: hand-tamper each feasibility dimension and check
+    // `verify` flags it.
+    let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+    b.push(&["x", "p"], 4.0).unwrap();
+    b.push(&["x", "q"], 3.0).unwrap();
+    b.push(&["y", "p"], 2.0).unwrap();
+    b.push(&["y", "q"], 1.0).unwrap();
+    let s = b.finish().unwrap();
+    let sm = Summarizer::new(&s, 2).unwrap();
+    let good = sm.hybrid(2, 1).unwrap();
+    good.verify(&s, &Params::new(2, 2, 1)).unwrap();
+
+    // (1) size violation
+    assert!(good.verify(&s, &Params::new(1, 2, 1)).is_err() || good.len() <= 1);
+    // (2) coverage violation: demand more coverage than provided
+    let res = good.verify(&s, &Params::new(2, 4, 1));
+    if good.covered < 4 {
+        assert!(res.is_err());
+    }
+    // (3) membership tampering
+    let mut tampered = good.clone();
+    if let Some(c) = tampered.clusters.first_mut() {
+        c.sum += 10.0;
+    }
+    assert!(tampered.verify(&s, &Params::new(2, 2, 1)).is_err());
+    // (4) member-list tampering: claim a tuple the pattern does not cover
+    let mut tampered = good;
+    if let Some(c) = tampered.clusters.first_mut() {
+        let foreign = (0..4u32)
+            .find(|&t| !c.pattern.covers_tuple(s.tuple(t)))
+            .expect("some uncovered tuple exists");
+        c.members.push(foreign);
+    }
+    assert!(tampered.verify(&s, &Params::new(2, 2, 1)).is_err());
+}

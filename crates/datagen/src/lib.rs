@@ -1,0 +1,31 @@
+//! Seeded synthetic datasets reproducing the paper's experimental workloads.
+//!
+//! The paper evaluates on two datasets we cannot redistribute:
+//!
+//! * **MovieLens 100K** (§7.1–§7.3, §8) — joined and materialized into a
+//!   33-attribute universal "RatingTable". [`movielens`] generates a
+//!   schema-compatible table with the same shape (user demographics ×
+//!   movie genres/periods × ratings) and *planted high-value patterns* so
+//!   that the qualitative behaviour of Example 1.1 — e.g. male students in
+//!   their 20s rating adventure movies of 1975–85 highly while similar
+//!   groups rate 1995 movies poorly — reproduces.
+//! * **TPC-DS `store_sales`** (§7.4) — a 23-attribute fact table.
+//!   [`tpcds`] generates a scaled-down equivalent with Zipfian categorical
+//!   domains and a net-profit score.
+//!
+//! For benchmarks that sweep the answer-relation size `N` directly
+//! (Figs. 7–9), [`synthetic`] builds answer relations with exact `n`, `m`,
+//! domain sizes and value skew, skipping the SQL pipeline.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod movielens;
+pub mod synthetic;
+pub mod tpcds;
+
+pub use movielens::MovieLensConfig;
+pub use synthetic::SyntheticConfig;
+pub use tpcds::StoreSalesConfig;

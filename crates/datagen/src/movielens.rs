@@ -1,0 +1,442 @@
+//! MovieLens-100K-like RatingTable generator.
+//!
+//! Mirrors the schema shape the paper materializes (§7: "Each tuple in this
+//! rating table has 33 attributes of three types: binary (e.g., whether or
+//! not the movie is a comedy), numeric (e.g., age of the user), and
+//! categorical (e.g., occupation of the user)") and plants value structure
+//! so Example 1.1's qualitative findings hold on the synthetic data.
+
+use qagview_common::rng::{child_seed, seeded, weighted_index, Zipf};
+use qagview_common::Result;
+use qagview_storage::{Cell, ColumnType, Schema, Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The 19 MovieLens-100K genre flags.
+pub const GENRES: [&str; 19] = [
+    "unknown",
+    "action",
+    "adventure",
+    "animation",
+    "children",
+    "comedy",
+    "crime",
+    "documentary",
+    "drama",
+    "fantasy",
+    "film_noir",
+    "horror",
+    "musical",
+    "mystery",
+    "romance",
+    "sci_fi",
+    "thriller",
+    "war",
+    "western",
+];
+
+/// The 21 MovieLens-100K occupations.
+pub const OCCUPATIONS: [&str; 21] = [
+    "Student",
+    "Programmer",
+    "Engineer",
+    "Educator",
+    "Librarian",
+    "Writer",
+    "Executive",
+    "Administrator",
+    "Artist",
+    "Technician",
+    "Marketing",
+    "Entertainment",
+    "Healthcare",
+    "Scientist",
+    "Lawyer",
+    "Retired",
+    "Salesman",
+    "Doctor",
+    "Homemaker",
+    "Other",
+    "None",
+];
+
+/// US regions used for the synthetic user zip attribute.
+pub const REGIONS: [&str; 5] = ["Northeast", "Southeast", "Midwest", "Southwest", "West"];
+
+/// Weekday names for the rating-timestamp attribute.
+pub const WEEKDAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// Generator configuration; defaults mirror the 100K dataset's scale.
+#[derive(Debug, Clone, Copy)]
+pub struct MovieLensConfig {
+    /// Number of users (MovieLens 100K: 943).
+    pub users: usize,
+    /// Number of movies (MovieLens 100K: 1682).
+    pub movies: usize,
+    /// Number of ratings (MovieLens 100K: 100,000).
+    pub ratings: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for MovieLensConfig {
+    fn default() -> Self {
+        MovieLensConfig {
+            users: 943,
+            movies: 1682,
+            ratings: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+impl MovieLensConfig {
+    /// A small configuration for fast unit tests.
+    pub fn small(seed: u64) -> Self {
+        MovieLensConfig {
+            users: 120,
+            movies: 200,
+            ratings: 8_000,
+            seed,
+        }
+    }
+}
+
+struct User {
+    id: i64,
+    age: i64,
+    gender: &'static str,
+    occupation: &'static str,
+    region: &'static str,
+    premium: bool,
+    /// Personal rating bias.
+    bias: f64,
+}
+
+struct Movie {
+    id: i64,
+    year: i64,
+    genres: [bool; 19],
+    bias: f64,
+}
+
+fn agegrp(age: i64) -> String {
+    format!("{}0s", (age / 10).clamp(1, 7))
+}
+
+fn hdec(year: i64) -> i64 {
+    year - year.rem_euclid(5)
+}
+
+fn decade(year: i64) -> i64 {
+    year - year.rem_euclid(10)
+}
+
+/// The 33-column RatingTable schema.
+pub fn rating_schema() -> Schema {
+    let mut cols: Vec<(String, ColumnType)> = vec![
+        ("user_id".into(), ColumnType::Int),
+        ("movie_id".into(), ColumnType::Int),
+        ("age".into(), ColumnType::Int),
+        ("agegrp".into(), ColumnType::Str),
+        ("gender".into(), ColumnType::Str),
+        ("occupation".into(), ColumnType::Str),
+        ("region".into(), ColumnType::Str),
+        ("premium".into(), ColumnType::Bool),
+        ("year".into(), ColumnType::Int),
+        ("decade".into(), ColumnType::Int),
+        ("hdec".into(), ColumnType::Int),
+        ("month".into(), ColumnType::Int),
+        ("weekday".into(), ColumnType::Str),
+        ("rating".into(), ColumnType::Float),
+    ];
+    for g in GENRES {
+        cols.push((format!("genres_{g}"), ColumnType::Bool));
+    }
+    let refs: Vec<(&str, ColumnType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    Schema::from_pairs(&refs).expect("static schema is valid")
+}
+
+/// The planted rating boost for a (user, movie) pair — the ground-truth
+/// structure the summarization should discover.
+fn planted_boost(user: &User, movie: &Movie, half_decade: i64) -> f64 {
+    let mut boost = 0.0;
+    let adventure = movie.genres[2];
+    let is_20s = (20..30).contains(&user.age);
+    let is_10s = (10..20).contains(&user.age);
+    let techie = matches!(user.occupation, "Student" | "Programmer" | "Engineer");
+    // High-value planted pattern: young male students/programmers love
+    // 1975-1989 adventure movies (Figure 1a's top block).
+    if adventure && user.gender == "M" && (is_20s || is_10s) && techie {
+        if (1975..=1989).contains(&half_decade) {
+            boost += 1.1;
+        }
+        // ... but mid-90s adventure leaves them cold (Figure 1a's bottom
+        // block shares (20s, M) with the top block).
+        if half_decade >= 1995 {
+            boost -= 0.9;
+        }
+    }
+    // Secondary pattern: educators favour documentaries and dramas.
+    if (movie.genres[7] || movie.genres[8]) && user.occupation == "Educator" {
+        boost += 0.5;
+    }
+    // Old westerns age poorly with young viewers.
+    if movie.genres[18] && is_10s {
+        boost -= 0.5;
+    }
+    boost
+}
+
+/// Generate the RatingTable.
+pub fn generate(cfg: &MovieLensConfig) -> Result<Table> {
+    let mut user_rng = seeded(child_seed(cfg.seed, "users"));
+    let mut movie_rng = seeded(child_seed(cfg.seed, "movies"));
+    let mut rating_rng = seeded(child_seed(cfg.seed, "ratings"));
+
+    let users = gen_users(cfg.users, &mut user_rng);
+    let movies = gen_movies(cfg.movies, &mut movie_rng);
+
+    let mut builder = TableBuilder::with_capacity(rating_schema(), cfg.ratings);
+    // Popularity skew: a few movies and users account for most ratings.
+    let user_pick = Zipf::new(users.len(), 0.8);
+    let movie_pick = Zipf::new(movies.len(), 1.0);
+
+    for _ in 0..cfg.ratings {
+        let user = &users[user_pick.sample(&mut rating_rng)];
+        let movie = &movies[movie_pick.sample(&mut rating_rng)];
+        let half_decade = hdec(movie.year);
+        let mean = 3.3 + user.bias + movie.bias + planted_boost(user, movie, half_decade);
+        let noise: f64 = rating_rng.random::<f64>() * 2.0 - 1.0;
+        let rating = (mean + noise).round().clamp(1.0, 5.0);
+        let month = rating_rng.random_range(1..=12i64);
+        let weekday = WEEKDAYS[rating_rng.random_range(0..WEEKDAYS.len())];
+
+        let mut row: Vec<Cell> = vec![
+            Cell::Int(user.id),
+            Cell::Int(movie.id),
+            Cell::Int(user.age),
+            agegrp(user.age).into(),
+            user.gender.into(),
+            user.occupation.into(),
+            user.region.into(),
+            user.premium.into(),
+            Cell::Int(movie.year),
+            Cell::Int(decade(movie.year)),
+            Cell::Int(half_decade),
+            Cell::Int(month),
+            weekday.into(),
+            Cell::Float(rating),
+        ];
+        for g in 0..GENRES.len() {
+            row.push(movie.genres[g].into());
+        }
+        builder.push_row(row)?;
+    }
+    Ok(builder.finish())
+}
+
+fn gen_users(n: usize, rng: &mut StdRng) -> Vec<User> {
+    // Age mixture matching MovieLens' young skew.
+    let age_brackets: [(i64, i64, f64); 6] = [
+        (10, 19, 0.12),
+        (20, 29, 0.40),
+        (30, 39, 0.25),
+        (40, 49, 0.12),
+        (50, 59, 0.08),
+        (60, 73, 0.03),
+    ];
+    let weights: Vec<f64> = age_brackets.iter().map(|b| b.2).collect();
+    // Occupation skew: students dominate.
+    let occ_weights: Vec<f64> = OCCUPATIONS
+        .iter()
+        .map(|&o| match o {
+            "Student" => 5.0,
+            "Programmer" | "Engineer" | "Educator" => 2.5,
+            "Other" => 2.0,
+            _ => 1.0,
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let bracket = age_brackets[weighted_index(rng, &weights)];
+            let age = rng.random_range(bracket.0..=bracket.1);
+            let gender = if rng.random::<f64>() < 0.71 { "M" } else { "F" };
+            let occupation = OCCUPATIONS[weighted_index(rng, &occ_weights)];
+            User {
+                id: i64::try_from(i).expect("user count fits i64") + 1,
+                age,
+                gender,
+                occupation,
+                region: REGIONS[rng.random_range(0..REGIONS.len())],
+                premium: rng.random::<f64>() < 0.2,
+                bias: rng.random::<f64>() * 0.6 - 0.3,
+            }
+        })
+        .collect()
+}
+
+fn gen_movies(n: usize, rng: &mut StdRng) -> Vec<Movie> {
+    // Release years skew modern, matching the 100K dataset.
+    let year_brackets: [(i64, i64, f64); 5] = [
+        (1930, 1959, 0.05),
+        (1960, 1974, 0.10),
+        (1975, 1989, 0.25),
+        (1990, 1994, 0.25),
+        (1995, 1998, 0.35),
+    ];
+    let weights: Vec<f64> = year_brackets.iter().map(|b| b.2).collect();
+    (0..n)
+        .map(|i| {
+            let bracket = year_brackets[weighted_index(rng, &weights)];
+            let year = rng.random_range(bracket.0..=bracket.1);
+            let mut genres = [false; 19];
+            let count = 1
+                + usize::from(rng.random::<f64>() < 0.55)
+                + usize::from(rng.random::<f64>() < 0.2);
+            for _ in 0..count {
+                // Skip "unknown" (index 0) for the main draw.
+                genres[rng.random_range(1..GENRES.len())] = true;
+            }
+            if !genres.iter().any(|&g| g) {
+                genres[0] = true;
+            }
+            Movie {
+                id: i64::try_from(i).expect("movie count fits i64") + 1,
+                year,
+                genres,
+                bias: rng.random::<f64>() * 0.6 - 0.3,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_common::Value;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MovieLensConfig::small(7);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+        for r in [0usize, 100, 4999] {
+            for c in 0..a.schema().arity() {
+                assert_eq!(
+                    a.display_value(r, c),
+                    b.display_value(r, c),
+                    "row {r} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schema_has_33_attributes() {
+        assert_eq!(rating_schema().arity(), 14 + 19);
+        assert_eq!(rating_schema().arity(), 33);
+    }
+
+    #[test]
+    fn ratings_are_in_range() {
+        let t = generate(&MovieLensConfig::small(1)).unwrap();
+        let rating_col = t.schema().index_of("rating").unwrap();
+        for r in 0..t.num_rows() {
+            match t.value(r, rating_col) {
+                Value::Float(x) => assert!((1.0..=5.0).contains(&x), "rating {x}"),
+                other => panic!("unexpected type {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn derived_attributes_consistent() {
+        let t = generate(&MovieLensConfig::small(3)).unwrap();
+        let year_c = t.schema().index_of("year").unwrap();
+        let hdec_c = t.schema().index_of("hdec").unwrap();
+        let dec_c = t.schema().index_of("decade").unwrap();
+        let age_c = t.schema().index_of("age").unwrap();
+        let agegrp_c = t.schema().index_of("agegrp").unwrap();
+        for r in 0..t.num_rows().min(500) {
+            let year = t.value(r, year_c).as_i64().unwrap();
+            assert_eq!(t.value(r, hdec_c).as_i64().unwrap(), hdec(year));
+            assert_eq!(t.value(r, dec_c).as_i64().unwrap(), decade(year));
+            let age = t.value(r, age_c).as_i64().unwrap();
+            assert_eq!(t.display_value(r, agegrp_c), agegrp(age));
+        }
+    }
+
+    #[test]
+    fn planted_pattern_visible_in_aggregates() {
+        // Average adventure rating of young male techies on 1975-89 movies
+        // must exceed that of 1995+ movies by a solid margin.
+        let t = generate(&MovieLensConfig {
+            ratings: 40_000,
+            ..MovieLensConfig::small(5)
+        })
+        .unwrap();
+        let s = t.schema();
+        let (adv, gen, age, occ, year, rating) = (
+            s.index_of("genres_adventure").unwrap(),
+            s.index_of("gender").unwrap(),
+            s.index_of("agegrp").unwrap(),
+            s.index_of("occupation").unwrap(),
+            s.index_of("year").unwrap(),
+            s.index_of("rating").unwrap(),
+        );
+        let mut old = (0.0, 0usize);
+        let mut new = (0.0, 0usize);
+        for r in 0..t.num_rows() {
+            if t.value(r, adv) != Value::Bool(true)
+                || t.display_value(r, gen) != "M"
+                || !matches!(t.display_value(r, age).as_str(), "10s" | "20s")
+                || !matches!(
+                    t.display_value(r, occ).as_str(),
+                    "Student" | "Programmer" | "Engineer"
+                )
+            {
+                continue;
+            }
+            let y = t.value(r, year).as_i64().unwrap();
+            let v = t.value(r, rating).as_f64().unwrap();
+            if (1975..=1989).contains(&y) {
+                old.0 += v;
+                old.1 += 1;
+            } else if y >= 1995 {
+                new.0 += v;
+                new.1 += 1;
+            }
+        }
+        assert!(
+            old.1 > 50 && new.1 > 50,
+            "need data in both periods: {} {}",
+            old.1,
+            new.1
+        );
+        let old_avg = old.0 / old.1 as f64;
+        let new_avg = new.0 / new.1 as f64;
+        assert!(
+            old_avg > new_avg + 0.8,
+            "planted pattern too weak: old {old_avg:.2} vs new {new_avg:.2}"
+        );
+    }
+
+    #[test]
+    fn agegrp_clamps_extremes() {
+        assert_eq!(agegrp(7), "10s");
+        assert_eq!(agegrp(15), "10s");
+        assert_eq!(agegrp(29), "20s");
+        assert_eq!(agegrp(95), "70s");
+    }
+
+    #[test]
+    fn hdec_and_decade_windows() {
+        assert_eq!(hdec(1994), 1990);
+        assert_eq!(hdec(1995), 1995);
+        assert_eq!(hdec(1999), 1995);
+        assert_eq!(decade(1999), 1990);
+        assert_eq!(decade(1980), 1980);
+    }
+}

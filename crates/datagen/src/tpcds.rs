@@ -1,0 +1,212 @@
+//! TPC-DS-like `store_sales` generator (§7.4 scalability workload).
+//!
+//! The paper materializes the Store Sales table ("23 attributes and
+//! 2,880,404 tuples") and aggregates `avg(net_profit)`. This generator
+//! produces a schema-compatible fact table at a configurable scale with
+//! Zipf-skewed categorical dimensions, so the fig-9 experiments exercise the
+//! same answer-relation sizes (`N ≈ 47k` groups) the paper reports.
+
+use qagview_common::rng::{child_seed, seeded, Zipf};
+use qagview_common::Result;
+use qagview_storage::{Cell, ColumnType, Schema, Table, TableBuilder};
+use rand::RngExt;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreSalesConfig {
+    /// Number of fact rows (the paper's table has 2,880,404; the default is
+    /// a 1/10-scale equivalent that preserves group counts via proportional
+    /// domain scaling).
+    pub rows: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for StoreSalesConfig {
+    fn default() -> Self {
+        StoreSalesConfig {
+            rows: 288_040,
+            seed: 7,
+        }
+    }
+}
+
+impl StoreSalesConfig {
+    /// A small configuration for fast unit tests.
+    pub fn small(seed: u64) -> Self {
+        StoreSalesConfig { rows: 20_000, seed }
+    }
+}
+
+/// Categorical dimensions: `(name, domain size, zipf skew)`.
+const DIMENSIONS: [(&str, usize, f64); 16] = [
+    ("store", 60, 0.6),
+    ("item_brand", 400, 1.0),
+    ("item_category", 10, 0.4),
+    ("item_class", 60, 0.7),
+    ("customer_state", 50, 0.8),
+    ("customer_county", 120, 0.9),
+    ("demo_gender", 2, 0.0),
+    ("demo_marital", 5, 0.2),
+    ("demo_education", 7, 0.3),
+    ("demo_credit", 4, 0.2),
+    ("promo", 30, 1.1),
+    ("channel", 4, 0.5),
+    ("quarter", 20, 0.0),
+    ("year", 5, 0.0),
+    ("month", 12, 0.0),
+    ("weekday", 7, 0.0),
+];
+
+/// The 23-column store_sales schema: 16 categorical dimensions plus 7
+/// numeric measures.
+pub fn store_sales_schema() -> Schema {
+    let mut cols: Vec<(String, ColumnType)> = Vec::new();
+    for (name, _, _) in DIMENSIONS {
+        cols.push((name.to_string(), ColumnType::Str));
+    }
+    for name in [
+        "quantity",
+        "wholesale_cost",
+        "list_price",
+        "sales_price",
+        "ext_discount",
+        "net_paid",
+        "net_profit",
+    ] {
+        cols.push((
+            name.to_string(),
+            if name == "quantity" {
+                ColumnType::Int
+            } else {
+                ColumnType::Float
+            },
+        ));
+    }
+    let refs: Vec<(&str, ColumnType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    Schema::from_pairs(&refs).expect("static schema is valid")
+}
+
+/// Generate the store_sales table.
+pub fn generate(cfg: &StoreSalesConfig) -> Result<Table> {
+    let mut rng = seeded(child_seed(cfg.seed, "store_sales"));
+    let samplers: Vec<Zipf> = DIMENSIONS
+        .iter()
+        .map(|&(_, n, a)| Zipf::new(n, a))
+        .collect();
+    // Per-dimension per-value profit bias so group averages vary: brands and
+    // promos carry real signal, calendar attributes carry none.
+    let biases: Vec<Vec<f64>> = DIMENSIONS
+        .iter()
+        .map(|&(name, n, _)| {
+            let strength = match name {
+                "item_brand" | "promo" => 18.0,
+                "item_category" | "store" | "channel" => 9.0,
+                "customer_state" | "demo_education" => 5.0,
+                _ => 0.0,
+            };
+            (0..n)
+                .map(|_| (rng.random::<f64>() - 0.5) * strength)
+                .collect()
+        })
+        .collect();
+
+    let mut builder = TableBuilder::with_capacity(store_sales_schema(), cfg.rows);
+    for _ in 0..cfg.rows {
+        let mut row: Vec<Cell> = Vec::with_capacity(23);
+        let mut profit_mean = 12.0;
+        for (d, sampler) in samplers.iter().enumerate() {
+            let v = sampler.sample(&mut rng);
+            profit_mean += biases[d][v];
+            row.push(format!("{}_{v}", DIMENSIONS[d].0).into());
+        }
+        let quantity = rng.random_range(1..=100i64);
+        let wholesale = rng.random::<f64>() * 80.0 + 2.0;
+        let list = wholesale * (1.2 + rng.random::<f64>() * 1.3);
+        let discount = list * rng.random::<f64>() * 0.4;
+        let sales = (list - discount).max(0.0);
+        let net_paid = sales * quantity as f64;
+        let noise = (rng.random::<f64>() - 0.5) * 60.0;
+        let net_profit = profit_mean + noise + (sales - wholesale) * 0.15;
+        row.push(Cell::Int(quantity));
+        row.push(Cell::Float(wholesale));
+        row.push(Cell::Float(list));
+        row.push(Cell::Float(discount));
+        row.push(Cell::Float(sales));
+        row.push(Cell::Float(net_paid));
+        row.push(Cell::Float(net_profit));
+        builder.push_row(row)?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_23_attributes() {
+        assert_eq!(store_sales_schema().arity(), 23);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = StoreSalesConfig { rows: 500, seed: 3 };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        for r in [0usize, 250, 499] {
+            for c in 0..23 {
+                assert_eq!(a.display_value(r, c), b.display_value(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_shows_in_brand_frequencies() {
+        let t = generate(&StoreSalesConfig {
+            rows: 20_000,
+            seed: 1,
+        })
+        .unwrap();
+        let brand = t.schema().index_of("item_brand").unwrap();
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for r in 0..t.num_rows() {
+            *counts.entry(t.display_value(r, brand)).or_default() += 1;
+        }
+        let top = counts.get("item_brand_0").copied().unwrap_or(0);
+        let tail = counts.get("item_brand_300").copied().unwrap_or(0);
+        assert!(
+            top > tail.max(1) * 5,
+            "expected heavy brand skew: top={top} tail={tail}"
+        );
+    }
+
+    #[test]
+    fn profit_signal_varies_by_brand() {
+        let t = generate(&StoreSalesConfig {
+            rows: 30_000,
+            seed: 2,
+        })
+        .unwrap();
+        let brand = t.schema().index_of("item_brand").unwrap();
+        let profit = t.schema().index_of("net_profit").unwrap();
+        let mut sums: std::collections::HashMap<String, (f64, usize)> = Default::default();
+        for r in 0..t.num_rows() {
+            let e = sums.entry(t.display_value(r, brand)).or_default();
+            e.0 += t.value(r, profit).as_f64().unwrap();
+            e.1 += 1;
+        }
+        let avgs: Vec<f64> = sums
+            .values()
+            .filter(|(_, n)| *n >= 100)
+            .map(|(s, n)| s / *n as f64)
+            .collect();
+        assert!(avgs.len() >= 10, "need enough well-supported brands");
+        let min = avgs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = avgs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max - min > 4.0,
+            "brand profit signal too flat: {min:.1}..{max:.1}"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Hierarchy-aware patterns: clusters whose slots are tree nodes.
+//!
+//! With a concept hierarchy per attribute, a cluster slot is a node of that
+//! attribute's tree: a leaf (concrete value), an internal range (partial
+//! generalization), or the root (the old `∗`). Coverage, distance, and LCA
+//! lift attribute-wise from the base framework:
+//!
+//! * **coverage** — slot `a` covers slot `b` iff `a` is an ancestor-or-self
+//!   of `b`;
+//! * **LCA** — per-attribute tree LCA (Fig. 11's "union of [20,40) and 55
+//!   is [20,60)");
+//! * **distance** — an attribute contributes 1 unless both slots are the
+//!   *same leaf* (matching Def. 3.1, where any `∗` or disagreement counts).
+
+use crate::tree::{ConceptHierarchy, NodeId};
+use qagview_common::{QagError, Result};
+
+/// Per-attribute hierarchies for one relation.
+#[derive(Debug, Clone)]
+pub struct HierarchyContext {
+    trees: Vec<ConceptHierarchy>,
+}
+
+impl HierarchyContext {
+    /// Bundle one hierarchy per attribute.
+    pub fn new(trees: Vec<ConceptHierarchy>) -> Self {
+        HierarchyContext { trees }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The hierarchy of attribute `i`.
+    pub fn tree(&self, i: usize) -> &ConceptHierarchy {
+        &self.trees[i]
+    }
+
+    /// Build a pattern from leaf display values.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the arity mismatches or any value is not a known leaf.
+    pub fn pattern_from_values(&self, values: &[&str]) -> Result<HPattern> {
+        if values.len() != self.trees.len() {
+            return Err(QagError::param("value arity mismatch"));
+        }
+        let slots = values
+            .iter()
+            .zip(&self.trees)
+            .map(|(v, t)| {
+                t.leaf(v)
+                    .ok_or_else(|| QagError::param(format!("unknown leaf `{v}`")))
+            })
+            .collect::<Result<Vec<NodeId>>>()?;
+        Ok(HPattern { slots })
+    }
+
+    /// The all-root pattern (the old all-`∗`).
+    pub fn all_root(&self) -> HPattern {
+        HPattern {
+            slots: self.trees.iter().map(|t| t.root()).collect(),
+        }
+    }
+
+    /// Coverage between patterns.
+    pub fn covers(&self, a: &HPattern, b: &HPattern) -> bool {
+        a.slots
+            .iter()
+            .zip(&b.slots)
+            .zip(&self.trees)
+            .all(|((&x, &y), t)| t.is_ancestor_or_self(x, y))
+    }
+
+    /// Lifted Def. 3.1 distance: attributes where the two patterns do not
+    /// agree on the same *leaf* value.
+    pub fn distance(&self, a: &HPattern, b: &HPattern) -> usize {
+        a.slots
+            .iter()
+            .zip(&b.slots)
+            .zip(&self.trees)
+            .filter(|((&x, &y), t)| {
+                // Same leaf ⇒ agreement; anything else (different nodes, or
+                // an internal/range node on either side) counts.
+                !(x == y && t.leaf_is(x))
+            })
+            .count()
+    }
+
+    /// Attribute-wise LCA — the hierarchy `Merge` (Fig. 11).
+    pub fn lca(&self, a: &HPattern, b: &HPattern) -> HPattern {
+        HPattern {
+            slots: a
+                .slots
+                .iter()
+                .zip(&b.slots)
+                .zip(&self.trees)
+                .map(|((&x, &y), t)| t.lca(x, y))
+                .collect(),
+        }
+    }
+
+    /// Render a pattern with node labels.
+    pub fn to_string(&self, p: &HPattern) -> String {
+        let parts: Vec<&str> = p
+            .slots
+            .iter()
+            .zip(&self.trees)
+            .map(|(&n, t)| t.label(n))
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+impl ConceptHierarchy {
+    /// Whether `node` is a registered leaf.
+    pub fn leaf_is(&self, node: NodeId) -> bool {
+        self.leaf(self.label(node)) == Some(node)
+    }
+}
+
+/// A hierarchy-aware cluster: one tree node per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HPattern {
+    /// One node per attribute, indexed like the context's trees.
+    pub slots: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Age (range tree) × gender (flat) context.
+    fn ctx() -> HierarchyContext {
+        HierarchyContext::new(vec![
+            ConceptHierarchy::range_tree("age", 0, 60, &[10, 30]).unwrap(),
+            ConceptHierarchy::flat("*", &["M", "F"]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn pattern_construction_and_rendering() {
+        let c = ctx();
+        let p = c.pattern_from_values(&["25", "M"]).unwrap();
+        assert_eq!(c.to_string(&p), "(25, M)");
+        assert!(c.pattern_from_values(&["250", "M"]).is_err());
+        assert!(c.pattern_from_values(&["25"]).is_err());
+    }
+
+    #[test]
+    fn lca_generalizes_to_ranges_not_star() {
+        let c = ctx();
+        let a = c.pattern_from_values(&["21", "M"]).unwrap();
+        let b = c.pattern_from_values(&["27", "M"]).unwrap();
+        let l = c.lca(&a, &b);
+        // Ages generalize to the decade range, not to ∗; gender stays M.
+        assert_eq!(c.to_string(&l), "([20,30), M)");
+        assert!(c.covers(&l, &a) && c.covers(&l, &b));
+    }
+
+    #[test]
+    fn lca_across_coarse_buckets() {
+        let c = ctx();
+        let a = c.pattern_from_values(&["5", "F"]).unwrap();
+        let b = c.pattern_from_values(&["25", "M"]).unwrap();
+        let l = c.lca(&a, &b);
+        assert_eq!(c.to_string(&l), "([0,30), *)");
+    }
+
+    #[test]
+    fn coverage_respects_tree() {
+        let c = ctx();
+        let leaf = c.pattern_from_values(&["25", "M"]).unwrap();
+        let range = c.lca(&leaf, &c.pattern_from_values(&["29", "M"]).unwrap());
+        assert!(c.covers(&range, &leaf));
+        assert!(!c.covers(&leaf, &range));
+        let root = c.all_root();
+        assert!(c.covers(&root, &leaf) && c.covers(&root, &range));
+    }
+
+    #[test]
+    fn distance_counts_non_leaf_agreement() {
+        let c = ctx();
+        let a = c.pattern_from_values(&["25", "M"]).unwrap();
+        let b = c.pattern_from_values(&["25", "F"]).unwrap();
+        assert_eq!(c.distance(&a, &b), 1);
+        assert_eq!(c.distance(&a, &a), 0);
+        // A range slot counts even against itself (like ∗ in Def. 3.1).
+        let r = c.lca(&a, &c.pattern_from_values(&["27", "M"]).unwrap());
+        assert_eq!(c.distance(&r, &r), 1);
+        assert_eq!(c.distance(&r, &a), 1);
+        assert_eq!(c.distance(&c.all_root(), &c.all_root()), 2);
+    }
+
+    #[test]
+    fn hierarchy_lca_is_tighter_than_star() {
+        // The whole point of App. A.6: merging 21 and 27 keeps an
+        // informative range where the base framework would emit ∗.
+        let c = ctx();
+        let a = c.pattern_from_values(&["21", "M"]).unwrap();
+        let b = c.pattern_from_values(&["27", "F"]).unwrap();
+        let l = c.lca(&a, &b);
+        assert_eq!(c.to_string(&l), "([20,30), *)");
+        // [20,30) covers fewer leaves than the root would.
+        let tree = c.tree(0);
+        let node = l.slots[0];
+        assert_ne!(node, tree.root());
+    }
+}

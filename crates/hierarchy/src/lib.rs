@@ -1,0 +1,26 @@
+//! Concept hierarchies and range generalization (paper App. A.6).
+//!
+//! The base framework generalizes attribute values straight to the
+//! don't-care `∗`. For numeric attributes (age) and date-like attributes
+//! (release year), the paper's extension introduces a *concept hierarchy*
+//! per attribute — a tree whose leaves are domain values and whose internal
+//! nodes are ranges (Figs. 11–12) — and generalizes to the least common
+//! ancestor in the tree instead of jumping to `∗`.
+//!
+//! * [`tree`] — the hierarchy tree with `O(depth)` LCA.
+//! * [`hpattern`] — hierarchy-aware patterns: per-attribute tree nodes
+//!   instead of `code | ∗`, with coverage, distance, and LCA lifted
+//!   attribute-wise.
+//! * [`summarize`] — the extension executed: Bottom-Up greedy summarization
+//!   over hierarchy-aware patterns (merges produce ranges, not `∗`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hpattern;
+pub mod summarize;
+pub mod tree;
+
+pub use hpattern::{HPattern, HierarchyContext};
+pub use summarize::{bottom_up_hierarchical, HCluster, HSolution, HTuple};
+pub use tree::{ConceptHierarchy, NodeId};

@@ -1,0 +1,352 @@
+//! Hierarchy-aware summarization — the App. A.6 extension executed.
+//!
+//! The paper notes its "framework and algorithms can be extended to more
+//! fine-grained generalizations of values beyond ∗ (by introducing a
+//! concept hierarchy over the domain)". This module lifts the Bottom-Up
+//! greedy (Algorithm 1) onto [`HPattern`]s: `Merge` replaces a pair by its
+//! *tree* LCA — so merging ages 21 and 27 yields the range `[20,30)` rather
+//! than jumping to `∗` — and the coverage, distance, and antichain logic
+//! use the lifted definitions of [`crate::hpattern`].
+//!
+//! Coverage is evaluated by scanning the relation (no 2^m candidate index:
+//! with hierarchies the ancestor set is per-tree, and the instances this
+//! extension targets are the small interactive ones).
+
+use crate::hpattern::{HPattern, HierarchyContext};
+use qagview_common::{FixedBitSet, QagError, Result};
+
+/// One scored tuple of the relation, already expressed as hierarchy leaves.
+#[derive(Debug, Clone)]
+pub struct HTuple {
+    /// Leaf node per attribute.
+    pub leaves: HPattern,
+    /// The tuple's score.
+    pub val: f64,
+}
+
+/// A hierarchy-aware cluster with its coverage statistics.
+#[derive(Debug, Clone)]
+pub struct HCluster {
+    /// The (possibly range-valued) pattern.
+    pub pattern: HPattern,
+    /// Indices of covered tuples, ascending.
+    pub members: Vec<usize>,
+    /// Sum of member scores.
+    pub sum: f64,
+}
+
+impl HCluster {
+    /// Average score of covered tuples.
+    pub fn avg(&self) -> f64 {
+        if self.members.is_empty() {
+            0.0
+        } else {
+            self.sum / self.members.len() as f64
+        }
+    }
+}
+
+/// A hierarchy-aware solution.
+#[derive(Debug, Clone)]
+pub struct HSolution {
+    /// Chosen clusters, sorted by descending average.
+    pub clusters: Vec<HCluster>,
+    /// Union coverage size.
+    pub covered: usize,
+    /// Union score sum.
+    pub sum: f64,
+}
+
+impl HSolution {
+    /// The Max-Avg objective over the union coverage.
+    pub fn avg(&self) -> f64 {
+        if self.covered == 0 {
+            0.0
+        } else {
+            self.sum / self.covered as f64
+        }
+    }
+}
+
+fn coverage(ctx: &HierarchyContext, pattern: &HPattern, tuples: &[HTuple]) -> (Vec<usize>, f64) {
+    let mut members = Vec::new();
+    let mut sum = 0.0;
+    for (i, t) in tuples.iter().enumerate() {
+        if ctx.covers(pattern, &t.leaves) {
+            members.push(i);
+            sum += t.val;
+        }
+    }
+    (members, sum)
+}
+
+/// Hierarchy-aware Bottom-Up: start from the top-`l` singleton patterns,
+/// enforce pairwise distance `≥ d` and then the size limit `k` by greedily
+/// merging the pair whose tree-LCA yields the best resulting average.
+///
+/// `tuples` must be sorted by descending `val` (like the paper's `S`).
+pub fn bottom_up_hierarchical(
+    ctx: &HierarchyContext,
+    tuples: &[HTuple],
+    k: usize,
+    l: usize,
+    d: usize,
+) -> Result<HSolution> {
+    if k == 0 || l == 0 || l > tuples.len() {
+        return Err(QagError::param("requires k >= 1 and 1 <= L <= n"));
+    }
+    if d > ctx.arity() {
+        return Err(QagError::param("D exceeds the attribute count"));
+    }
+    for w in tuples.windows(2) {
+        if w[0].val < w[1].val {
+            return Err(QagError::param("tuples must be sorted by descending val"));
+        }
+    }
+
+    let mut members: Vec<HPattern> = Vec::with_capacity(l);
+    for t in &tuples[..l] {
+        if !members.contains(&t.leaves) {
+            members.push(t.leaves.clone());
+        }
+    }
+
+    let mut covered = FixedBitSet::new(tuples.len());
+    let mut sum = 0.0;
+    for p in &members {
+        let (ids, _) = coverage(ctx, p, tuples);
+        for i in ids {
+            if covered.insert(i) {
+                sum += tuples[i].val;
+            }
+        }
+    }
+
+    // Phase 1 (distance), then phase 2 (size), via the same greedy step.
+    loop {
+        let violating: Vec<(usize, usize)> =
+            pairs_with(&members, |a, b| d > 0 && ctx.distance(a, b) < d);
+        if violating.is_empty() {
+            break;
+        }
+        merge_best(
+            ctx,
+            tuples,
+            &mut members,
+            &mut covered,
+            &mut sum,
+            &violating,
+        )?;
+    }
+    while members.len() > k {
+        let all = pairs_with(&members, |_, _| true);
+        if all.is_empty() {
+            break;
+        }
+        merge_best(ctx, tuples, &mut members, &mut covered, &mut sum, &all)?;
+    }
+
+    let mut clusters: Vec<HCluster> = members
+        .into_iter()
+        .map(|pattern| {
+            let (members, csum) = coverage(ctx, &pattern, tuples);
+            HCluster {
+                pattern,
+                members,
+                sum: csum,
+            }
+        })
+        .collect();
+    clusters.sort_by(|a, b| {
+        b.avg()
+            .partial_cmp(&a.avg())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(HSolution {
+        clusters,
+        covered: covered.count_ones(),
+        sum,
+    })
+}
+
+fn pairs_with(
+    members: &[HPattern],
+    mut pred: impl FnMut(&HPattern, &HPattern) -> bool,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..members.len() {
+        for j in i + 1..members.len() {
+            if pred(&members[i], &members[j]) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+fn merge_best(
+    ctx: &HierarchyContext,
+    tuples: &[HTuple],
+    members: &mut Vec<HPattern>,
+    covered: &mut FixedBitSet,
+    sum: &mut f64,
+    pairs: &[(usize, usize)],
+) -> Result<()> {
+    let mut best: Option<(f64, HPattern)> = None;
+    for &(i, j) in pairs {
+        let lca = ctx.lca(&members[i], &members[j]);
+        let (ids, _) = coverage(ctx, &lca, tuples);
+        let mut dsum = 0.0;
+        let mut dcnt = 0usize;
+        for &t in &ids {
+            if !covered.contains(t) {
+                dsum += tuples[t].val;
+                dcnt += 1;
+            }
+        }
+        let avg = (*sum + dsum) / (covered.count_ones() + dcnt) as f64;
+        if best.as_ref().is_none_or(|(b, _)| avg > *b) {
+            best = Some((avg, lca));
+        }
+    }
+    let (_, lca) = best.ok_or_else(|| QagError::internal("merge_best called with no pairs"))?;
+    // Evict everything the LCA covers (the lifted Merge), absorb coverage.
+    members.retain(|m| !ctx.covers(&lca, m));
+    let (ids, _) = coverage(ctx, &lca, tuples);
+    for t in ids {
+        if covered.insert(t) {
+            *sum += tuples[t].val;
+        }
+    }
+    members.push(lca);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ConceptHierarchy;
+
+    /// Age (10-year ranges) × occupation (flat).
+    fn ctx() -> HierarchyContext {
+        HierarchyContext::new(vec![
+            ConceptHierarchy::range_tree("age", 0, 60, &[10]).unwrap(),
+            ConceptHierarchy::flat("*", &["Student", "Coder", "Chef"]).unwrap(),
+        ])
+    }
+
+    fn tuples(ctx: &HierarchyContext) -> Vec<HTuple> {
+        // Young students rate high; older chefs rate low.
+        let rows: &[(&str, &str, f64)] = &[
+            ("23", "Student", 9.0),
+            ("27", "Student", 8.5),
+            ("21", "Coder", 8.0),
+            ("25", "Coder", 7.5),
+            ("45", "Chef", 3.0),
+            ("52", "Chef", 2.0),
+        ];
+        rows.iter()
+            .map(|&(age, occ, val)| HTuple {
+                leaves: ctx.pattern_from_values(&[age, occ]).unwrap(),
+                val,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merges_to_ranges_not_star() {
+        let ctx = ctx();
+        let ts = tuples(&ctx);
+        let sol = bottom_up_hierarchical(&ctx, &ts, 2, 4, 0).unwrap();
+        assert!(sol.clusters.len() <= 2);
+        // The top cluster generalizes ages into [20,30), keeping occupation
+        // or generalizing it — but never the root age node.
+        let rendered: Vec<String> = sol
+            .clusters
+            .iter()
+            .map(|c| ctx.to_string(&c.pattern))
+            .collect();
+        assert!(
+            rendered.iter().any(|r| r.contains("[20,30)")),
+            "expected a decade range, got {rendered:?}"
+        );
+        for c in &sol.clusters {
+            let tree = ctx.tree(0);
+            assert_ne!(
+                c.pattern.slots[0],
+                tree.root(),
+                "age must not degrade to *: {rendered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_top_l() {
+        let ctx = ctx();
+        let ts = tuples(&ctx);
+        for l in 1..=4 {
+            let sol = bottom_up_hierarchical(&ctx, &ts, 2, l, 0).unwrap();
+            let mut covered = vec![false; ts.len()];
+            for c in &sol.clusters {
+                for &m in &c.members {
+                    covered[m] = true;
+                }
+            }
+            for (i, &c) in covered.iter().enumerate().take(l) {
+                assert!(c, "top-{l}: tuple {i} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_constraint_respected() {
+        let ctx = ctx();
+        let ts = tuples(&ctx);
+        let sol = bottom_up_hierarchical(&ctx, &ts, 4, 4, 2).unwrap();
+        for (i, a) in sol.clusters.iter().enumerate() {
+            for b in &sol.clusters[i + 1..] {
+                assert!(ctx.distance(&a.pattern, &b.pattern) >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn solution_is_antichain() {
+        let ctx = ctx();
+        let ts = tuples(&ctx);
+        let sol = bottom_up_hierarchical(&ctx, &ts, 3, 6, 1).unwrap();
+        for (i, a) in sol.clusters.iter().enumerate() {
+            for (j, b) in sol.clusters.iter().enumerate() {
+                if i != j {
+                    assert!(!ctx.covers(&a.pattern, &b.pattern));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beats_root_cluster_average() {
+        let ctx = ctx();
+        let ts = tuples(&ctx);
+        let sol = bottom_up_hierarchical(&ctx, &ts, 2, 4, 0).unwrap();
+        let global: f64 = ts.iter().map(|t| t.val).sum::<f64>() / ts.len() as f64;
+        assert!(
+            sol.avg() > global,
+            "summary {} vs trivial {global}",
+            sol.avg()
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let ctx = ctx();
+        let ts = tuples(&ctx);
+        assert!(bottom_up_hierarchical(&ctx, &ts, 0, 2, 0).is_err());
+        assert!(bottom_up_hierarchical(&ctx, &ts, 2, 0, 0).is_err());
+        assert!(bottom_up_hierarchical(&ctx, &ts, 2, 9, 0).is_err());
+        assert!(bottom_up_hierarchical(&ctx, &ts, 2, 2, 5).is_err());
+        let mut unsorted = ts.clone();
+        unsorted.reverse();
+        assert!(bottom_up_hierarchical(&ctx, &unsorted, 2, 2, 0).is_err());
+    }
+}

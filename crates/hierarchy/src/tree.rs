@@ -1,0 +1,290 @@
+//! The per-attribute concept hierarchy tree.
+
+use qagview_common::{FxHashMap, QagError, Result};
+
+/// Identifier of a node within one [`ConceptHierarchy`].
+pub type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct Node {
+    label: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    depth: u32,
+}
+
+/// A rooted tree over one attribute's domain: leaves are domain values,
+/// internal nodes are generalizations (e.g. age ranges, year → decade).
+#[derive(Debug, Clone)]
+pub struct ConceptHierarchy {
+    nodes: Vec<Node>,
+    leaf_by_label: FxHashMap<String, NodeId>,
+}
+
+impl ConceptHierarchy {
+    /// Create a hierarchy with only a root (the `∗`-equivalent).
+    pub fn new(root_label: impl Into<String>) -> Self {
+        ConceptHierarchy {
+            nodes: vec![Node {
+                label: root_label.into(),
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+            leaf_by_label: FxHashMap::default(),
+        }
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Add a child under `parent`, returning its id. `is_leaf` registers the
+    /// label for [`ConceptHierarchy::leaf`] lookup.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown parent or duplicate leaf label.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<String>,
+        is_leaf: bool,
+    ) -> Result<NodeId> {
+        let label = label.into();
+        if parent as usize >= self.nodes.len() {
+            return Err(QagError::param(format!("unknown parent node {parent}")));
+        }
+        if is_leaf && self.leaf_by_label.contains_key(&label) {
+            return Err(QagError::param(format!("duplicate leaf label `{label}`")));
+        }
+        let id = self.nodes.len() as NodeId;
+        let depth = self.nodes[parent as usize].depth + 1;
+        self.nodes.push(Node {
+            label: label.clone(),
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
+        self.nodes[parent as usize].children.push(id);
+        if is_leaf {
+            self.leaf_by_label.insert(label, id);
+        }
+        Ok(id)
+    }
+
+    /// Build the two-level hierarchy equivalent to the base framework:
+    /// root = `∗`, one leaf per domain value.
+    pub fn flat(root_label: &str, values: &[&str]) -> Result<Self> {
+        let mut h = ConceptHierarchy::new(root_label);
+        for v in values {
+            h.add_child(0, *v, true)?;
+        }
+        Ok(h)
+    }
+
+    /// Build a range tree over integer values (Fig. 11): leaves are the
+    /// values; each level of `bucket_sizes` groups the previous level into
+    /// ranges of that many units, coarsest last.
+    ///
+    /// Example: `range_tree("age", 0, 100, &[20, 40])` yields leaves 0..100,
+    /// twenty-unit ranges `[0,20)`, `[20,40)`, …, and forty-unit ranges
+    /// above them.
+    pub fn range_tree(name: &str, lo: i64, hi: i64, bucket_sizes: &[i64]) -> Result<Self> {
+        if lo >= hi {
+            return Err(QagError::param("range_tree requires lo < hi"));
+        }
+        for w in bucket_sizes.windows(2) {
+            if w[1] % w[0] != 0 {
+                return Err(QagError::param(
+                    "each bucket size must divide the next coarser one",
+                ));
+            }
+        }
+        let mut h = ConceptHierarchy::new(format!("{name}:*"));
+        // Build coarsest-to-finest so parents exist before children.
+        let mut levels: Vec<Vec<(i64, i64, NodeId)>> = Vec::new();
+        let mut sizes: Vec<i64> = bucket_sizes.to_vec();
+        sizes.reverse();
+        for (li, &size) in sizes.iter().enumerate() {
+            let mut level = Vec::new();
+            let mut start = lo - lo.rem_euclid(size);
+            while start < hi {
+                let end = start + size;
+                let parent = if li == 0 {
+                    h.root()
+                } else {
+                    levels[li - 1]
+                        .iter()
+                        .find(|&&(s, e, _)| s <= start && end <= e)
+                        .map(|&(_, _, id)| id)
+                        .ok_or_else(|| QagError::internal("range nesting broken"))?
+                };
+                let id = h.add_child(parent, format!("[{start},{end})"), false)?;
+                level.push((start, end, id));
+                start = end;
+            }
+            levels.push(level);
+        }
+        for v in lo..hi {
+            let parent = match levels.last() {
+                None => h.root(),
+                Some(level) => level
+                    .iter()
+                    .find(|&&(s, e, _)| s <= v && v < e)
+                    .map(|&(_, _, id)| id)
+                    .ok_or_else(|| QagError::internal("leaf outside all ranges"))?,
+            };
+            h.add_child(parent, v.to_string(), true)?;
+        }
+        Ok(h)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Node label.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.nodes[id as usize].label
+    }
+
+    /// Node depth (root = 0).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.nodes[id as usize].depth
+    }
+
+    /// Parent of a node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id as usize].parent
+    }
+
+    /// The leaf registered for a domain value.
+    pub fn leaf(&self, label: &str) -> Option<NodeId> {
+        self.leaf_by_label.get(label).copied()
+    }
+
+    /// Whether `ancestor` is `node` or one of its ancestors.
+    pub fn is_ancestor_or_self(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Least common ancestor of two nodes — `O(depth)` by walking the deeper
+    /// node up first (the paper cites the `O(log n)` method [18]; tree
+    /// depths here are tiny constants).
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a, b);
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).expect("deeper node has a parent");
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).expect("deeper node has a parent");
+        }
+        while a != b {
+            a = self.parent(a).expect("nodes share the root");
+            b = self.parent(b).expect("nodes share the root");
+        }
+        a
+    }
+
+    /// LCA of a non-empty set of nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn lca_of(&self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "lca_of requires at least one node");
+        nodes[1..].iter().fold(nodes[0], |acc, &n| self.lca(acc, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_hierarchy_mimics_star() {
+        let h = ConceptHierarchy::flat("*", &["M", "F"]).unwrap();
+        assert_eq!(h.len(), 3);
+        let m = h.leaf("M").unwrap();
+        let f = h.leaf("F").unwrap();
+        assert_eq!(h.lca(m, f), h.root());
+        assert_eq!(h.lca(m, m), m);
+        assert!(h.is_ancestor_or_self(h.root(), m));
+        assert!(!h.is_ancestor_or_self(m, f));
+    }
+
+    #[test]
+    fn paper_age_example() {
+        // Fig. 11: union of [20,40) and 55 is [20,60).
+        let h = ConceptHierarchy::range_tree("age", 0, 80, &[20, 40]).unwrap();
+        let v25 = h.leaf("25").unwrap();
+        let v55 = h.leaf("55").unwrap();
+        // 25 ∈ [20,40) ⊂ [0,40); 55 ∈ [40,60) ⊂ [40,80): LCA is the root.
+        assert_eq!(h.lca(v25, v55), h.root());
+        // A tighter union inside one fine bucket (the Fig. 11 spirit):
+        let v45 = h.leaf("45").unwrap();
+        assert_eq!(h.label(h.lca(v55, v45)), "[40,60)");
+        // And across fine buckets within one coarse bucket:
+        let v65 = h.leaf("65").unwrap();
+        assert_eq!(h.label(h.lca(v55, v65)), "[40,80)");
+    }
+
+    #[test]
+    fn range_tree_structure() {
+        let h = ConceptHierarchy::range_tree("year", 1990, 2000, &[5]).unwrap();
+        let y1991 = h.leaf("1991").unwrap();
+        let y1994 = h.leaf("1994").unwrap();
+        let y1996 = h.leaf("1996").unwrap();
+        assert_eq!(h.label(h.lca(y1991, y1994)), "[1990,1995)");
+        assert_eq!(h.lca(y1991, y1996), h.root());
+        assert_eq!(h.depth(y1991), 2);
+    }
+
+    #[test]
+    fn lca_of_set() {
+        let h = ConceptHierarchy::range_tree("age", 0, 60, &[10, 30]).unwrap();
+        let nodes: Vec<NodeId> = ["21", "24", "27"]
+            .iter()
+            .map(|v| h.leaf(v).unwrap())
+            .collect();
+        assert_eq!(h.label(h.lca_of(&nodes)), "[20,30)");
+        let wider: Vec<NodeId> = ["21", "5"].iter().map(|v| h.leaf(v).unwrap()).collect();
+        assert_eq!(h.label(h.lca_of(&wider)), "[0,30)");
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(ConceptHierarchy::range_tree("x", 5, 5, &[2]).is_err());
+        assert!(ConceptHierarchy::range_tree("x", 0, 10, &[3, 7]).is_err());
+        let mut h = ConceptHierarchy::new("*");
+        assert!(h.add_child(99, "y", false).is_err());
+        h.add_child(0, "dup", true).unwrap();
+        assert!(h.add_child(0, "dup", true).is_err());
+    }
+
+    #[test]
+    fn depth_and_parent_bookkeeping() {
+        let mut h = ConceptHierarchy::new("*");
+        let a = h.add_child(0, "a", false).unwrap();
+        let b = h.add_child(a, "b", true).unwrap();
+        assert_eq!(h.depth(b), 2);
+        assert_eq!(h.parent(b), Some(a));
+        assert_eq!(h.parent(0), None);
+        assert!(!h.is_empty());
+    }
+}

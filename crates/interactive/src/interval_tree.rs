@@ -1,0 +1,215 @@
+//! A static interval tree (CLRS §14.3, the paper's citation [6]).
+//!
+//! Stores closed integer intervals `[lo, hi]` with payloads and answers
+//! stabbing queries ("which intervals contain `point`?") in
+//! `O(log n + answer)`. Built once per `(L, D)` during precomputation; the
+//! intervals are cluster lifetimes along the `k` axis.
+
+/// A static interval tree over closed intervals `[lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct IntervalTree<T> {
+    nodes: Vec<Node<T>>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    lo: usize,
+    hi: usize,
+    /// Maximum `hi` within this subtree (the CLRS augmentation).
+    max: usize,
+    value: T,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl<T> IntervalTree<T> {
+    /// Build from `(lo, hi, value)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interval has `lo > hi`.
+    pub fn build(mut items: Vec<(usize, usize, T)>) -> Self {
+        for (lo, hi, _) in &items {
+            assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        }
+        items.sort_by_key(|&(lo, hi, _)| (lo, hi));
+        let mut tree = IntervalTree {
+            nodes: Vec::with_capacity(items.len()),
+            root: None,
+        };
+        let mut items: Vec<Option<(usize, usize, T)>> = items.into_iter().map(Some).collect();
+        let len = items.len();
+        tree.root = tree.build_range(&mut items, 0, len);
+        tree
+    }
+
+    /// Balanced construction over the lo-sorted slice `[start, end)`.
+    fn build_range(
+        &mut self,
+        items: &mut [Option<(usize, usize, T)>],
+        start: usize,
+        end: usize,
+    ) -> Option<usize> {
+        if start >= end {
+            return None;
+        }
+        let mid = start + (end - start) / 2;
+        let (lo, hi, value) = items[mid].take().expect("each slot consumed once");
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            lo,
+            hi,
+            max: hi,
+            value,
+            left: None,
+            right: None,
+        });
+        let left = self.build_range(items, start, mid);
+        let right = self.build_range(items, mid + 1, end);
+        let mut max = hi;
+        if let Some(l) = left {
+            max = max.max(self.nodes[l].max);
+        }
+        if let Some(r) = right {
+            max = max.max(self.nodes[r].max);
+        }
+        let node = &mut self.nodes[idx];
+        node.left = left;
+        node.right = right;
+        node.max = max;
+        Some(idx)
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All payloads whose interval contains `point`, in lo-sorted order.
+    pub fn stab(&self, point: usize) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.stab_rec(self.root, point, &mut out);
+        out
+    }
+
+    fn stab_rec<'a>(&'a self, node: Option<usize>, point: usize, out: &mut Vec<&'a T>) {
+        let Some(idx) = node else { return };
+        let n = &self.nodes[idx];
+        // Augmentation prune: nothing in this subtree reaches `point`.
+        if n.max < point {
+            return;
+        }
+        self.stab_rec(n.left, point, out);
+        if n.lo <= point && point <= n.hi {
+            out.push(&n.value);
+        }
+        // The right subtree's `lo`s are ≥ this node's; if even this node
+        // starts after the point, so does everything to the right.
+        if n.lo <= point {
+            self.stab_rec(n.right, point, out);
+        }
+    }
+
+    /// Naive scan, for differential testing.
+    #[doc(hidden)]
+    pub fn stab_naive(&self, point: usize) -> Vec<&T> {
+        let mut hits: Vec<(usize, usize, &T)> = self
+            .nodes
+            .iter()
+            .filter(|n| n.lo <= point && point <= n.hi)
+            .map(|n| (n.lo, n.hi, &n.value))
+            .collect();
+        hits.sort_by_key(|&(lo, hi, _)| (lo, hi));
+        hits.into_iter().map(|(_, _, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: IntervalTree<u32> = IntervalTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.stab(5).is_empty());
+    }
+
+    #[test]
+    fn single_interval() {
+        let t = IntervalTree::build(vec![(2, 5, "a")]);
+        assert!(t.stab(1).is_empty());
+        assert_eq!(t.stab(2), vec![&"a"]);
+        assert_eq!(t.stab(5), vec![&"a"]);
+        assert!(t.stab(6).is_empty());
+    }
+
+    #[test]
+    fn overlapping_intervals() {
+        let t = IntervalTree::build(vec![(1, 10, "wide"), (3, 4, "mid"), (4, 8, "late")]);
+        assert_eq!(t.stab(4).len(), 3);
+        assert_eq!(t.stab(9), vec![&"wide"]);
+        assert_eq!(t.stab(2), vec![&"wide"]);
+        assert!(t.stab(0).is_empty());
+        assert!(t.stab(11).is_empty());
+    }
+
+    #[test]
+    fn point_intervals() {
+        let t = IntervalTree::build(vec![(3, 3, 1), (3, 3, 2), (4, 4, 3)]);
+        assert_eq!(t.stab(3).len(), 2);
+        assert_eq!(t.stab(4), vec![&3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn rejects_inverted_interval() {
+        let _ = IntervalTree::build(vec![(5, 2, ())]);
+    }
+
+    #[test]
+    fn cluster_lifetime_shape() {
+        // The precompute use case: k-lifetimes [k_lo, k_hi] per cluster.
+        let t = IntervalTree::build(vec![
+            (1, 1, "allstar"), // only the final solution
+            (2, 40, "x-star"), // survives most of the descent
+            (5, 40, "y-star"),
+            (41, 80, "fine-a"), // pre-descent granularity
+        ]);
+        assert_eq!(t.stab(1), vec![&"allstar"]);
+        assert_eq!(t.stab(20).len(), 2);
+        assert_eq!(t.stab(50), vec![&"fine-a"]);
+    }
+
+    proptest! {
+        /// The tree agrees with a linear scan on random inputs.
+        #[test]
+        fn matches_naive_scan(
+            intervals in prop::collection::vec((0usize..50, 0usize..20), 0..60),
+            points in prop::collection::vec(0usize..80, 1..20),
+        ) {
+            let items: Vec<(usize, usize, usize)> = intervals
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, len))| (lo, lo + len, i))
+                .collect();
+            let tree = IntervalTree::build(items);
+            for &p in &points {
+                let fast: Vec<usize> = tree.stab(p).into_iter().copied().collect();
+                let slow: Vec<usize> = tree.stab_naive(p).into_iter().copied().collect();
+                let mut fast_sorted = fast.clone();
+                fast_sorted.sort_unstable();
+                let mut slow_sorted = slow;
+                slow_sorted.sort_unstable();
+                prop_assert_eq!(fast_sorted, slow_sorted);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Interactive parameter selection (paper §6).
+//!
+//! The intended use of the framework is exploratory: the analyst keeps
+//! adjusting `(k, L, D)` and expects instant answers. Running a §5 algorithm
+//! from scratch per combination is too slow, so the paper precomputes whole
+//! parameter planes by exploiting two incremental properties of the Hybrid
+//! algorithm:
+//!
+//! 1. the Fixed-Order phase does not depend on `(k, D)` — run it **once**
+//!    per `L` with an enlarged pool;
+//! 2. the Bottom-Up phase merges one round at a time, so a single descent
+//!    for a given `D` passes through the solutions for *every* `k` from the
+//!    pool size down to 1; and by the **continuity property** (Prop. 6.1) a
+//!    cluster's lifetime along that descent is one contiguous `k`-interval.
+//!
+//! [`precompute::Precomputed`] stores those lifetimes in one
+//! [`interval_tree::IntervalTree`] per `D` — `O(N_D)` trees instead of
+//! `O(N_k × N_D)` materialized solutions — and answers `solution(k, d)`
+//! stabbing queries in `O(log N_k + |answer|)`. [`plot::GuidancePlot`]
+//! exposes the Fig. 2 data series (average value vs. `k`, one curve per
+//! `D`) with knee-point and flat-region detection for the §6.1 visual guide.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod interval_tree;
+pub mod plot;
+pub mod precompute;
+
+pub use interval_tree::IntervalTree;
+pub use plot::{DSeries, GuidancePlot};
+pub use precompute::{PrecomputeConfig, Precomputed};

@@ -1,0 +1,218 @@
+//! The parameter-selection visual guide (§6.1, Fig. 2).
+//!
+//! The GUI plots the solution's average value against `k`, one curve per
+//! `D`, so the analyst can spot *flat regions* (parameter changes that buy
+//! nothing) and *knee points* (parameter values where quality jumps). This
+//! module carries the plot data plus the two detectors, and renders an
+//! ASCII version for the terminal examples.
+
+use std::fmt::Write as _;
+
+/// One curve: a fixed `D`, average value per `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DSeries {
+    /// The distance parameter of this curve.
+    pub d: usize,
+    /// `avg_by_k[i]` is the objective value at `k = k_values[i]`.
+    pub avg_by_k: Vec<f64>,
+}
+
+/// The full Fig. 2 data set for one `L`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuidancePlot {
+    /// The coverage parameter the plot was computed for.
+    pub l: usize,
+    /// The `k` grid (ascending).
+    pub k_values: Vec<usize>,
+    /// One series per `D` (ascending `D`).
+    pub series: Vec<DSeries>,
+}
+
+impl GuidancePlot {
+    /// The series for a given `D`, if present.
+    pub fn series_for(&self, d: usize) -> Option<&DSeries> {
+        self.series.iter().find(|s| s.d == d)
+    }
+
+    /// Knee points of a series: `k` values where the marginal gain of one
+    /// more cluster drops sharply (relative second difference above
+    /// `threshold`). These are the §6.1 "possibly interesting" parameter
+    /// choices.
+    pub fn knees(&self, d: usize, threshold: f64) -> Vec<usize> {
+        let Some(series) = self.series_for(d) else {
+            return Vec::new();
+        };
+        let v = &series.avg_by_k;
+        let mut out = Vec::new();
+        for i in 1..v.len().saturating_sub(1) {
+            let gain_before = v[i] - v[i - 1];
+            let gain_after = v[i + 1] - v[i];
+            if gain_before > threshold && gain_after < gain_before * 0.5 {
+                out.push(self.k_values[i]);
+            }
+        }
+        out
+    }
+
+    /// Maximal flat regions of a series: inclusive `k` ranges where the
+    /// value changes by at most `tolerance` between consecutive `k` — the
+    /// §6.1 "not worth exploring" ranges.
+    pub fn flat_regions(&self, d: usize, tolerance: f64) -> Vec<(usize, usize)> {
+        let Some(series) = self.series_for(d) else {
+            return Vec::new();
+        };
+        let v = &series.avg_by_k;
+        let mut out = Vec::new();
+        let mut start: Option<usize> = None;
+        for i in 1..v.len() {
+            if (v[i] - v[i - 1]).abs() <= tolerance {
+                if start.is_none() {
+                    start = Some(i - 1);
+                }
+            } else if let Some(s) = start.take() {
+                out.push((self.k_values[s], self.k_values[i - 1]));
+            }
+        }
+        if let Some(s) = start {
+            out.push((self.k_values[s], self.k_values[v.len() - 1]));
+        }
+        out
+    }
+
+    /// Pairs of `D` values whose curves coincide within `tolerance`
+    /// everywhere — the §6.1 "bundles" of D values the user can treat as one.
+    pub fn overlapping_d_bundles(&self, tolerance: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, a) in self.series.iter().enumerate() {
+            for b in &self.series[i + 1..] {
+                let close = a
+                    .avg_by_k
+                    .iter()
+                    .zip(&b.avg_by_k)
+                    .all(|(x, y)| (x - y).abs() <= tolerance);
+                if close {
+                    out.push((a.d, b.d));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render an ASCII chart (rows = value buckets, columns = `k`).
+    pub fn render_ascii(&self, height: usize) -> String {
+        let mut out = String::new();
+        let all: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.avg_by_k.iter().copied())
+            .collect();
+        if all.is_empty() || self.k_values.is_empty() {
+            return "(empty plot)\n".into();
+        }
+        let min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(1e-9);
+        let height = height.max(4);
+        let marks: &[u8] = b"0123456789";
+        let mut grid = vec![vec![b' '; self.k_values.len()]; height];
+        for series in &self.series {
+            let mark = marks[series.d % marks.len()];
+            for (col, &v) in series.avg_by_k.iter().enumerate() {
+                let frac = (v - min) / span;
+                let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][col] = mark;
+            }
+        }
+        let _ = writeln!(out, "avg value vs k (L={}); digit = D", self.l);
+        for (i, row) in grid.iter().enumerate() {
+            let label = max - span * i as f64 / (height - 1) as f64;
+            let _ = writeln!(out, "{label:7.3} |{}", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "        +{}", "-".repeat(self.k_values.len()));
+        let _ = writeln!(
+            out,
+            "         k = {}..{}",
+            self.k_values.first().unwrap(),
+            self.k_values.last().unwrap()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plot() -> GuidancePlot {
+        GuidancePlot {
+            l: 15,
+            k_values: (1..=8).collect(),
+            series: vec![
+                DSeries {
+                    d: 1,
+                    // Steep rise then plateau at k=4: knee at 4.
+                    avg_by_k: vec![3.0, 3.4, 3.8, 4.2, 4.25, 4.26, 4.26, 4.26],
+                },
+                DSeries {
+                    d: 2,
+                    avg_by_k: vec![3.0, 3.2, 3.4, 3.6, 3.8, 4.0, 4.2, 4.4],
+                },
+                DSeries {
+                    d: 3,
+                    avg_by_k: vec![3.0, 3.2, 3.4, 3.6, 3.8, 4.0, 4.2, 4.4],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn knee_detected_at_plateau_onset() {
+        let p = plot();
+        let knees = p.knees(1, 0.05);
+        assert!(knees.contains(&4), "expected knee at k=4, got {knees:?}");
+        // The linear series has no knees.
+        assert!(p.knees(2, 0.05).is_empty());
+    }
+
+    #[test]
+    fn flat_regions_found() {
+        let p = plot();
+        let flats = p.flat_regions(1, 0.05);
+        assert_eq!(flats, vec![(4, 8)]);
+        assert!(p.flat_regions(2, 0.05).is_empty());
+    }
+
+    #[test]
+    fn overlapping_d_bundles_detected() {
+        let p = plot();
+        assert_eq!(p.overlapping_d_bundles(1e-9), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let p = plot();
+        assert!(p.series_for(1).is_some());
+        assert!(p.series_for(9).is_none());
+        assert!(p.knees(9, 0.1).is_empty());
+        assert!(p.flat_regions(9, 0.1).is_empty());
+    }
+
+    #[test]
+    fn ascii_render_contains_axes_and_marks() {
+        let p = plot();
+        let text = p.render_ascii(10);
+        assert!(text.contains("L=15"));
+        assert!(text.contains('1'), "series D=1 mark");
+        assert!(text.contains("k = 1..8"));
+    }
+
+    #[test]
+    fn empty_plot_renders_placeholder() {
+        let p = GuidancePlot {
+            l: 5,
+            k_values: vec![],
+            series: vec![],
+        };
+        assert_eq!(p.render_ascii(8), "(empty plot)\n");
+    }
+}

@@ -1,0 +1,646 @@
+//! Incremental precomputation over the `(k, D)` parameter plane (§6.2).
+//!
+//! For a fixed `L`: run the Hybrid algorithm's Fixed-Order phase **once**
+//! (distance-agnostic, pool `c · k_max`), then for every `D` replay the
+//! Bottom-Up phases from that shared state. Along each `D`-descent, every
+//! merge round yields the solution for one more value of `k`; the continuity
+//! property (Prop. 6.1 — once a cluster is merged away it never returns)
+//! means each cluster's visibility along the `k` axis is a single interval,
+//! stored in one [`IntervalTree`] per `D`.
+
+use crate::interval_tree::IntervalTree;
+use crate::plot::{DSeries, GuidancePlot};
+use qagview_common::{FixedBitSet, FxHashMap, QagError, Result};
+use qagview_core::{
+    fixed_order_phase, EvalMode, Evaluator, GreedyRule, MergeSpec, Params, Seeding, Solution,
+    SolutionCluster, WorkingSet,
+};
+use qagview_lattice::{AnswerSet, CandId, CandidateIndex};
+
+/// Precomputation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PrecomputeConfig {
+    /// Smallest `k` to materialize.
+    pub k_min: usize,
+    /// Largest `k` to materialize (also sizes the Fixed-Order pool).
+    pub k_max: usize,
+    /// Smallest `D`.
+    pub d_min: usize,
+    /// Largest `D` (inclusive).
+    pub d_max: usize,
+    /// Hybrid pool factor `c` (pool = `c · k_max`).
+    pub pool_factor: usize,
+    /// Marginal evaluation mode for the merge phases.
+    pub eval: EvalMode,
+    /// Build the per-`D` planes on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for PrecomputeConfig {
+    fn default() -> Self {
+        PrecomputeConfig {
+            k_min: 1,
+            k_max: 20,
+            d_min: 0,
+            d_max: 3,
+            pool_factor: qagview_core::DEFAULT_POOL_FACTOR,
+            eval: EvalMode::Delta,
+            parallel: true,
+        }
+    }
+}
+
+/// Solution metadata for one recorded state along a `D`-descent.
+#[derive(Debug, Clone, Copy)]
+struct StateMeta {
+    size: usize,
+    covered: usize,
+    sum: f64,
+}
+
+impl StateMeta {
+    fn avg(&self) -> f64 {
+        if self.covered == 0 {
+            0.0
+        } else {
+            self.sum / self.covered as f64
+        }
+    }
+}
+
+/// One `D`-plane: cluster lifetimes over `k` plus per-state objective values.
+#[derive(Debug, Clone)]
+struct DPlane {
+    d: usize,
+    tree: IntervalTree<CandId>,
+    /// Recorded states in descent order (strictly decreasing `size`).
+    states: Vec<StateMeta>,
+}
+
+impl DPlane {
+    /// Index of the state served for a given `k` (the first state whose size
+    /// fits; the deepest state as a fallback for very small `k`).
+    fn state_for_k(&self, k: usize) -> &StateMeta {
+        self.states
+            .iter()
+            .find(|s| s.size <= k)
+            .unwrap_or_else(|| self.states.last().expect("at least one state recorded"))
+    }
+}
+
+/// Precomputed solutions for every `(k, D)` in the configured ranges at one
+/// fixed `L`.
+#[derive(Debug)]
+pub struct Precomputed<'a> {
+    answers: &'a AnswerSet,
+    index: CandidateIndex,
+    cfg: PrecomputeConfig,
+    planes: Vec<DPlane>,
+}
+
+impl<'a> Precomputed<'a> {
+    /// Build the full plane set, constructing the candidate index
+    /// (initialization step) internally.
+    pub fn build(answers: &'a AnswerSet, l: usize, cfg: PrecomputeConfig) -> Result<Self> {
+        let index = CandidateIndex::build(answers, l)?;
+        Self::build_with_index(answers, index, cfg)
+    }
+
+    /// Build from a pre-constructed candidate index.
+    pub fn build_with_index(
+        answers: &'a AnswerSet,
+        index: CandidateIndex,
+        cfg: PrecomputeConfig,
+    ) -> Result<Self> {
+        if cfg.k_min == 0 || cfg.k_min > cfg.k_max {
+            return Err(QagError::param(format!(
+                "invalid k range [{}, {}]",
+                cfg.k_min, cfg.k_max
+            )));
+        }
+        if cfg.d_min > cfg.d_max || cfg.d_max > answers.arity() {
+            return Err(QagError::param(format!(
+                "invalid D range [{}, {}] for m={}",
+                cfg.d_min,
+                cfg.d_max,
+                answers.arity()
+            )));
+        }
+        // Shared Fixed-Order phase: distance-agnostic (D = 0), enlarged pool.
+        let params = Params::new(cfg.k_max, index.l(), 0);
+        params.validate(answers)?;
+        let pool = cfg.pool_factor.max(2) * cfg.k_max;
+        let w0 = fixed_order_phase(answers, &index, &params, pool, Seeding::None, cfg.eval)?;
+
+        let ds: Vec<usize> = (cfg.d_min..=cfg.d_max).collect();
+        let planes: Result<Vec<DPlane>> = if cfg.parallel && ds.len() > 1 {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = ds
+                    .iter()
+                    .map(|&d| {
+                        let w = w0.clone();
+                        scope.spawn(move |_| build_plane(w, d, &cfg))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("plane thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope panicked")
+        } else {
+            ds.iter()
+                .map(|&d| build_plane(w0.clone(), d, &cfg))
+                .collect()
+        };
+        Ok(Precomputed {
+            answers,
+            index,
+            cfg,
+            planes: planes?,
+        })
+    }
+
+    /// The `L` this precomputation serves.
+    pub fn l(&self) -> usize {
+        self.index.l()
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &PrecomputeConfig {
+        &self.cfg
+    }
+
+    /// The candidate index (shared with direct algorithm runs).
+    pub fn index(&self) -> &CandidateIndex {
+        &self.index
+    }
+
+    fn plane(&self, d: usize) -> Result<&DPlane> {
+        self.planes
+            .iter()
+            .find(|p| p.d == d)
+            .ok_or_else(|| QagError::param(format!("D={d} outside precomputed range")))
+    }
+
+    fn check_k(&self, k: usize) -> Result<()> {
+        if k < self.cfg.k_min || k > self.cfg.k_max {
+            return Err(QagError::param(format!(
+                "k={k} outside precomputed range [{}, {}]",
+                self.cfg.k_min, self.cfg.k_max
+            )));
+        }
+        Ok(())
+    }
+
+    /// Retrieve the stored solution for `(k, d)` — the §6.2 fast path.
+    pub fn solution(&self, k: usize, d: usize) -> Result<Solution> {
+        self.check_k(k)?;
+        let plane = self.plane(d)?;
+        let ids = plane.tree.stab(k);
+        let mut clusters: Vec<SolutionCluster> = Vec::with_capacity(ids.len());
+        let mut covered = FixedBitSet::new(self.answers.len());
+        let mut sum = 0.0;
+        for &&id in &ids {
+            let info = self.index.info(id);
+            for &t in &info.cov {
+                if covered.insert(t as usize) {
+                    sum += self.answers.val(t);
+                }
+            }
+            clusters.push(SolutionCluster {
+                pattern: info.pattern.clone(),
+                members: info.cov.clone(),
+                sum: info.sum,
+            });
+        }
+        clusters.sort_by(|a, b| {
+            b.avg()
+                .partial_cmp(&a.avg())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.pattern.cmp_for_ties(&b.pattern))
+        });
+        Ok(Solution {
+            clusters,
+            covered: covered.count_ones(),
+            sum,
+        })
+    }
+
+    /// The stored objective value for `(k, d)` without materializing the
+    /// clusters (drives the Fig. 2 plot).
+    pub fn value(&self, k: usize, d: usize) -> Result<f64> {
+        self.check_k(k)?;
+        Ok(self.plane(d)?.state_for_k(k).avg())
+    }
+
+    /// The Fig. 2 guidance plot: average value vs. `k`, one series per `D`.
+    pub fn guidance(&self) -> GuidancePlot {
+        let k_values: Vec<usize> = (self.cfg.k_min..=self.cfg.k_max).collect();
+        let series = self
+            .planes
+            .iter()
+            .map(|p| DSeries {
+                d: p.d,
+                avg_by_k: k_values.iter().map(|&k| p.state_for_k(k).avg()).collect(),
+            })
+            .collect();
+        GuidancePlot {
+            l: self.index.l(),
+            k_values,
+            series,
+        }
+    }
+
+    /// Total number of stored intervals across planes (space diagnostics:
+    /// the §6.2 claim is `O(N_D)` trees instead of `O(N_k × N_D)` solutions).
+    pub fn stored_intervals(&self) -> usize {
+        self.planes.iter().map(|p| p.tree.len()).sum()
+    }
+}
+
+/// Replay the Bottom-Up phases for one `D`, recording states and cluster
+/// lifetimes.
+fn build_plane(mut w: WorkingSet<'_>, d: usize, cfg: &PrecomputeConfig) -> Result<DPlane> {
+    let mut evaluator = Evaluator::new(cfg.eval);
+
+    // Phase 1: enforce the distance constraint (states during this phase are
+    // infeasible for the requested D and are not recorded).
+    loop {
+        let pairs = w.violating_pairs(d);
+        if pairs.is_empty() {
+            break;
+        }
+        let specs: Vec<MergeSpec> = pairs
+            .into_iter()
+            .map(|(i, j)| MergeSpec::Pair(i, j))
+            .collect();
+        if qagview_core::greedy_apply(&mut w, &specs, &mut evaluator, GreedyRule::SolutionAvg)?
+            .is_none()
+        {
+            break;
+        }
+    }
+
+    // Descent bookkeeping: states S_0, S_1, … with strictly decreasing size;
+    // birth state per live cluster; finished lifetimes as state-index spans.
+    let mut states = vec![StateMeta {
+        size: w.len(),
+        covered: w.covered_count(),
+        sum: w.sum(),
+    }];
+    let mut birth: FxHashMap<CandId, usize> = w.members().iter().map(|&m| (m, 0usize)).collect();
+    let mut lifetimes: Vec<(CandId, usize, usize)> = Vec::new(); // (id, from_state, to_state)
+
+    while w.len() > cfg.k_min.max(1) {
+        let before: Vec<CandId> = w.members().to_vec();
+        let pairs = w.all_pairs();
+        let specs: Vec<MergeSpec> = pairs
+            .into_iter()
+            .map(|(i, j)| MergeSpec::Pair(i, j))
+            .collect();
+        if qagview_core::greedy_apply(&mut w, &specs, &mut evaluator, GreedyRule::SolutionAvg)?
+            .is_none()
+        {
+            break;
+        }
+        let state_idx = states.len();
+        states.push(StateMeta {
+            size: w.len(),
+            covered: w.covered_count(),
+            sum: w.sum(),
+        });
+        // Close lifetimes of clusters that vanished; open the new one.
+        for &m in &before {
+            if !w.members().contains(&m) {
+                let b = birth.remove(&m).expect("vanished member had a birth state");
+                lifetimes.push((m, b, state_idx - 1));
+            }
+        }
+        for &m in w.members() {
+            birth.entry(m).or_insert(state_idx);
+        }
+    }
+    // Clusters alive at the end of the descent.
+    for (&m, &b) in &birth {
+        lifetimes.push((m, b, states.len() - 1));
+    }
+
+    // Translate state spans into k-intervals. State j serves
+    // k ∈ [size_j, size_{j-1} − 1] (state 0 serves up to k_max); the final
+    // state also serves every smaller k down to k_min.
+    let last = states.len() - 1;
+    let sizes: Vec<usize> = states.iter().map(|s| s.size).collect();
+    let mut items: Vec<(usize, usize, CandId)> = Vec::with_capacity(lifetimes.len());
+    for (id, from, to) in lifetimes {
+        let k_hi = if from == 0 {
+            cfg.k_max
+        } else {
+            sizes[from - 1].saturating_sub(1)
+        };
+        let k_lo = if to == last { cfg.k_min } else { sizes[to] };
+        let (k_lo, k_hi) = (k_lo.max(cfg.k_min), k_hi.min(cfg.k_max));
+        if k_lo <= k_hi {
+            items.push((k_lo, k_hi, id));
+        }
+    }
+    Ok(DPlane {
+        d,
+        tree: IntervalTree::build(items),
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_core::Summarizer;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        let rows: Vec<(&str, &str, &str, f64)> = vec![
+            ("x", "p", "1", 9.5),
+            ("x", "q", "1", 8.75),
+            ("x", "r", "1", 8.0),
+            ("y", "p", "2", 7.5),
+            ("y", "q", "2", 7.0),
+            ("y", "r", "2", 6.5),
+            ("w", "p", "3", 6.0),
+            ("w", "q", "3", 5.5),
+            ("z", "p", "1", 2.0),
+            ("z", "q", "2", 1.5),
+            ("v", "r", "3", 1.0),
+            ("v", "p", "1", 0.5),
+        ];
+        for (a, bb, c, v) in rows {
+            b.push(&[a, bb, c], v).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn retrieved_solutions_are_feasible_for_all_k_d() {
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max: 8,
+            d_min: 0,
+            d_max: 3,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 8, cfg).unwrap();
+        for d in 0..=3 {
+            for k in 1..=8 {
+                let sol = pre.solution(k, d).unwrap();
+                let params = Params::new(k, 8, d);
+                sol.verify(&s, &params)
+                    .unwrap_or_else(|e| panic!("k={k} d={d}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn value_matches_materialized_solution() {
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max: 6,
+            d_min: 0,
+            d_max: 2,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 6, cfg).unwrap();
+        for d in 0..=2 {
+            for k in 1..=6 {
+                let sol = pre.solution(k, d).unwrap();
+                let val = pre.value(k, d).unwrap();
+                assert!(
+                    (sol.avg() - val).abs() < 1e-9,
+                    "k={k} d={d}: tree {} vs states {val}",
+                    sol.avg()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let s = answers();
+        let base = PrecomputeConfig {
+            k_min: 1,
+            k_max: 7,
+            d_min: 0,
+            d_max: 3,
+            ..Default::default()
+        };
+        let serial = Precomputed::build(
+            &s,
+            7,
+            PrecomputeConfig {
+                parallel: false,
+                ..base
+            },
+        )
+        .unwrap();
+        let parallel = Precomputed::build(
+            &s,
+            7,
+            PrecomputeConfig {
+                parallel: true,
+                ..base
+            },
+        )
+        .unwrap();
+        for d in 0..=3 {
+            for k in 1..=7 {
+                assert_eq!(
+                    serial.solution(k, d).unwrap().patterns(),
+                    parallel.solution(k, d).unwrap().patterns(),
+                    "k={k} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_value_in_k_for_fixed_d() {
+        // Each merge can only decrease (or keep) the solution average along
+        // a descent, so the stored value is non-decreasing in k.
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max: 8,
+            d_min: 1,
+            d_max: 1,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 8, cfg).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 1..=8 {
+            let v = pre.value(k, 1).unwrap();
+            assert!(
+                v + 1e-9 >= prev,
+                "value dropped from {prev} to {v} at k={k}"
+            );
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn out_of_range_queries_rejected() {
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 2,
+            k_max: 5,
+            d_min: 1,
+            d_max: 2,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 5, cfg).unwrap();
+        assert!(pre.solution(1, 1).is_err());
+        assert!(pre.solution(6, 1).is_err());
+        assert!(pre.solution(3, 0).is_err());
+        assert!(pre.solution(3, 3).is_err());
+        assert!(pre.solution(3, 2).is_ok());
+    }
+
+    #[test]
+    fn storage_is_compact() {
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max: 10,
+            d_min: 0,
+            d_max: 3,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 10, cfg).unwrap();
+        // Interval count must be far below materializing k_max × (d_max+1)
+        // solutions of up to pool size each.
+        let naive_upper = 10 * 4 * 20;
+        assert!(
+            pre.stored_intervals() < naive_upper / 2,
+            "stored {} intervals",
+            pre.stored_intervals()
+        );
+    }
+
+    #[test]
+    fn guidance_plot_has_full_grid() {
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max: 6,
+            d_min: 0,
+            d_max: 2,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 6, cfg).unwrap();
+        let plot = pre.guidance();
+        assert_eq!(plot.k_values.len(), 6);
+        assert_eq!(plot.series.len(), 3);
+        for series in &plot.series {
+            assert_eq!(series.avg_by_k.len(), 6);
+        }
+    }
+
+    #[test]
+    fn matches_direct_hybrid_at_k_max() {
+        // At k = k_max with d = 0, the precomputed solution equals the
+        // direct Hybrid run with the same pool (no descent merging needed).
+        let s = answers();
+        let k_max = 4;
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max,
+            d_min: 0,
+            d_max: 0,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 8, cfg).unwrap();
+        let sm = Summarizer::new(&s, 8).unwrap();
+        let direct = sm.hybrid(k_max, 0).unwrap();
+        let stored = pre.solution(k_max, 0).unwrap();
+        assert_eq!(direct.patterns(), stored.patterns());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let s = answers();
+        assert!(Precomputed::build(
+            &s,
+            5,
+            PrecomputeConfig {
+                k_min: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Precomputed::build(
+            &s,
+            5,
+            PrecomputeConfig {
+                k_min: 5,
+                k_max: 2,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Precomputed::build(
+            &s,
+            5,
+            PrecomputeConfig {
+                d_min: 2,
+                d_max: 9,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn continuity_once_removed_never_returns() {
+        // Prop 6.1 observed directly on the descent bookkeeping: rebuild a
+        // plane by hand and track membership.
+        let s = answers();
+        let idx = CandidateIndex::build(&s, 8).unwrap();
+        let params = Params::new(8, 8, 0);
+        let mut w =
+            fixed_order_phase(&s, &idx, &params, 16, Seeding::None, EvalMode::Delta).unwrap();
+        let mut evaluator = Evaluator::new(EvalMode::Delta);
+        let mut ever_removed: std::collections::HashSet<CandId> = Default::default();
+        while w.len() > 1 {
+            let before: Vec<CandId> = w.members().to_vec();
+            let specs: Vec<MergeSpec> = w
+                .all_pairs()
+                .into_iter()
+                .map(|(i, j)| MergeSpec::Pair(i, j))
+                .collect();
+            if qagview_core::greedy_apply(&mut w, &specs, &mut evaluator, GreedyRule::SolutionAvg)
+                .unwrap()
+                .is_none()
+            {
+                break;
+            }
+            for m in w.members() {
+                assert!(
+                    !ever_removed.contains(m),
+                    "cluster {m} returned after removal"
+                );
+            }
+            for m in before {
+                if !w.members().contains(&m) {
+                    ever_removed.insert(m);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The answer relation `S` of an aggregate query (paper §3).
+//!
+//! Every algorithm in the paper consumes the same object: the ordered output
+//! of `SELECT A₁..Aₘ, aggr AS val … ORDER BY val DESC`. [`AnswerSet`]
+//! re-encodes each grouping attribute's active domain with dense `u32`
+//! codes (so patterns are pure integer vectors) and stores the tuples sorted
+//! by descending value with a deterministic tie-break.
+
+use crate::pattern::Pattern;
+use qagview_common::{FxHashMap, QagError, Result};
+
+/// Dense identifier of an original answer tuple; equals its 0-based rank
+/// (tuple 0 is the highest-valued answer).
+pub type TupleId = u32;
+
+/// The answer relation: `n` scored tuples over `m` categorical attributes.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    attr_names: Vec<String>,
+    /// Per-attribute active domain, display text per dense code.
+    domains: Vec<Vec<String>>,
+    /// Row-major codes: `codes[t * m + i]` is attribute `i` of tuple `t`.
+    codes: Vec<u32>,
+    /// `vals[t]` is the score of tuple `t`; non-increasing in `t`.
+    vals: Vec<f64>,
+    m: usize,
+}
+
+impl AnswerSet {
+    /// Number of grouping attributes `m`.
+    pub fn arity(&self) -> usize {
+        self.m
+    }
+
+    /// Number of answer tuples `n`.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Attribute names, in order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Size of attribute `i`'s active domain.
+    pub fn domain_size(&self, i: usize) -> usize {
+        self.domains[i].len()
+    }
+
+    /// Display text for code `c` of attribute `i`.
+    pub fn code_text(&self, i: usize, c: u32) -> &str {
+        &self.domains[i][c as usize]
+    }
+
+    /// Look up the code of a display value in attribute `i`'s domain.
+    pub fn code_of(&self, i: usize, text: &str) -> Option<u32> {
+        self.domains[i]
+            .iter()
+            .position(|v| v == text)
+            .map(|p| p as u32)
+    }
+
+    /// The codes of tuple `t`.
+    #[inline]
+    pub fn tuple(&self, t: TupleId) -> &[u32] {
+        let s = t as usize * self.m;
+        &self.codes[s..s + self.m]
+    }
+
+    /// The score of tuple `t`.
+    #[inline]
+    pub fn val(&self, t: TupleId) -> f64 {
+        self.vals[t as usize]
+    }
+
+    /// All scores, rank-ordered.
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Iterator over `(TupleId, codes, val)` in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[u32], f64)> {
+        (0..self.len() as u32).map(move |t| (t, self.tuple(t), self.val(t)))
+    }
+
+    /// The singleton-cluster pattern of tuple `t`.
+    pub fn singleton(&self, t: TupleId) -> Pattern {
+        Pattern::from_tuple(self.tuple(t))
+    }
+
+    /// Average score of all `n` tuples — the paper's trivial "Lower Bound"
+    /// baseline (the all-`∗` cluster covers everything).
+    pub fn mean_val(&self) -> f64 {
+        if self.vals.is_empty() {
+            return 0.0;
+        }
+        self.vals.iter().sum::<f64>() / self.vals.len() as f64
+    }
+
+    /// Render a pattern against this answer set's domains.
+    pub fn pattern_to_string(&self, p: &Pattern) -> String {
+        p.display_with(|i, c| self.domains[i][c as usize].clone())
+            .to_string()
+    }
+
+    /// Sum of `val` and count over the tuples covered by `p` (full scan).
+    ///
+    /// This is the slow path used by tests and the naive candidate builder;
+    /// the algorithms use [`crate::CandidateIndex`] coverage lists instead.
+    pub fn scan_coverage(&self, p: &Pattern) -> (Vec<TupleId>, f64) {
+        let mut ids = Vec::new();
+        let mut sum = 0.0;
+        for (t, codes, v) in self.iter() {
+            if p.covers_tuple(codes) {
+                ids.push(t);
+                sum += v;
+            }
+        }
+        (ids, sum)
+    }
+}
+
+/// Builder that accepts display-valued rows and produces a rank-sorted,
+/// dense-coded [`AnswerSet`].
+#[derive(Debug)]
+pub struct AnswerSetBuilder {
+    attr_names: Vec<String>,
+    domains: Vec<Vec<String>>,
+    domain_maps: Vec<FxHashMap<String, u32>>,
+    rows: Vec<(Vec<u32>, f64)>,
+}
+
+impl AnswerSetBuilder {
+    /// Start building an answer set over the named attributes.
+    pub fn new(attr_names: Vec<String>) -> Self {
+        let m = attr_names.len();
+        AnswerSetBuilder {
+            attr_names,
+            domains: vec![Vec::new(); m],
+            domain_maps: vec![FxHashMap::default(); m],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one answer tuple given as display strings plus its score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QagError::SchemaMismatch`] on an arity mismatch.
+    pub fn push(&mut self, attrs: &[&str], val: f64) -> Result<()> {
+        if attrs.len() != self.attr_names.len() {
+            return Err(QagError::SchemaMismatch(format!(
+                "answer tuple arity {} != {}",
+                attrs.len(),
+                self.attr_names.len()
+            )));
+        }
+        let mut codes = Vec::with_capacity(attrs.len());
+        for (i, &a) in attrs.iter().enumerate() {
+            let code = match self.domain_maps[i].get(a) {
+                Some(&c) => c,
+                None => {
+                    let c = self.domains[i].len() as u32;
+                    self.domains[i].push(a.to_string());
+                    self.domain_maps[i].insert(a.to_string(), c);
+                    c
+                }
+            };
+            codes.push(code);
+        }
+        self.rows.push((codes, val));
+        Ok(())
+    }
+
+    /// Finish: sort by value descending (ties broken by codes ascending so
+    /// runs are deterministic) and validate group-by uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QagError::SchemaMismatch`] if two tuples share identical
+    /// attribute values — impossible for a well-formed `GROUP BY` output.
+    pub fn finish(mut self) -> Result<AnswerSet> {
+        self.rows.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("aggregate scores must not be NaN")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        for w in self.rows.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(QagError::SchemaMismatch(format!(
+                    "duplicate group-by tuple {:?}: the answer relation must come from GROUP BY",
+                    w[0].0
+                )));
+            }
+        }
+        let m = self.attr_names.len();
+        let mut codes = Vec::with_capacity(self.rows.len() * m);
+        let mut vals = Vec::with_capacity(self.rows.len());
+        for (c, v) in self.rows {
+            codes.extend_from_slice(&c);
+            vals.push(v);
+        }
+        Ok(AnswerSet {
+            attr_names: self.attr_names,
+            domains: self.domains,
+            codes,
+            vals,
+            m,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::STAR;
+
+    fn movie_sample() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec![
+            "hdec".into(),
+            "agegrp".into(),
+            "gender".into(),
+            "occupation".into(),
+        ]);
+        // A slice of Figure 1a.
+        b.push(&["1975", "20s", "M", "Student"], 4.24).unwrap();
+        b.push(&["1980", "20s", "M", "Programmer"], 4.13).unwrap();
+        b.push(&["1980", "10s", "M", "Student"], 3.96).unwrap();
+        b.push(&["1980", "20s", "M", "Student"], 3.91).unwrap();
+        b.push(&["1995", "20s", "F", "Healthcare"], 1.98).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn tuples_sorted_by_value_desc() {
+        let s = movie_sample();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.arity(), 4);
+        let vals: Vec<f64> = s.vals().to_vec();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(vals, sorted);
+        assert_eq!(s.val(0), 4.24);
+    }
+
+    #[test]
+    fn codes_round_trip_to_text() {
+        let s = movie_sample();
+        let t0 = s.tuple(0);
+        assert_eq!(s.code_text(0, t0[0]), "1975");
+        assert_eq!(s.code_text(2, t0[2]), "M");
+        assert_eq!(s.code_of(3, "Programmer"), Some(s.tuple(1)[3]));
+        assert_eq!(s.code_of(3, "Astronaut"), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["zz"], 1.0).unwrap();
+        b.push(&["aa"], 1.0).unwrap();
+        let s = b.finish().unwrap();
+        // "zz" was interned first (code 0) so it sorts before "aa" (code 1)
+        // under the code-ascending tie-break.
+        assert_eq!(s.code_text(0, s.tuple(0)[0]), "zz");
+    }
+
+    #[test]
+    fn duplicate_groups_rejected() {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "y"], 1.0).unwrap();
+        b.push(&["x", "y"], 2.0).unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        assert!(b.push(&["only-one"], 1.0).is_err());
+    }
+
+    #[test]
+    fn scan_coverage_and_mean() {
+        let s = movie_sample();
+        // (1980, *, M, *) covers ranks 1..=3 (values 4.13, 3.96, 3.91).
+        let hdec_1980 = s.code_of(0, "1980").unwrap();
+        let gender_m = s.code_of(2, "M").unwrap();
+        let p = Pattern::new(vec![hdec_1980, STAR, gender_m, STAR]);
+        let (ids, sum) = s.scan_coverage(&p);
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!((sum - (4.13 + 3.96 + 3.91)).abs() < 1e-9);
+        assert!((s.mean_val() - (4.24 + 4.13 + 3.96 + 3.91 + 1.98) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_rendering_uses_domain_text() {
+        let s = movie_sample();
+        let p = Pattern::new(vec![
+            s.code_of(0, "1980").unwrap(),
+            STAR,
+            s.code_of(2, "M").unwrap(),
+            STAR,
+        ]);
+        assert_eq!(s.pattern_to_string(&p), "(1980, *, M, *)");
+    }
+
+    #[test]
+    fn singleton_covers_only_itself_among_distinct_tuples() {
+        let s = movie_sample();
+        let p = s.singleton(2);
+        let (ids, _) = s.scan_coverage(&p);
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn empty_answer_set() {
+        let s = AnswerSetBuilder::new(vec!["a".into()]).finish().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_val(), 0.0);
+    }
+}

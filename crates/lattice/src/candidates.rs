@@ -1,0 +1,297 @@
+//! Candidate-cluster generation and cluster→tuple mapping (paper §6.3).
+//!
+//! Rather than materializing the full cluster space `∏ᵢ (Dᵢ ∪ {∗})`, the
+//! paper generates exactly the clusters that can ever appear in a solution:
+//! the ancestors of the top-`L` tuples (each top-`L` tuple has `2^m`
+//! generalizations). This set is closed under the `Merge` operation — the
+//! LCA of two ancestors of top-`L` tuples covers a top-`L` tuple, hence is
+//! itself such an ancestor — so one eager pass suffices for a whole run, and
+//! for *all* `(k, D)` combinations during precomputation (§6.2).
+//!
+//! The coverage mapping is built in the "inverted" direction the paper
+//! describes: every tuple of `S` probes its own `2^m` generalizations into
+//! the candidate map, instead of every candidate scanning all of `S`. The
+//! naive scan is retained as [`CandidateIndex::build_naive`] for the
+//! Fig. 8(a) ablation (paper: 100×–1000× slower).
+
+use crate::answers::{AnswerSet, TupleId};
+use crate::pattern::Pattern;
+use qagview_common::{FxHashMap, QagError, Result};
+
+/// Dense identifier of a candidate cluster inside a [`CandidateIndex`].
+pub type CandId = u32;
+
+/// A candidate cluster with its precomputed coverage over all of `S`.
+#[derive(Debug, Clone)]
+pub struct CandidateInfo {
+    /// The cluster pattern.
+    pub pattern: Pattern,
+    /// Ids of covered tuples, ascending (== descending-value rank order).
+    pub cov: Vec<TupleId>,
+    /// Sum of `val` over the covered tuples.
+    pub sum: f64,
+}
+
+impl CandidateInfo {
+    /// Number of covered tuples.
+    pub fn count(&self) -> usize {
+        self.cov.len()
+    }
+
+    /// Average value of covered tuples (`avg(C)` in §4.1).
+    pub fn avg(&self) -> f64 {
+        if self.cov.is_empty() {
+            0.0
+        } else {
+            self.sum / self.cov.len() as f64
+        }
+    }
+}
+
+/// The candidate-cluster index for one `(S, L)` pair.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    m: usize,
+    l: usize,
+    map: FxHashMap<Pattern, CandId>,
+    infos: Vec<CandidateInfo>,
+}
+
+impl CandidateIndex {
+    /// Build with the §6.3 optimization (default path).
+    ///
+    /// # Errors
+    ///
+    /// * [`QagError::InvalidParameter`] if `l` is zero or exceeds `n`, or if
+    ///   `m` is too large for eager enumeration.
+    pub fn build(answers: &AnswerSet, l: usize) -> Result<Self> {
+        let mut index = Self::generate_candidates(answers, l)?;
+        // Inverted mapping: each tuple probes its own generalizations.
+        let mut scratch_hits: Vec<CandId> = Vec::with_capacity(1 << answers.arity().min(16));
+        for (t, codes, v) in answers.iter() {
+            scratch_hits.clear();
+            Pattern::for_each_generalization(codes, |slots| {
+                // Borrow-friendly two-phase: collect hits, then update.
+                if let Some(&id) = index.map.get(&Pattern::new(slots.to_vec())) {
+                    scratch_hits.push(id);
+                }
+            });
+            for &id in &scratch_hits {
+                let info = &mut index.infos[id as usize];
+                info.cov.push(t);
+                info.sum += v;
+            }
+        }
+        Ok(index)
+    }
+
+    /// Build with the naive per-candidate scan (Fig. 8(a) ablation only).
+    ///
+    /// Produces byte-identical results to [`CandidateIndex::build`].
+    pub fn build_naive(answers: &AnswerSet, l: usize) -> Result<Self> {
+        let mut index = Self::generate_candidates(answers, l)?;
+        for info in &mut index.infos {
+            for (t, codes, v) in answers.iter() {
+                if info.pattern.covers_tuple(codes) {
+                    info.cov.push(t);
+                    info.sum += v;
+                }
+            }
+        }
+        Ok(index)
+    }
+
+    fn generate_candidates(answers: &AnswerSet, l: usize) -> Result<Self> {
+        let m = answers.arity();
+        if l == 0 || l > answers.len() {
+            return Err(QagError::param(format!(
+                "coverage parameter L={l} must be in 1..={}",
+                answers.len()
+            )));
+        }
+        if m > 20 {
+            return Err(QagError::param(format!(
+                "eager candidate generation supports at most 20 grouping attributes, got {m}"
+            )));
+        }
+        let mut map: FxHashMap<Pattern, CandId> = FxHashMap::default();
+        let mut infos: Vec<CandidateInfo> = Vec::new();
+        for t in 0..l as u32 {
+            Pattern::for_each_generalization(answers.tuple(t), |slots| {
+                let p = Pattern::new(slots.to_vec());
+                if !map.contains_key(&p) {
+                    let id = infos.len() as CandId;
+                    map.insert(p.clone(), id);
+                    infos.push(CandidateInfo {
+                        pattern: p,
+                        cov: Vec::new(),
+                        sum: 0.0,
+                    });
+                }
+            });
+        }
+        Ok(CandidateIndex { m, l, map, infos })
+    }
+
+    /// Number of grouping attributes.
+    pub fn arity(&self) -> usize {
+        self.m
+    }
+
+    /// The `L` this index was built for.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Number of candidate clusters.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the index is empty (only possible for an empty `S`).
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Id of a pattern, if it is a candidate.
+    pub fn id_of(&self, p: &Pattern) -> Option<CandId> {
+        self.map.get(p).copied()
+    }
+
+    /// Id of a pattern, or an internal error (the candidate set is closed
+    /// under LCA of ancestors of top-`L` tuples, so algorithm-internal
+    /// lookups must never miss).
+    pub fn require(&self, p: &Pattern) -> Result<CandId> {
+        self.id_of(p).ok_or_else(|| {
+            QagError::internal(format!("pattern {:?} missing from candidate index", p))
+        })
+    }
+
+    /// Candidate info by id.
+    #[inline]
+    pub fn info(&self, id: CandId) -> &CandidateInfo {
+        &self.infos[id as usize]
+    }
+
+    /// Iterate over `(CandId, &CandidateInfo)`.
+    pub fn iter(&self) -> impl Iterator<Item = (CandId, &CandidateInfo)> {
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (i as CandId, info))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answers::AnswerSetBuilder;
+    use crate::pattern::STAR;
+
+    fn sample() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        b.push(&["x", "p", "1"], 5.0).unwrap();
+        b.push(&["x", "q", "1"], 4.0).unwrap();
+        b.push(&["y", "p", "2"], 3.0).unwrap();
+        b.push(&["y", "q", "2"], 2.0).unwrap();
+        b.push(&["x", "p", "2"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn candidate_count_for_single_top_tuple() {
+        let s = sample();
+        let idx = CandidateIndex::build(&s, 1).unwrap();
+        // One top tuple over m=3 attributes: 2^3 = 8 ancestors.
+        assert_eq!(idx.len(), 8);
+        assert_eq!(idx.l(), 1);
+        assert_eq!(idx.arity(), 3);
+    }
+
+    #[test]
+    fn coverage_lists_cover_all_of_s_not_just_top_l() {
+        let s = sample();
+        let idx = CandidateIndex::build(&s, 2).unwrap();
+        // (x, *, *) is an ancestor of both top tuples and covers rank 4 too.
+        let x = s.code_of(0, "x").unwrap();
+        let p = Pattern::new(vec![x, STAR, STAR]);
+        let id = idx.id_of(&p).expect("candidate present");
+        let info = idx.info(id);
+        assert_eq!(info.cov, vec![0, 1, 4]);
+        assert!((info.sum - 10.0).abs() < 1e-12);
+        assert!((info.avg() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_star_candidate_covers_everything() {
+        let s = sample();
+        let idx = CandidateIndex::build(&s, 3).unwrap();
+        let id = idx.id_of(&Pattern::all_star(3)).unwrap();
+        assert_eq!(idx.info(id).count(), s.len());
+    }
+
+    #[test]
+    fn naive_build_matches_indexed_build() {
+        let s = sample();
+        let fast = CandidateIndex::build(&s, 4).unwrap();
+        let slow = CandidateIndex::build_naive(&s, 4).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (_, info) in fast.iter() {
+            let sid = slow.id_of(&info.pattern).expect("same candidate set");
+            let sinfo = slow.info(sid);
+            assert_eq!(
+                info.cov, sinfo.cov,
+                "coverage differs for {:?}",
+                info.pattern
+            );
+            assert!((info.sum - sinfo.sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn closure_under_lca() {
+        let s = sample();
+        let idx = CandidateIndex::build(&s, 3).unwrap();
+        let pats: Vec<Pattern> = idx.iter().map(|(_, i)| i.pattern.clone()).collect();
+        for a in &pats {
+            for b in &pats {
+                let l = a.lca(b);
+                // LCA of two candidates covering top-L tuples is a candidate
+                // iff it covers a top-L tuple; ancestors of candidates that
+                // themselves cover a top-L tuple always do.
+                if (0..3u32).any(|t| l.covers_tuple(s.tuple(t))) {
+                    assert!(idx.id_of(&l).is_some(), "LCA {l:?} missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_matches_full_scan() {
+        let s = sample();
+        let idx = CandidateIndex::build(&s, 5).unwrap();
+        for (_, info) in idx.iter() {
+            let (ids, sum) = s.scan_coverage(&info.pattern);
+            assert_eq!(info.cov, ids);
+            assert!((info.sum - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn l_bounds_validated() {
+        let s = sample();
+        assert!(CandidateIndex::build(&s, 0).is_err());
+        assert!(CandidateIndex::build(&s, 6).is_err());
+        assert!(CandidateIndex::build(&s, 5).is_ok());
+    }
+
+    #[test]
+    fn require_reports_missing_pattern() {
+        let s = sample();
+        let idx = CandidateIndex::build(&s, 1).unwrap();
+        // (y, *, *) is not an ancestor of the single top tuple (x, p, 1).
+        let y = s.code_of(0, "y").unwrap();
+        let missing = Pattern::new(vec![y, STAR, STAR]);
+        assert!(idx.require(&missing).is_err());
+    }
+}

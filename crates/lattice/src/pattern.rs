@@ -1,0 +1,302 @@
+//! Cluster patterns: the paper's clusters with don't-care `∗` values.
+//!
+//! A cluster over `m` attributes is an element of `∏ᵢ (Dᵢ ∪ {∗})` (§3). We
+//! encode each attribute's active domain with dense `u32` codes (assigned by
+//! [`crate::answers::AnswerSet`]) and reserve [`STAR`] for `∗`, so all
+//! pattern algebra is branch-light integer work — this is where the §6.3
+//! "hash values for fields" optimization pays off.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The don't-care marker inside a pattern slot.
+pub const STAR: u32 = u32::MAX;
+
+/// A cluster: one code (or [`STAR`]) per grouping attribute.
+///
+/// Patterns are ordered lexicographically by slot (with `∗` sorting last),
+/// giving every algorithm a deterministic tie-break.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern(Box<[u32]>);
+
+impl Pattern {
+    /// Build a pattern from raw slots (codes or [`STAR`]).
+    pub fn new(slots: impl Into<Box<[u32]>>) -> Self {
+        Pattern(slots.into())
+    }
+
+    /// The all-`∗` pattern over `m` attributes — the paper's trivial
+    /// feasible solution `(∗, ∗, …, ∗)`.
+    pub fn all_star(m: usize) -> Self {
+        Pattern(vec![STAR; m].into())
+    }
+
+    /// A concrete (singleton-cluster) pattern from tuple codes.
+    pub fn from_tuple(codes: &[u32]) -> Self {
+        debug_assert!(codes.iter().all(|&c| c != STAR), "tuple codes cannot be ∗");
+        Pattern(codes.into())
+    }
+
+    /// Number of attributes `m`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw slots.
+    #[inline]
+    pub fn slots(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// The slot for attribute `i`.
+    #[inline]
+    pub fn slot(&self, i: usize) -> u32 {
+        self.0[i]
+    }
+
+    /// Whether attribute `i` is a don't-care.
+    #[inline]
+    pub fn is_star(&self, i: usize) -> bool {
+        self.0[i] == STAR
+    }
+
+    /// Number of `∗` slots — the pattern's *level* in the semilattice
+    /// (§4.2: "Level ℓ of the semilattice is the set of clusters with
+    /// exactly ℓ ∗ values").
+    pub fn level(&self) -> usize {
+        self.0.iter().filter(|&&c| c == STAR).count()
+    }
+
+    /// Whether the pattern has no `∗` (i.e. it is a singleton cluster).
+    pub fn is_concrete(&self) -> bool {
+        self.0.iter().all(|&c| c != STAR)
+    }
+
+    /// Coverage test between clusters (§3): `self` covers `other` iff for
+    /// every attribute, `self` is `∗` or agrees with `other`.
+    ///
+    /// Note coverage is a *partial order*: `covers(a, b) && covers(b, a)`
+    /// implies `a == b`.
+    pub fn covers(&self, other: &Pattern) -> bool {
+        debug_assert_eq!(self.arity(), other.arity(), "pattern arity mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(&a, &b)| a == STAR || a == b)
+    }
+
+    /// Coverage test against a concrete tuple given as raw codes.
+    #[inline]
+    pub fn covers_tuple(&self, codes: &[u32]) -> bool {
+        debug_assert_eq!(self.arity(), codes.len(), "pattern arity mismatch");
+        self.0
+            .iter()
+            .zip(codes.iter())
+            .all(|(&a, &b)| a == STAR || a == b)
+    }
+
+    /// The paper's cluster distance (Def. 3.1): the number of attributes
+    /// where at least one side is `∗` or the two sides disagree.
+    ///
+    /// Restricted to concrete patterns this is the Hamming distance between
+    /// tuples; in general it is the *maximum* element distance across the
+    /// two clusters' contents.
+    pub fn distance(&self, other: &Pattern) -> usize {
+        debug_assert_eq!(self.arity(), other.arity(), "pattern arity mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .filter(|&(&a, &b)| a == STAR || b == STAR || a != b)
+            .count()
+    }
+
+    /// Least common ancestor (§5.1): slot-wise, keep agreeing concrete
+    /// values and generalize everything else to `∗`.
+    ///
+    /// `lca(a, b)` covers both `a` and `b`, and any pattern covering both
+    /// also covers `lca(a, b)` — see the `lca_is_least` property test.
+    pub fn lca(&self, other: &Pattern) -> Pattern {
+        debug_assert_eq!(self.arity(), other.arity(), "pattern arity mismatch");
+        Pattern(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(&a, &b)| if a == b && a != STAR { a } else { STAR })
+                .collect(),
+        )
+    }
+
+    /// Enumerate every *generalization* (ancestor) of a concrete tuple,
+    /// including the tuple itself and the all-`∗` pattern: one pattern per
+    /// subset of starred positions (2^m total).
+    ///
+    /// This enumeration is the engine of the §6.3 candidate-generation
+    /// optimization. The callback style avoids 2^m allocations at the call
+    /// site; `scratch` is reused across masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() > 24` — the eager enumeration is meant for the
+    /// paper's regime of `m ≤ 10` grouping attributes.
+    pub fn for_each_generalization(codes: &[u32], mut f: impl FnMut(&[u32])) {
+        let m = codes.len();
+        assert!(
+            m <= 24,
+            "eager generalization enumeration requires m <= 24, got {m}"
+        );
+        let mut scratch = vec![0u32; m];
+        for mask in 0u32..(1u32 << m) {
+            for (i, slot) in scratch.iter_mut().enumerate() {
+                *slot = if mask >> i & 1 == 1 { STAR } else { codes[i] };
+            }
+            f(&scratch);
+        }
+    }
+
+    /// Deterministic total order used for tie-breaking: level first (fewer
+    /// `∗` first), then lexicographic slots.
+    pub fn cmp_for_ties(&self, other: &Pattern) -> Ordering {
+        self.level()
+            .cmp(&other.level())
+            .then_with(|| self.0.cmp(&other.0))
+    }
+
+    /// Render with a resolver from `(attribute index, code)` to text.
+    pub fn display_with<'a, F>(&'a self, resolve: F) -> PatternDisplay<'a, F>
+    where
+        F: Fn(usize, u32) -> String,
+    {
+        PatternDisplay {
+            pattern: self,
+            resolve,
+        }
+    }
+}
+
+/// Helper returned by [`Pattern::display_with`].
+pub struct PatternDisplay<'a, F> {
+    pattern: &'a Pattern,
+    resolve: F,
+}
+
+impl<F> fmt::Display for PatternDisplay<'_, F>
+where
+    F: Fn(usize, u32) -> String,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &c) in self.pattern.slots().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if c == STAR {
+                write!(f, "*")?;
+            } else {
+                write!(f, "{}", (self.resolve)(i, c))?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(slots: &[u32]) -> Pattern {
+        Pattern::new(slots.to_vec())
+    }
+
+    #[test]
+    fn coverage_basics() {
+        // Figure 3a: C1 = (*, *, c1, d1) covers (a1, b2, c1, d1).
+        let c1 = p(&[STAR, STAR, 0, 0]);
+        let t = p(&[0, 1, 0, 0]);
+        assert!(c1.covers(&t));
+        assert!(!t.covers(&c1));
+        assert!(c1.covers(&c1));
+    }
+
+    #[test]
+    fn distance_matches_paper_example() {
+        // §3: d((*, *, c1, d1), (a2, b1, *, d1)) = 3 (stars in A1, A2, A3).
+        let c1 = p(&[STAR, STAR, 0, 0]);
+        let c2 = p(&[1, 0, STAR, 0]);
+        assert_eq!(c1.distance(&c2), 3);
+    }
+
+    #[test]
+    fn distance_on_concrete_patterns_is_hamming() {
+        let a = p(&[1, 2, 3, 4]);
+        let b = p(&[1, 9, 3, 8]);
+        assert_eq!(a.distance(&b), 2);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn self_distance_counts_own_stars() {
+        // Def. 3.1 applied to (C, C): every ∗ slot contributes.
+        let c = p(&[STAR, 5, STAR]);
+        assert_eq!(c.distance(&c), 2);
+    }
+
+    #[test]
+    fn lca_generalizes_disagreements() {
+        // §5.1: LCA((a1,*,c1,*), (a1,b2,c2,*)) = (a1,*,*,*).
+        let a = p(&[0, STAR, 0, STAR]);
+        let b = p(&[0, 1, 1, STAR]);
+        assert_eq!(a.lca(&b), p(&[0, STAR, STAR, STAR]));
+    }
+
+    #[test]
+    fn lca_covers_both_inputs() {
+        let a = p(&[1, 2, STAR]);
+        let b = p(&[1, STAR, 3]);
+        let l = a.lca(&b);
+        assert!(l.covers(&a));
+        assert!(l.covers(&b));
+    }
+
+    #[test]
+    fn level_and_concreteness() {
+        assert_eq!(Pattern::all_star(4).level(), 4);
+        assert_eq!(p(&[1, STAR, 2]).level(), 1);
+        assert!(p(&[1, 2]).is_concrete());
+        assert!(!p(&[1, STAR]).is_concrete());
+    }
+
+    #[test]
+    fn generalization_enumeration_counts() {
+        let mut n = 0usize;
+        let mut star_histogram = [0usize; 4];
+        Pattern::for_each_generalization(&[7, 8, 9], |slots| {
+            n += 1;
+            star_histogram[slots.iter().filter(|&&c| c == STAR).count()] += 1;
+        });
+        assert_eq!(n, 8);
+        assert_eq!(star_histogram, [1, 3, 3, 1]); // binomial(3, k)
+    }
+
+    #[test]
+    fn generalizations_all_cover_the_tuple() {
+        let codes = [3u32, 1, 4, 1];
+        Pattern::for_each_generalization(&codes, |slots| {
+            assert!(Pattern::new(slots.to_vec()).covers_tuple(&codes));
+        });
+    }
+
+    #[test]
+    fn tie_break_prefers_fewer_stars() {
+        let specific = p(&[1, 2]);
+        let general = p(&[1, STAR]);
+        assert_eq!(specific.cmp_for_ties(&general), Ordering::Less);
+    }
+
+    #[test]
+    fn display_resolves_codes() {
+        let c = p(&[0, STAR]);
+        let text = c.display_with(|i, code| format!("v{i}{code}")).to_string();
+        assert_eq!(text, "(v00, *)");
+    }
+}

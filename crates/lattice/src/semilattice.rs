@@ -1,0 +1,222 @@
+//! Set-level helpers over the semilattice of clusters (paper §4.2).
+//!
+//! The coverage relation of [`Pattern`]s induces a join-semilattice: the
+//! join of two clusters is their [`Pattern::lca`]. The feasibility conditions
+//! of Def. 4.1 are set-level predicates over this structure — incomparability
+//! (antichain) and minimum pairwise distance — implemented here, together
+//! with test-only oracles for the monotonicity property (Prop. 4.2) that the
+//! merging algorithms rely on.
+
+use crate::pattern::Pattern;
+
+/// Whether no pattern in `set` covers another (Def. 4.1 condition 4).
+///
+/// Quadratic; the solution sets it is applied to have at most `k` (tens of)
+/// clusters.
+pub fn is_antichain(set: &[Pattern]) -> bool {
+    for (i, a) in set.iter().enumerate() {
+        for b in &set[i + 1..] {
+            if a.covers(b) || b.covers(a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Minimum pairwise distance `λ` over a set of clusters (Prop. 4.2's
+/// quantity). Returns `None` for sets with fewer than two clusters, for
+/// which every distance constraint is vacuously satisfied.
+pub fn min_pairwise_distance(set: &[Pattern]) -> Option<usize> {
+    let mut min = None;
+    for (i, a) in set.iter().enumerate() {
+        for b in &set[i + 1..] {
+            let d = a.distance(b);
+            min = Some(min.map_or(d, |m: usize| m.min(d)));
+        }
+    }
+    min
+}
+
+/// Whether every pairwise distance in `set` is at least `d` (Def. 4.1
+/// condition 3). Short-circuits, unlike computing the full minimum.
+pub fn satisfies_distance(set: &[Pattern], d: usize) -> bool {
+    if d == 0 {
+        return true;
+    }
+    for (i, a) in set.iter().enumerate() {
+        for b in &set[i + 1..] {
+            if a.distance(b) < d {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The immediate parents of a pattern in the transitive reduction of the
+/// semilattice (§4.2): replace each concrete slot, one at a time, with `∗`.
+pub fn parents(p: &Pattern) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    for i in 0..p.arity() {
+        if !p.is_star(i) {
+            let mut slots = p.slots().to_vec();
+            slots[i] = crate::pattern::STAR;
+            out.push(Pattern::new(slots));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::STAR;
+    use proptest::prelude::*;
+
+    fn p(slots: &[u32]) -> Pattern {
+        Pattern::new(slots.to_vec())
+    }
+
+    #[test]
+    fn antichain_detects_coverage() {
+        let a = p(&[1, STAR]);
+        let b = p(&[1, 2]);
+        assert!(!is_antichain(&[a.clone(), b.clone()]));
+        let c = p(&[2, STAR]);
+        assert!(is_antichain(&[a, c]));
+        assert!(is_antichain(&[]));
+        assert!(is_antichain(&[b]));
+    }
+
+    #[test]
+    fn min_distance_of_small_sets() {
+        assert_eq!(min_pairwise_distance(&[]), None);
+        assert_eq!(min_pairwise_distance(&[p(&[1, 2])]), None);
+        let set = [p(&[1, 2]), p(&[1, 3]), p(&[4, 5])];
+        assert_eq!(min_pairwise_distance(&set), Some(1));
+        assert!(satisfies_distance(&set, 1));
+        assert!(!satisfies_distance(&set, 2));
+        assert!(satisfies_distance(&set, 0));
+    }
+
+    #[test]
+    fn figure_3b_example() {
+        // §4.2: {(a1,b2), (*,b1)} satisfies D=2; replacing (a1,b2) by its
+        // ancestor (a1,*) keeps D=2. (Codes: a1=0, a2=1, b1=0, b2=1.)
+        let s1 = [p(&[0, 1]), p(&[STAR, 0])];
+        assert!(satisfies_distance(&s1, 2));
+        let s2 = [p(&[0, STAR]), p(&[STAR, 0])];
+        assert!(satisfies_distance(&s2, 2));
+    }
+
+    #[test]
+    fn parents_are_one_level_up() {
+        let base = p(&[1, 2, STAR]);
+        let ps = parents(&base);
+        assert_eq!(ps.len(), 2);
+        for parent in &ps {
+            assert_eq!(parent.level(), base.level() + 1);
+            assert!(parent.covers(&base));
+        }
+        assert!(parents(&Pattern::all_star(3)).is_empty());
+    }
+
+    /// Strategy: a random pattern over `m` attributes with domain size `d`.
+    fn arb_pattern(m: usize, d: u32) -> impl Strategy<Value = Pattern> {
+        prop::collection::vec(prop_oneof![3 => (0..d).prop_map(|c| c), 1 => Just(STAR)], m)
+            .prop_map(Pattern::new)
+    }
+
+    proptest! {
+        /// Distance is symmetric.
+        #[test]
+        fn distance_symmetric(a in arb_pattern(5, 4), b in arb_pattern(5, 4)) {
+            prop_assert_eq!(a.distance(&b), b.distance(&a));
+        }
+
+        /// Distance is bounded by the arity.
+        #[test]
+        fn distance_bounded(a in arb_pattern(5, 4), b in arb_pattern(5, 4)) {
+            prop_assert!(a.distance(&b) <= 5);
+        }
+
+        /// Triangle inequality on *concrete* patterns (where the distance is
+        /// the Hamming metric).
+        #[test]
+        fn concrete_triangle_inequality(
+            a in prop::collection::vec(0u32..4, 5),
+            b in prop::collection::vec(0u32..4, 5),
+            c in prop::collection::vec(0u32..4, 5),
+        ) {
+            let (a, b, c) = (Pattern::new(a), Pattern::new(b), Pattern::new(c));
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c));
+        }
+
+        /// Prop. 4.2 (monotonicity): replacing a cluster with an ancestor
+        /// never decreases the minimum pairwise distance.
+        #[test]
+        fn monotonicity_under_ancestor_replacement(
+            mut set in prop::collection::vec(arb_pattern(5, 3), 2..6),
+            star_mask in prop::collection::vec(any::<bool>(), 5),
+        ) {
+            let before = min_pairwise_distance(&set).unwrap();
+            // Build an ancestor of set[0] by starring a random subset of slots.
+            let mut slots = set[0].slots().to_vec();
+            for (i, &s) in star_mask.iter().enumerate() {
+                if s {
+                    slots[i] = STAR;
+                }
+            }
+            set[0] = Pattern::new(slots);
+            let after = min_pairwise_distance(&set).unwrap();
+            prop_assert!(after >= before, "min distance decreased: {before} -> {after}");
+        }
+
+        /// LCA is the least common ancestor: it covers both inputs, and any
+        /// other common ancestor covers it.
+        #[test]
+        fn lca_is_least(
+            a in arb_pattern(5, 3),
+            b in arb_pattern(5, 3),
+            other in arb_pattern(5, 3),
+        ) {
+            let l = a.lca(&b);
+            prop_assert!(l.covers(&a) && l.covers(&b));
+            if other.covers(&a) && other.covers(&b) {
+                prop_assert!(other.covers(&l));
+            }
+        }
+
+        /// Coverage is transitive.
+        #[test]
+        fn coverage_transitive(
+            a in arb_pattern(4, 3),
+            b in arb_pattern(4, 3),
+            c in arb_pattern(4, 3),
+        ) {
+            if a.covers(&b) && b.covers(&c) {
+                prop_assert!(a.covers(&c));
+            }
+        }
+
+        /// Coverage is antisymmetric.
+        #[test]
+        fn coverage_antisymmetric(a in arb_pattern(4, 3), b in arb_pattern(4, 3)) {
+            if a.covers(&b) && b.covers(&a) {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        /// If d(C, C') >= D then the clusters share at most m - D concrete
+        /// attribute values (§3, last paragraph).
+        #[test]
+        fn distance_limits_shared_values(a in arb_pattern(6, 3), b in arb_pattern(6, 3)) {
+            let d = a.distance(&b);
+            let shared = (0..6)
+                .filter(|&i| !a.is_star(i) && a.slot(i) == b.slot(i))
+                .count();
+            prop_assert!(shared <= 6 - d);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the §6.3 candidate index: the optimized inverted
+//! build must be semantically identical to the naive scan, and the index
+//! must be closed under the merge operation on arbitrary relations.
+
+use proptest::prelude::*;
+use qagview_lattice::{AnswerSet, AnswerSetBuilder, CandidateIndex, Pattern};
+
+fn arb_answers() -> impl Strategy<Value = AnswerSet> {
+    (2usize..=4, 5usize..=20, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut builder = AnswerSetBuilder::new((0..m).map(|i| format!("a{i}")).collect());
+        let mut seen = std::collections::HashSet::new();
+        let mut added = 0usize;
+        while added < n {
+            let codes: Vec<u32> = (0..m).map(|_| next() % 5).collect();
+            if !seen.insert(codes.clone()) {
+                continue;
+            }
+            let texts: Vec<String> = codes.iter().map(|c| format!("v{c}")).collect();
+            let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+            builder.push(&refs, f64::from(next() % 500) / 10.0).unwrap();
+            added += 1;
+        }
+        builder.finish().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Indexed and naive builds agree on the candidate set, every coverage
+    /// list, and every sum.
+    #[test]
+    fn indexed_build_equals_naive(answers in arb_answers(), l_frac in 0.1f64..=1.0) {
+        let l = ((answers.len() as f64 * l_frac) as usize).clamp(1, answers.len());
+        let fast = CandidateIndex::build(&answers, l).unwrap();
+        let slow = CandidateIndex::build_naive(&answers, l).unwrap();
+        prop_assert_eq!(fast.len(), slow.len());
+        for (_, info) in fast.iter() {
+            let sid = slow.id_of(&info.pattern).expect("same candidate set");
+            let sinfo = slow.info(sid);
+            prop_assert_eq!(&info.cov, &sinfo.cov);
+            prop_assert!((info.sum - sinfo.sum).abs() < 1e-9);
+        }
+    }
+
+    /// Every coverage list matches a full scan of the relation.
+    #[test]
+    fn coverage_lists_match_scans(answers in arb_answers()) {
+        let l = (answers.len() / 2).max(1);
+        let index = CandidateIndex::build(&answers, l).unwrap();
+        for (_, info) in index.iter() {
+            let (ids, sum) = answers.scan_coverage(&info.pattern);
+            prop_assert_eq!(&info.cov, &ids);
+            prop_assert!((info.sum - sum).abs() < 1e-9);
+        }
+    }
+
+    /// The candidate set is closed under LCA for pairs that each cover a
+    /// top-L tuple (the property the algorithms rely on for `require`).
+    #[test]
+    fn closed_under_lca(answers in arb_answers()) {
+        let l = answers.len().min(4);
+        let index = CandidateIndex::build(&answers, l).unwrap();
+        let patterns: Vec<Pattern> = index.iter().map(|(_, i)| i.pattern.clone()).collect();
+        for a in patterns.iter().take(40) {
+            for b in patterns.iter().take(40) {
+                let lca = a.lca(b);
+                prop_assert!(
+                    index.id_of(&lca).is_some(),
+                    "LCA of two candidates missing from the index"
+                );
+            }
+        }
+    }
+
+    /// Candidate count is exactly the number of distinct generalizations of
+    /// the top-L tuples.
+    #[test]
+    fn candidate_count_is_distinct_ancestor_count(answers in arb_answers()) {
+        let l = (answers.len() / 3).max(1);
+        let index = CandidateIndex::build(&answers, l).unwrap();
+        let mut expected = std::collections::HashSet::new();
+        for t in 0..l as u32 {
+            Pattern::for_each_generalization(answers.tuple(t), |slots| {
+                expected.insert(Pattern::new(slots.to_vec()));
+            });
+        }
+        prop_assert_eq!(index.len(), expected.len());
+    }
+}

@@ -1,0 +1,132 @@
+//! **qagview** — interactive summarization and exploration of top aggregate
+//! query answers.
+//!
+//! A from-scratch Rust implementation of Wen, Zhu, Roy & Yang,
+//! *"Interactive Summarization and Exploration of Top Aggregate Query
+//! Answers"* (arXiv 1807.11634; demo: QagView, SIGMOD 2018). The facade
+//! re-exports the workspace crates and provides the end-to-end glue from a
+//! SQL query to an answer relation ready for summarization.
+//!
+//! # End-to-end example
+//!
+//! ```
+//! use qagview::prelude::*;
+//!
+//! // 1. A tiny ratings relation.
+//! let schema = Schema::from_pairs(&[
+//!     ("genre", ColumnType::Str),
+//!     ("who", ColumnType::Str),
+//!     ("rating", ColumnType::Float),
+//! ]).unwrap();
+//! let mut b = TableBuilder::new(schema);
+//! for (g, w, r) in [
+//!     ("adventure", "student", 4.8), ("adventure", "student", 4.4),
+//!     ("adventure", "coder", 4.3), ("romance", "student", 2.0),
+//!     ("romance", "coder", 1.6), ("romance", "coder", 1.2),
+//! ] {
+//!     b.push_row(vec![g.into(), w.into(), Cell::Float(r)]).unwrap();
+//! }
+//! let mut catalog = Catalog::new();
+//! catalog.register("ratings", b.finish());
+//!
+//! // 2. The paper-shaped aggregate query.
+//! let output = run_query(&catalog,
+//!     "SELECT genre, who, AVG(rating) AS val FROM ratings \
+//!      GROUP BY genre, who ORDER BY val DESC").unwrap();
+//!
+//! // 3. Summarize the top answers.
+//! let answers = answers_from_query(&output).unwrap();
+//! let summarizer = Summarizer::new(&answers, 2).unwrap();
+//! let solution = summarizer.hybrid(1, 0).unwrap();
+//! assert_eq!(answers.pattern_to_string(&solution.clusters[0].pattern),
+//!            "(adventure, *)");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use qagview_baselines as baselines;
+pub use qagview_common as common;
+pub use qagview_core as core;
+pub use qagview_datagen as datagen;
+pub use qagview_hierarchy as hierarchy;
+pub use qagview_interactive as interactive;
+pub use qagview_lattice as lattice;
+pub use qagview_query as query;
+pub use qagview_storage as storage;
+pub use qagview_userstudy as userstudy;
+pub use qagview_viz as viz;
+
+use qagview_common::Result;
+use qagview_lattice::{AnswerSet, AnswerSetBuilder};
+use qagview_query::QueryOutput;
+
+/// Convert an executed query's output into the answer relation consumed by
+/// the summarization algorithms.
+pub fn answers_from_query(output: &QueryOutput) -> Result<AnswerSet> {
+    let mut builder = AnswerSetBuilder::new(output.attr_names.clone());
+    for row in &output.rows {
+        let refs: Vec<&str> = row.attrs.iter().map(|s| s.as_str()).collect();
+        builder.push(&refs, row.val)?;
+    }
+    builder.finish()
+}
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::answers_from_query;
+    pub use qagview_core::{BottomUpOptions, EvalMode, Params, Seeding, Solution, Summarizer};
+    pub use qagview_interactive::{GuidancePlot, PrecomputeConfig, Precomputed};
+    pub use qagview_lattice::{AnswerSet, AnswerSetBuilder, CandidateIndex, Pattern, STAR};
+    pub use qagview_query::run_query;
+    pub use qagview_storage::{Catalog, Cell, ColumnType, Schema, Table, TableBuilder};
+    pub use qagview_viz::{optimal_placement, render_transition, Placement, Transition};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_query::{QueryOutput, QueryRow};
+
+    #[test]
+    fn answers_from_query_preserves_order_and_values() {
+        let output = QueryOutput {
+            attr_names: vec!["g".into()],
+            val_name: "val".into(),
+            rows: vec![
+                QueryRow {
+                    attrs: vec!["a".into()],
+                    val: 3.0,
+                },
+                QueryRow {
+                    attrs: vec!["b".into()],
+                    val: 5.0,
+                },
+            ],
+        };
+        let answers = answers_from_query(&output).unwrap();
+        assert_eq!(answers.len(), 2);
+        // Re-sorted by value descending regardless of input order.
+        assert_eq!(answers.val(0), 5.0);
+        assert_eq!(answers.code_text(0, answers.tuple(0)[0]), "b");
+    }
+
+    #[test]
+    fn duplicate_groups_rejected_at_conversion() {
+        let output = QueryOutput {
+            attr_names: vec!["g".into()],
+            val_name: "val".into(),
+            rows: vec![
+                QueryRow {
+                    attrs: vec!["a".into()],
+                    val: 3.0,
+                },
+                QueryRow {
+                    attrs: vec!["a".into()],
+                    val: 5.0,
+                },
+            ],
+        };
+        assert!(answers_from_query(&output).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Abstract syntax of the restricted SQL fragment.
+
+/// Aggregate functions supported in the `SELECT` and `HAVING` clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `AVG(col)`
+    Avg,
+    /// `SUM(col)`
+    Sum,
+    /// `COUNT(col)` or `COUNT(*)`
+    Count,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+}
+
+impl AggFunc {
+    /// Keyword spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Avg => "AVG",
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Literal constants in predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+    /// String constant.
+    Str(String),
+    /// Boolean constant (`TRUE` / `FALSE`).
+    Bool(bool),
+}
+
+/// One `WHERE` conjunct: `column op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side constant.
+    pub value: Literal,
+}
+
+/// An aggregate expression `func(col)` / `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Aggregated column; `None` encodes `*` (only valid for `COUNT`).
+    pub column: Option<String>,
+}
+
+/// One `HAVING` conjunct: `agg op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingPredicate {
+    /// Left-hand aggregate.
+    pub agg: AggExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side constant (numeric).
+    pub value: Literal,
+}
+
+/// `ORDER BY` direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderDir {
+    /// Ascending.
+    Asc,
+    /// Descending (the paper's default: highest scores first).
+    Desc,
+}
+
+/// A parsed `SELECT` statement of the supported shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Plain (grouping) columns projected before the aggregate.
+    pub group_columns: Vec<String>,
+    /// The single aggregate projection.
+    pub agg: AggExpr,
+    /// Output alias of the aggregate (defaults to `val`).
+    pub agg_alias: String,
+    /// Source table name.
+    pub from: String,
+    /// `WHERE` conjuncts (ANDed).
+    pub where_clause: Vec<Predicate>,
+    /// `GROUP BY` columns as written.
+    pub group_by: Vec<String>,
+    /// `HAVING` conjuncts (ANDed).
+    pub having: Vec<HavingPredicate>,
+    /// `ORDER BY` target: must reference the aggregate alias when present.
+    pub order_by: Option<(String, OrderDir)>,
+    /// `LIMIT` row count.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::Avg.name(), "AVG");
+        assert_eq!(AggFunc::Sum.name(), "SUM");
+        assert_eq!(AggFunc::Count.name(), "COUNT");
+        assert_eq!(AggFunc::Min.name(), "MIN");
+        assert_eq!(AggFunc::Max.name(), "MAX");
+    }
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let p1 = Predicate {
+            column: "g".into(),
+            op: CmpOp::Eq,
+            value: Literal::Int(1),
+        };
+        let p2 = Predicate {
+            column: "g".into(),
+            op: CmpOp::Eq,
+            value: Literal::Int(1),
+        };
+        assert_eq!(p1, p2);
+    }
+}

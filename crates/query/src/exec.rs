@@ -1,0 +1,373 @@
+//! Query execution: filter → hash group-by → aggregate → having → order →
+//! limit.
+
+use crate::ast::{AggFunc, CmpOp, OrderDir};
+use crate::plan::{BoundPredicate, BoundQuery};
+use qagview_common::{FxHashMap, QagError, Result, Value};
+use qagview_storage::Table;
+use std::cmp::Ordering;
+
+/// One output row: the grouping attribute values (display text) plus the
+/// aggregate score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Grouping attribute values rendered as display text.
+    pub attrs: Vec<String>,
+    /// The aggregate score (`val`).
+    pub val: f64,
+}
+
+/// The answer relation produced by a query — the paper's `S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Names of the grouping attributes.
+    pub attr_names: Vec<String>,
+    /// Name of the score column.
+    pub val_name: String,
+    /// The rows, in `ORDER BY` order.
+    pub rows: Vec<QueryRow>,
+}
+
+/// Hashable group key part (floats are banned from GROUP BY at bind time).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum KeyPart {
+    Int(i64),
+    Str(u32),
+    Bool(bool),
+}
+
+fn key_part(v: Value) -> Result<KeyPart> {
+    match v {
+        Value::Int(i) => Ok(KeyPart::Int(i)),
+        Value::Str(s) => Ok(KeyPart::Str(s.0)),
+        Value::Bool(b) => Ok(KeyPart::Bool(b)),
+        other => Err(QagError::internal(format!(
+            "unhashable group key {other:?}"
+        ))),
+    }
+}
+
+/// Per-group running state for one aggregate.
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn update(&mut self, x: Option<f64>) {
+        // `None` means COUNT(*) — count the row without a value.
+        self.count += 1;
+        if let Some(x) = x {
+            self.sum += x;
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> f64 {
+        match func {
+            AggFunc::Count => self.count as f64,
+            AggFunc::Sum => self.sum,
+            AggFunc::Avg => {
+                debug_assert!(self.count > 0, "groups are never empty");
+                self.sum / self.count as f64
+            }
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+        }
+    }
+}
+
+fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Neq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+fn row_passes(table: &Table, row: usize, preds: &[BoundPredicate]) -> bool {
+    preds.iter().all(|p| {
+        let lhs = table.value(row, p.col);
+        match &p.value {
+            // String literal absent from the table: `=` never matches,
+            // `<>` matches every (non-null) row.
+            None => matches!(p.op, CmpOp::Neq),
+            Some(rhs) => match p.op {
+                CmpOp::Eq => lhs.sql_eq(rhs).unwrap_or(false),
+                CmpOp::Neq => lhs.sql_eq(rhs).map(|b| !b).unwrap_or(false),
+                _ => lhs
+                    .sql_cmp(rhs)
+                    .map(|o| cmp_holds(p.op, o))
+                    .unwrap_or(false),
+            },
+        }
+    })
+}
+
+/// Execute a bound query, producing the answer relation.
+pub fn execute(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
+    // Group states keyed by the group-by values; insertion order retained
+    // separately for deterministic output when no ORDER BY is given.
+    let mut groups: FxHashMap<Vec<KeyPart>, usize> = FxHashMap::default();
+    let mut keys: Vec<Vec<KeyPart>> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    let mut key_scratch: Vec<KeyPart> = Vec::with_capacity(query.group_cols.len());
+
+    for row in 0..table.num_rows() {
+        if !row_passes(table, row, &query.predicates) {
+            continue;
+        }
+        key_scratch.clear();
+        for &c in &query.group_cols {
+            key_scratch.push(key_part(table.value(row, c))?);
+        }
+        let gid = match groups.get(key_scratch.as_slice()) {
+            Some(&g) => g,
+            None => {
+                let g = keys.len();
+                groups.insert(key_scratch.clone(), g);
+                keys.push(key_scratch.clone());
+                states.push(vec![AggState::new(); query.aggs.len()]);
+                g
+            }
+        };
+        for (ai, agg) in query.aggs.iter().enumerate() {
+            let x = match agg.col {
+                None => None,
+                Some(c) => Some(table.value(row, c).as_f64().ok_or_else(|| {
+                    QagError::Execution(format!("aggregate input at row {row} is not numeric"))
+                })?),
+            };
+            states[gid][ai].update(x);
+        }
+    }
+
+    // HAVING + projection.
+    let mut rows: Vec<(Vec<KeyPart>, QueryRow)> = Vec::with_capacity(keys.len());
+    'group: for (gid, key) in keys.iter().enumerate() {
+        for h in &query.having {
+            let agg = &query.aggs[h.agg_idx];
+            let v = states[gid][h.agg_idx].finish(agg.func);
+            let ord = v.partial_cmp(&h.value).ok_or_else(|| {
+                QagError::Execution("NaN aggregate in HAVING comparison".to_string())
+            })?;
+            if !cmp_holds(h.op, ord) {
+                continue 'group;
+            }
+        }
+        let val = states[gid][0].finish(query.aggs[0].func);
+        let attrs = render_key(table, query, key);
+        rows.push((key.clone(), QueryRow { attrs, val }));
+    }
+
+    // ORDER BY val, deterministic tie-break on the group key.
+    if let Some(dir) = query.order {
+        rows.sort_by(|a, b| {
+            let ord = a.1.val.partial_cmp(&b.1.val).unwrap_or(Ordering::Equal);
+            let ord = match dir {
+                OrderDir::Asc => ord,
+                OrderDir::Desc => ord.reverse(),
+            };
+            ord.then_with(|| a.0.cmp(&b.0))
+        });
+    }
+
+    let mut rows: Vec<QueryRow> = rows.into_iter().map(|(_, r)| r).collect();
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+
+    Ok(QueryOutput {
+        attr_names: query.group_names.clone(),
+        val_name: query.agg_alias.clone(),
+        rows,
+    })
+}
+
+fn render_key(table: &Table, query: &BoundQuery, key: &[KeyPart]) -> Vec<String> {
+    key.iter()
+        .zip(&query.group_cols)
+        .map(|(part, _)| match part {
+            KeyPart::Int(i) => i.to_string(),
+            KeyPart::Str(s) => table
+                .interner()
+                .resolve(qagview_common::Symbol(*s))
+                .to_string(),
+            KeyPart::Bool(b) => b.to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::plan::bind;
+    use qagview_storage::{Cell, ColumnType, Schema, TableBuilder};
+
+    fn ratings() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("gender", ColumnType::Str),
+            ("occ", ColumnType::Str),
+            ("adventure", ColumnType::Bool),
+            ("rating", ColumnType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        let rows: Vec<(&str, &str, bool, f64)> = vec![
+            ("M", "Student", true, 5.0),
+            ("M", "Student", true, 4.0),
+            ("M", "Student", false, 1.0),
+            ("M", "Programmer", true, 4.0),
+            ("F", "Student", true, 3.0),
+            ("F", "Student", true, 2.0),
+            ("F", "Educator", true, 5.0),
+        ];
+        for (g, o, a, r) in rows {
+            b.push_row(vec![g.into(), o.into(), a.into(), Cell::Float(r)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn run(sql: &str) -> QueryOutput {
+        let t = ratings();
+        let stmt = parse(sql).unwrap();
+        let bound = bind(&stmt, &t).unwrap();
+        execute(&bound, &t).unwrap()
+    }
+
+    #[test]
+    fn avg_group_by_with_where_and_order() {
+        let out = run(
+            "SELECT gender, occ, AVG(rating) AS val FROM r WHERE adventure = 1 \
+             GROUP BY gender, occ ORDER BY val DESC",
+        );
+        assert_eq!(out.attr_names, vec!["gender", "occ"]);
+        // Groups (adventure only): (M,Student)=4.5, (M,Programmer)=4.0,
+        // (F,Student)=2.5, (F,Educator)=5.0.
+        assert_eq!(out.rows.len(), 4);
+        assert_eq!(out.rows[0].attrs, vec!["F", "Educator"]);
+        assert_eq!(out.rows[0].val, 5.0);
+        assert_eq!(out.rows[1].attrs, vec!["M", "Student"]);
+        assert!((out.rows[1].val - 4.5).abs() < 1e-12);
+        assert_eq!(out.rows[3].attrs, vec!["F", "Student"]);
+    }
+
+    #[test]
+    fn having_count_filters_small_groups() {
+        let out = run(
+            "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ \
+             HAVING count(*) > 1 ORDER BY val DESC",
+        );
+        // Only (M,Student) [3 rows] and (F,Student) [2 rows] survive.
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].attrs, vec!["M", "Student"]);
+        assert!((out.rows[0].val - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_star_and_sum_min_max() {
+        let out = run("SELECT gender, COUNT(*) AS val FROM r GROUP BY gender ORDER BY val DESC");
+        assert_eq!(out.rows[0].attrs, vec!["M"]);
+        assert_eq!(out.rows[0].val, 4.0);
+
+        let out = run("SELECT gender, SUM(rating) AS val FROM r GROUP BY gender ORDER BY val DESC");
+        assert_eq!(out.rows[0].val, 14.0); // M: 5+4+1+4
+
+        let out = run("SELECT gender, MIN(rating) AS val FROM r GROUP BY gender ORDER BY val ASC");
+        assert_eq!(out.rows[0].val, 1.0);
+
+        let out = run("SELECT gender, MAX(rating) AS val FROM r GROUP BY gender ORDER BY val DESC");
+        assert_eq!(out.rows[0].val, 5.0);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let out = run(
+            "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ \
+             ORDER BY val DESC LIMIT 2",
+        );
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn string_equality_predicates() {
+        let out = run(
+            "SELECT occ, AVG(rating) AS val FROM r WHERE gender = 'F' GROUP BY occ \
+             ORDER BY val DESC",
+        );
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].attrs, vec!["Educator"]);
+    }
+
+    #[test]
+    fn missing_string_literal_matches_nothing_or_everything() {
+        let none = run("SELECT occ, AVG(rating) AS val FROM r WHERE gender = 'X' GROUP BY occ");
+        assert!(none.rows.is_empty());
+        let all = run("SELECT occ, AVG(rating) AS val FROM r WHERE gender <> 'X' GROUP BY occ");
+        assert_eq!(all.rows.len(), 3);
+    }
+
+    #[test]
+    fn numeric_range_predicates() {
+        let out = run(
+            "SELECT gender, COUNT(*) AS val FROM r WHERE rating >= 4.0 GROUP BY gender \
+             ORDER BY val DESC",
+        );
+        assert_eq!(out.rows[0].attrs, vec!["M"]);
+        assert_eq!(out.rows[0].val, 3.0);
+        assert_eq!(out.rows[1].val, 1.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically_on_group_key() {
+        // Two groups share val 4.0 in this query; order must be stable
+        // across runs (by encoded group key).
+        let out = run(
+            "SELECT gender, occ, MAX(rating) AS val FROM r GROUP BY gender, occ \
+             ORDER BY val DESC",
+        );
+        let first_run: Vec<Vec<String>> = out.rows.iter().map(|r| r.attrs.clone()).collect();
+        for _ in 0..3 {
+            let again = run(
+                "SELECT gender, occ, MAX(rating) AS val FROM r GROUP BY gender, occ \
+                 ORDER BY val DESC",
+            );
+            let attrs: Vec<Vec<String>> = again.rows.iter().map(|r| r.attrs.clone()).collect();
+            assert_eq!(first_run, attrs);
+        }
+    }
+
+    #[test]
+    fn empty_result_for_all_filtered() {
+        let out =
+            run("SELECT gender, AVG(rating) AS val FROM r WHERE rating > 100 GROUP BY gender");
+        assert!(out.rows.is_empty());
+        assert_eq!(out.val_name, "val");
+    }
+
+    #[test]
+    fn bool_group_by() {
+        let out =
+            run("SELECT adventure, AVG(rating) AS val FROM r GROUP BY adventure ORDER BY val DESC");
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].attrs, vec!["true"]);
+    }
+}

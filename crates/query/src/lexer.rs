@@ -1,0 +1,354 @@
+//! SQL tokenizer.
+
+use qagview_common::{QagError, Result};
+
+/// One lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset into the input at which the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds of the restricted SQL fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser; identifiers are lowercased here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`QagError::Parse`] on unterminated strings, malformed numbers,
+/// or unexpected characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(QagError::parse("expected `!=`", i));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        offset: i,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(QagError::parse("unterminated string literal", start)),
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| QagError::parse("malformed float", start))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| QagError::parse("malformed integer", start))?,
+                    )
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_ascii_lowercase()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(QagError::parse(
+                    format!("unexpected character `{other}`"),
+                    i,
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers_lowercased() {
+        assert_eq!(
+            kinds("SELECT hdec FROM R"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("hdec".into()),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("r".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("50 2.75 -7 -0.5"),
+            vec![
+                TokenKind::Int(50),
+                TokenKind::Float(2.75),
+                TokenKind::Int(-7),
+                TokenKind::Float(-0.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Neq,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            kinds("'Student' 'O''Brien'"),
+            vec![
+                TokenKind::Str("Student".into()),
+                TokenKind::Str("O'Brien".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_star() {
+        assert_eq!(
+            kinds("count(*)"),
+            vec![
+                TokenKind::Ident("count".into()),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("'oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_reports_offset() {
+        let err = tokenize("a %").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error at byte 2: unexpected character `%`"
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn bare_bang_is_error() {
+        assert!(tokenize("!").is_err());
+    }
+}

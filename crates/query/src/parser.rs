@@ -1,0 +1,416 @@
+//! Recursive-descent parser for the restricted SQL fragment.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use qagview_common::{QagError, Result};
+
+/// Parse one `SELECT` statement.
+///
+/// Grammar (keywords case-insensitive):
+///
+/// ```text
+/// select    := SELECT item (',' item)* FROM ident
+///              [WHERE pred (AND pred)*]
+///              [GROUP BY ident (',' ident)*]
+///              [HAVING hpred (AND hpred)*]
+///              [ORDER BY ident [ASC | DESC]]
+///              [LIMIT int]
+/// item      := ident | agg '(' (ident | '*') ')' [AS ident]
+/// agg       := AVG | SUM | COUNT | MIN | MAX
+/// pred      := ident cmp literal
+/// hpred     := agg '(' (ident | '*') ')' cmp literal
+/// cmp       := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+/// literal   := int | float | string | TRUE | FALSE
+/// ```
+pub fn parse(sql: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> QagError {
+        QagError::parse(msg, self.peek().offset)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(word) = &self.peek().kind {
+            if word == kw {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword `{}`", kw.to_ascii_uppercase())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(word) => {
+                let w = word.clone();
+                self.advance();
+                Ok(w)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}, found {:?}", kind, self.peek().kind)))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        match self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            ref other => Err(self.error(format!("trailing input: {other:?}"))),
+        }
+    }
+
+    fn agg_func_from(word: &str) -> Option<AggFunc> {
+        match word {
+            "avg" => Some(AggFunc::Avg),
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("select")?;
+
+        let mut group_columns = Vec::new();
+        let mut agg: Option<(AggExpr, String)> = None;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Ident(word) => {
+                    if let Some(func) = Self::agg_func_from(word) {
+                        // Aggregate only if followed by '('; otherwise it is
+                        // a plain column that happens to share the keyword.
+                        if self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                            == Some(&TokenKind::LParen)
+                        {
+                            if agg.is_some() {
+                                return Err(
+                                    self.error("only one aggregate projection is supported")
+                                );
+                            }
+                            self.advance(); // func
+                            self.advance(); // (
+                            let column = if self.peek().kind == TokenKind::Star {
+                                self.advance();
+                                None
+                            } else {
+                                Some(self.expect_ident()?)
+                            };
+                            if column.is_none() && func != AggFunc::Count {
+                                return Err(self.error("only COUNT may aggregate `*`"));
+                            }
+                            self.expect(TokenKind::RParen)?;
+                            let alias = if self.eat_keyword("as") {
+                                self.expect_ident()?
+                            } else {
+                                "val".to_string()
+                            };
+                            agg = Some((AggExpr { func, column }, alias));
+                        } else {
+                            let col = self.expect_ident()?;
+                            group_columns.push(col);
+                        }
+                    } else {
+                        let col = self.expect_ident()?;
+                        group_columns.push(col);
+                    }
+                }
+                other => return Err(self.error(format!("expected select item, found {other:?}"))),
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        let (agg, agg_alias) =
+            agg.ok_or_else(|| self.error("query must project exactly one aggregate"))?;
+
+        self.expect_keyword("from")?;
+        let from = self.expect_ident()?;
+
+        let mut where_clause = Vec::new();
+        if self.eat_keyword("where") {
+            loop {
+                where_clause.push(self.predicate()?);
+                if !self.eat_keyword("and") {
+                    break;
+                }
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.expect_ident()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let mut having = Vec::new();
+        if self.eat_keyword("having") {
+            loop {
+                having.push(self.having_predicate()?);
+                if !self.eat_keyword("and") {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = None;
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            let target = self.expect_ident()?;
+            let dir = if self.eat_keyword("desc") {
+                OrderDir::Desc
+            } else {
+                // Explicit ASC and the SQL default are the same direction.
+                self.eat_keyword("asc");
+                OrderDir::Asc
+            };
+            order_by = Some((target, dir));
+        }
+
+        let mut limit = None;
+        if self.eat_keyword("limit") {
+            match self.peek().kind {
+                TokenKind::Int(n) if n >= 0 => {
+                    self.advance();
+                    limit = Some(n as usize);
+                }
+                _ => return Err(self.error("LIMIT expects a non-negative integer")),
+            }
+        }
+
+        Ok(SelectStmt {
+            group_columns,
+            agg,
+            agg_alias,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            ref other => return Err(self.error(format!("expected comparison, found {other:?}"))),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        let lit = match &self.peek().kind {
+            TokenKind::Int(n) => Literal::Int(*n),
+            TokenKind::Float(x) => Literal::Float(*x),
+            TokenKind::Str(s) => Literal::Str(s.clone()),
+            TokenKind::Ident(w) if w == "true" => Literal::Bool(true),
+            TokenKind::Ident(w) if w == "false" => Literal::Bool(false),
+            other => return Err(self.error(format!("expected literal, found {other:?}"))),
+        };
+        self.advance();
+        Ok(lit)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let column = self.expect_ident()?;
+        let op = self.cmp_op()?;
+        let value = self.literal()?;
+        Ok(Predicate { column, op, value })
+    }
+
+    fn having_predicate(&mut self) -> Result<HavingPredicate> {
+        let word = self.expect_ident()?;
+        let func = Self::agg_func_from(&word)
+            .ok_or_else(|| self.error("HAVING expects an aggregate expression"))?;
+        self.expect(TokenKind::LParen)?;
+        let column = if self.peek().kind == TokenKind::Star {
+            self.advance();
+            None
+        } else {
+            Some(self.expect_ident()?)
+        };
+        if column.is_none() && func != AggFunc::Count {
+            return Err(self.error("only COUNT may aggregate `*`"));
+        }
+        self.expect(TokenKind::RParen)?;
+        let op = self.cmp_op()?;
+        let value = self.literal()?;
+        Ok(HavingPredicate {
+            agg: AggExpr { func, column },
+            op,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example_query() {
+        // Example 1.1 (WHERE placed before GROUP BY as standard SQL).
+        let stmt = parse(
+            "SELECT hdec, agegrp, gender, occupation, avg(rating) as val \
+             FROM R \
+             WHERE genres_adventure = 1 \
+             GROUP BY hdec, agegrp, gender, occupation \
+             HAVING count(*) > 50 \
+             ORDER BY val DESC",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.group_columns,
+            vec!["hdec", "agegrp", "gender", "occupation"]
+        );
+        assert_eq!(
+            stmt.agg,
+            AggExpr {
+                func: AggFunc::Avg,
+                column: Some("rating".into())
+            }
+        );
+        assert_eq!(stmt.agg_alias, "val");
+        assert_eq!(stmt.from, "r");
+        assert_eq!(stmt.where_clause.len(), 1);
+        assert_eq!(stmt.group_by.len(), 4);
+        assert_eq!(stmt.having.len(), 1);
+        assert_eq!(stmt.order_by, Some(("val".into(), OrderDir::Desc)));
+        assert_eq!(stmt.limit, None);
+    }
+
+    #[test]
+    fn parses_limit_and_asc() {
+        let stmt = parse("SELECT g, SUM(x) FROM t GROUP BY g ORDER BY val ASC LIMIT 10").unwrap();
+        assert_eq!(stmt.limit, Some(10));
+        assert_eq!(stmt.order_by, Some(("val".into(), OrderDir::Asc)));
+    }
+
+    #[test]
+    fn default_order_direction_is_asc() {
+        let stmt = parse("SELECT g, SUM(x) FROM t GROUP BY g ORDER BY val").unwrap();
+        assert_eq!(stmt.order_by, Some(("val".into(), OrderDir::Asc)));
+    }
+
+    #[test]
+    fn count_star_aggregate() {
+        let stmt = parse("SELECT g, COUNT(*) AS c FROM t GROUP BY g").unwrap();
+        assert_eq!(
+            stmt.agg,
+            AggExpr {
+                func: AggFunc::Count,
+                column: None
+            }
+        );
+        assert_eq!(stmt.agg_alias, "c");
+    }
+
+    #[test]
+    fn multiple_where_conjuncts() {
+        let stmt =
+            parse("SELECT g, AVG(x) FROM t WHERE a = 'M' AND b >= 2.5 AND c <> 3 GROUP BY g")
+                .unwrap();
+        assert_eq!(stmt.where_clause.len(), 3);
+        assert_eq!(stmt.where_clause[0].value, Literal::Str("M".into()));
+        assert_eq!(stmt.where_clause[1].op, CmpOp::Ge);
+        assert_eq!(stmt.where_clause[2].op, CmpOp::Neq);
+    }
+
+    #[test]
+    fn boolean_literals() {
+        let stmt = parse("SELECT g, AVG(x) FROM t WHERE flag = TRUE GROUP BY g").unwrap();
+        assert_eq!(stmt.where_clause[0].value, Literal::Bool(true));
+    }
+
+    #[test]
+    fn rejects_missing_aggregate() {
+        let err = parse("SELECT g FROM t GROUP BY g").unwrap_err();
+        assert!(err.to_string().contains("aggregate"));
+    }
+
+    #[test]
+    fn rejects_two_aggregates() {
+        let err = parse("SELECT AVG(x), SUM(y) FROM t").unwrap_err();
+        assert!(err.to_string().contains("one aggregate"));
+    }
+
+    #[test]
+    fn rejects_star_in_non_count() {
+        assert!(parse("SELECT g, AVG(*) FROM t GROUP BY g").is_err());
+        assert!(parse("SELECT g, SUM(x) FROM t GROUP BY g HAVING min(*) > 1").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("SELECT g, AVG(x) FROM t GROUP BY g nonsense extra").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_negative_limit_and_bad_having() {
+        assert!(parse("SELECT g, AVG(x) FROM t GROUP BY g LIMIT -3").is_err());
+        assert!(parse("SELECT g, AVG(x) FROM t GROUP BY g HAVING g > 1").is_err());
+    }
+
+    #[test]
+    fn agg_keyword_usable_as_column_name() {
+        // `count` without parens is an ordinary identifier.
+        let stmt = parse("SELECT count, AVG(x) FROM t GROUP BY count").unwrap();
+        assert_eq!(stmt.group_columns, vec!["count"]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Name and type binding: AST → executable plan against a concrete table.
+
+use crate::ast::*;
+use qagview_common::{QagError, Result, Value};
+use qagview_storage::{ColumnType, Table};
+
+/// A `WHERE` conjunct bound to a column index with a pre-encoded constant.
+#[derive(Debug, Clone)]
+pub struct BoundPredicate {
+    /// Column index in the source table.
+    pub col: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side. `None` encodes a string literal that does not occur
+    /// in the table's interner: `=` can never match and `<>` always matches.
+    pub value: Option<Value>,
+}
+
+/// An aggregate bound to a column index (`None` = `COUNT(*)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundAgg {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Source column index, if any.
+    pub col: Option<usize>,
+}
+
+/// A `HAVING` conjunct over a bound aggregate.
+#[derive(Debug, Clone)]
+pub struct BoundHaving {
+    /// Index into [`BoundQuery::aggs`] of the aggregate to test.
+    pub agg_idx: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Numeric threshold.
+    pub value: f64,
+}
+
+/// A fully bound query, ready for execution.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// Group-by column indices, in projection order.
+    pub group_cols: Vec<usize>,
+    /// Group-by column names (output header).
+    pub group_names: Vec<String>,
+    /// All aggregates to compute per group. Index 0 is the projected `val`
+    /// aggregate; the rest are referenced by `HAVING`.
+    pub aggs: Vec<BoundAgg>,
+    /// Output alias of the projected aggregate.
+    pub agg_alias: String,
+    /// Bound `WHERE` conjuncts.
+    pub predicates: Vec<BoundPredicate>,
+    /// Bound `HAVING` conjuncts.
+    pub having: Vec<BoundHaving>,
+    /// Sort direction for the aggregate (None = unsorted input order).
+    pub order: Option<OrderDir>,
+    /// Row limit.
+    pub limit: Option<usize>,
+}
+
+fn bind_literal(table: &Table, col: usize, lit: &Literal, op: CmpOp) -> Result<Option<Value>> {
+    let col_def = table.schema().column(col);
+    match (col_def.ty, lit) {
+        (ColumnType::Int | ColumnType::Float, Literal::Int(n)) => Ok(Some(Value::Int(*n))),
+        (ColumnType::Int | ColumnType::Float, Literal::Float(x)) => Ok(Some(Value::Float(*x))),
+        (ColumnType::Bool, Literal::Bool(b)) => Ok(Some(Value::Bool(*b))),
+        (ColumnType::Bool, Literal::Int(n)) if *n == 0 || *n == 1 => Ok(Some(Value::Bool(*n == 1))),
+        (ColumnType::Str, Literal::Str(s)) => {
+            if !matches!(op, CmpOp::Eq | CmpOp::Neq) {
+                return Err(QagError::Binding(format!(
+                    "string column `{}` supports only = and <> comparisons",
+                    col_def.name
+                )));
+            }
+            Ok(table.symbol_of(s).map(Value::Str))
+        }
+        (ty, lit) => Err(QagError::Binding(format!(
+            "cannot compare {} column `{}` with {:?}",
+            ty.name(),
+            col_def.name,
+            lit
+        ))),
+    }
+}
+
+fn bind_agg(table: &Table, agg: &AggExpr) -> Result<BoundAgg> {
+    let col = match &agg.column {
+        None => None,
+        Some(name) => {
+            let idx = table.schema().require(name)?;
+            let ty = table.schema().column(idx).ty;
+            if agg.func != AggFunc::Count && !matches!(ty, ColumnType::Int | ColumnType::Float) {
+                return Err(QagError::Binding(format!(
+                    "{} requires a numeric column, but `{name}` is {}",
+                    agg.func.name(),
+                    ty.name()
+                )));
+            }
+            Some(idx)
+        }
+    };
+    Ok(BoundAgg {
+        func: agg.func,
+        col,
+    })
+}
+
+/// Bind `stmt` against `table`, checking names, types, and the group-by
+/// discipline (every projected plain column must be grouped, and vice versa).
+pub fn bind(stmt: &SelectStmt, table: &Table) -> Result<BoundQuery> {
+    if stmt.group_columns != stmt.group_by {
+        return Err(QagError::Binding(format!(
+            "projected columns {:?} must match GROUP BY {:?} exactly",
+            stmt.group_columns, stmt.group_by
+        )));
+    }
+    let mut group_cols = Vec::with_capacity(stmt.group_by.len());
+    for name in &stmt.group_by {
+        let idx = table.schema().require(name)?;
+        if table.schema().column(idx).ty == ColumnType::Float {
+            return Err(QagError::Binding(format!(
+                "cannot GROUP BY float column `{name}`; bucketize it first"
+            )));
+        }
+        group_cols.push(idx);
+    }
+
+    let mut aggs = vec![bind_agg(table, &stmt.agg)?];
+
+    let mut predicates = Vec::with_capacity(stmt.where_clause.len());
+    for pred in &stmt.where_clause {
+        let col = table.schema().require(&pred.column)?;
+        let value = bind_literal(table, col, &pred.value, pred.op)?;
+        predicates.push(BoundPredicate {
+            col,
+            op: pred.op,
+            value,
+        });
+    }
+
+    let mut having = Vec::with_capacity(stmt.having.len());
+    for h in &stmt.having {
+        let bound = bind_agg(table, &h.agg)?;
+        let agg_idx = match aggs.iter().position(|a| *a == bound) {
+            Some(i) => i,
+            None => {
+                aggs.push(bound);
+                aggs.len() - 1
+            }
+        };
+        let value = match &h.value {
+            Literal::Int(n) => *n as f64,
+            Literal::Float(x) => *x,
+            other => {
+                return Err(QagError::Binding(format!(
+                    "HAVING threshold must be numeric, got {other:?}"
+                )))
+            }
+        };
+        having.push(BoundHaving {
+            agg_idx,
+            op: h.op,
+            value,
+        });
+    }
+
+    let order = match &stmt.order_by {
+        None => None,
+        Some((target, dir)) => {
+            if *target != stmt.agg_alias {
+                return Err(QagError::Binding(format!(
+                    "ORDER BY must reference the aggregate alias `{}`, got `{target}`",
+                    stmt.agg_alias
+                )));
+            }
+            Some(*dir)
+        }
+    };
+
+    Ok(BoundQuery {
+        group_cols,
+        group_names: stmt.group_by.clone(),
+        aggs,
+        agg_alias: stmt.agg_alias.clone(),
+        predicates,
+        having,
+        order,
+        limit: stmt.limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use qagview_storage::{Cell, Schema, TableBuilder};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("g", ColumnType::Str),
+            ("flag", ColumnType::Bool),
+            ("x", ColumnType::Float),
+            ("n", ColumnType::Int),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![
+            Cell::from("a"),
+            true.into(),
+            Cell::Float(1.0),
+            Cell::Int(3),
+        ])
+        .unwrap();
+        b.finish()
+    }
+
+    fn bind_sql(sql: &str) -> Result<BoundQuery> {
+        bind(&parse(sql).unwrap(), &table())
+    }
+
+    #[test]
+    fn binds_happy_path() {
+        let q = bind_sql(
+            "SELECT g, AVG(x) AS val FROM t WHERE flag = 1 GROUP BY g \
+             HAVING count(*) > 2 ORDER BY val DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.group_cols, vec![0]);
+        assert_eq!(q.aggs.len(), 2); // AVG(x) + COUNT(*)
+        assert_eq!(q.having[0].agg_idx, 1);
+        assert_eq!(q.order, Some(OrderDir::Desc));
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn having_reuses_projected_aggregate() {
+        let q = bind_sql("SELECT g, AVG(x) FROM t GROUP BY g HAVING avg(x) > 1.5").unwrap();
+        assert_eq!(q.aggs.len(), 1);
+        assert_eq!(q.having[0].agg_idx, 0);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(bind_sql("SELECT ghost, AVG(x) FROM t GROUP BY ghost").is_err());
+        assert!(bind_sql("SELECT g, AVG(ghost) FROM t GROUP BY g").is_err());
+        assert!(bind_sql("SELECT g, AVG(x) FROM t WHERE ghost = 1 GROUP BY g").is_err());
+    }
+
+    #[test]
+    fn projection_must_match_group_by() {
+        let err = bind_sql("SELECT g, flag, AVG(x) FROM t GROUP BY g").unwrap_err();
+        assert!(err.to_string().contains("match GROUP BY"));
+    }
+
+    #[test]
+    fn float_group_by_rejected() {
+        // Grouping on raw floats is almost always a bug; the paper's numeric
+        // grouping attributes are pre-bucketized (agegrp, hdec).
+        let err = bind_sql("SELECT x, AVG(n) FROM t GROUP BY x").unwrap_err();
+        assert!(err.to_string().contains("float"));
+    }
+
+    #[test]
+    fn avg_requires_numeric_column() {
+        let err = bind_sql("SELECT g, AVG(flag) FROM t GROUP BY g").unwrap_err();
+        assert!(err.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn string_predicates_limited_to_equality() {
+        assert!(bind_sql("SELECT g, AVG(x) FROM t WHERE g < 'a' GROUP BY g").is_err());
+        let q = bind_sql("SELECT g, AVG(x) FROM t WHERE g = 'a' GROUP BY g").unwrap();
+        assert!(q.predicates[0].value.is_some());
+    }
+
+    #[test]
+    fn missing_string_literal_binds_to_none() {
+        let q = bind_sql("SELECT g, AVG(x) FROM t WHERE g = 'zzz' GROUP BY g").unwrap();
+        assert!(q.predicates[0].value.is_none());
+    }
+
+    #[test]
+    fn order_by_must_reference_alias() {
+        let err = bind_sql("SELECT g, AVG(x) AS score FROM t GROUP BY g ORDER BY val").unwrap_err();
+        assert!(err.to_string().contains("score"));
+    }
+
+    #[test]
+    fn having_threshold_must_be_numeric() {
+        let err = bind_sql("SELECT g, AVG(x) FROM t GROUP BY g HAVING count(*) > 'x'").unwrap_err();
+        assert!(err.to_string().contains("numeric"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Differential testing: the executor vs. a naive reference implementation
+//! of the same semantics, on random tables and queries.
+
+use proptest::prelude::*;
+use qagview_query::{execute, parse, plan::bind, QueryRow};
+use qagview_storage::{Cell, ColumnType, Schema, Table, TableBuilder};
+use std::collections::BTreeMap;
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("g1", ColumnType::Str),
+        ("g2", ColumnType::Int),
+        ("flag", ColumnType::Bool),
+        ("x", ColumnType::Float),
+    ])
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    g1: u8,
+    g2: i64,
+    flag: bool,
+    x: f64,
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (0u8..4, 0i64..3, any::<bool>(), 0u32..100).prop_map(|(g1, g2, flag, x)| Row {
+            g1,
+            g2,
+            flag,
+            x: f64::from(x) / 4.0,
+        }),
+        1..40,
+    )
+}
+
+fn build_table(rows: &[Row]) -> Table {
+    let mut b = TableBuilder::new(schema());
+    for r in rows {
+        b.push_row(vec![
+            Cell::from(format!("s{}", r.g1)),
+            Cell::Int(r.g2),
+            Cell::Bool(r.flag),
+            Cell::Float(r.x),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// Reference semantics: filter → group → aggregate → having → sort.
+fn reference(
+    rows: &[Row],
+    agg: &str,
+    having_min_count: usize,
+    flag_filter: Option<bool>,
+) -> Vec<QueryRow> {
+    let mut groups: BTreeMap<(u8, i64), Vec<f64>> = BTreeMap::new();
+    for r in rows {
+        if let Some(f) = flag_filter {
+            if r.flag != f {
+                continue;
+            }
+        }
+        groups.entry((r.g1, r.g2)).or_default().push(r.x);
+    }
+    let mut out: Vec<QueryRow> = groups
+        .into_iter()
+        .filter(|(_, xs)| xs.len() > having_min_count)
+        .map(|((g1, g2), xs)| {
+            let val = match agg {
+                "AVG" => xs.iter().sum::<f64>() / xs.len() as f64,
+                "SUM" => xs.iter().sum::<f64>(),
+                "COUNT" => xs.len() as f64,
+                "MIN" => xs.iter().cloned().fold(f64::INFINITY, f64::min),
+                "MAX" => xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                other => unreachable!("agg {other}"),
+            };
+            QueryRow {
+                attrs: vec![format!("s{g1}"), g2.to_string()],
+                val,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.val
+            .partial_cmp(&a.val)
+            .unwrap()
+            .then_with(|| a.attrs.cmp(&b.attrs))
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Executor output matches reference semantics for every aggregate,
+    /// HAVING threshold, and optional WHERE filter. (Exact attrs + values;
+    /// order compared as multisets because the executor tie-breaks on
+    /// interned group keys rather than display strings.)
+    #[test]
+    fn executor_matches_reference(
+        rows in arb_rows(),
+        agg_idx in 0usize..5,
+        having in 0usize..3,
+        flag_filter in prop::option::of(any::<bool>()),
+    ) {
+        let agg = ["AVG", "SUM", "COUNT", "MIN", "MAX"][agg_idx];
+        let table = build_table(&rows);
+        let agg_expr = if agg == "COUNT" { "COUNT(*)".to_string() } else { format!("{agg}(x)") };
+        let where_clause = match flag_filter {
+            Some(true) => "WHERE flag = true ",
+            Some(false) => "WHERE flag = false ",
+            None => "",
+        };
+        let sql = format!(
+            "SELECT g1, g2, {agg_expr} AS val FROM t {where_clause}\
+             GROUP BY g1, g2 HAVING count(*) > {having} ORDER BY val DESC"
+        );
+        let stmt = parse(&sql).unwrap();
+        let bound = bind(&stmt, &table).unwrap();
+        let got = execute(&bound, &table).unwrap();
+        let expected = reference(&rows, agg, having, flag_filter);
+
+        prop_assert_eq!(got.rows.len(), expected.len(), "row count for {}", sql);
+        // Compare as sorted multisets of (attrs, value-bits).
+        let canon = |rows: &[QueryRow]| {
+            let mut v: Vec<(Vec<String>, u64)> = rows
+                .iter()
+                .map(|r| (r.attrs.clone(), r.val.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(canon(&got.rows), canon(&expected), "content for {}", sql);
+        // And the value sequence must be non-increasing.
+        for w in got.rows.windows(2) {
+            prop_assert!(w[0].val >= w[1].val);
+        }
+    }
+
+    /// LIMIT returns a prefix of the unlimited result.
+    #[test]
+    fn limit_is_a_prefix(rows in arb_rows(), limit in 0usize..6) {
+        let table = build_table(&rows);
+        let full_sql = "SELECT g1, g2, AVG(x) AS val FROM t GROUP BY g1, g2 ORDER BY val DESC";
+        let stmt = parse(full_sql).unwrap();
+        let full = execute(&bind(&stmt, &table).unwrap(), &table).unwrap();
+        let sql = format!("{full_sql} LIMIT {limit}");
+        let stmt = parse(&sql).unwrap();
+        let limited = execute(&bind(&stmt, &table).unwrap(), &table).unwrap();
+        prop_assert_eq!(limited.rows.len(), limit.min(full.rows.len()));
+        for (a, b) in full.rows.iter().zip(&limited.rows) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

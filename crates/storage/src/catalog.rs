@@ -1,0 +1,90 @@
+//! A named collection of tables.
+
+use crate::table::Table;
+use qagview_common::{FxHashMap, QagError, Result};
+
+/// The query engine's `FROM`-clause resolver: a case-insensitive mapping
+/// from table names to tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: FxHashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `table` under `name` (case-insensitive). Replaces any
+    /// existing table of the same name and returns it.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Option<Table> {
+        self.tables.insert(name.into().to_ascii_lowercase(), table)
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Look up a table, or produce a binding error naming it.
+    pub fn require(&self, name: &str) -> Result<&Table> {
+        self.get(name)
+            .ok_or_else(|| QagError::Binding(format!("unknown table `{name}`")))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::table::TableBuilder;
+
+    fn tiny_table() -> Table {
+        let schema = Schema::from_pairs(&[("x", ColumnType::Int)]).unwrap();
+        TableBuilder::new(schema).finish()
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register("RatingTable", tiny_table());
+        assert!(c.get("ratingtable").is_some());
+        assert!(c.get("RATINGTABLE").is_some());
+        assert!(c.require("missing").is_err());
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let mut c = Catalog::new();
+        assert!(c.register("t", tiny_table()).is_none());
+        assert!(c.register("T", tiny_table()).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut c = Catalog::new();
+        c.register("zeta", tiny_table());
+        c.register("alpha", tiny_table());
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+        assert!(!c.is_empty());
+    }
+}

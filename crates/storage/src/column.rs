@@ -1,0 +1,141 @@
+//! Typed column vectors.
+
+use crate::schema::ColumnType;
+use qagview_common::{Symbol, Value};
+
+/// A densely packed, non-nullable column of one storage type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    Int(Vec<i64>),
+    /// Float column.
+    Float(Vec<f64>),
+    /// Interned-string column.
+    Str(Vec<Symbol>),
+    /// Boolean column.
+    Bool(Vec<bool>),
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => Column::Int(Vec::new()),
+            ColumnType::Float => Column::Float(Vec::new()),
+            ColumnType::Str => Column::Str(Vec::new()),
+            ColumnType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// Create an empty column pre-sized for `capacity` rows.
+    pub fn with_capacity(ty: ColumnType, capacity: usize) -> Self {
+        match ty {
+            ColumnType::Int => Column::Int(Vec::with_capacity(capacity)),
+            ColumnType::Float => Column::Float(Vec::with_capacity(capacity)),
+            ColumnType::Str => Column::Str(Vec::with_capacity(capacity)),
+            ColumnType::Bool => Column::Bool(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The storage type of this column.
+    pub fn ty(&self) -> ColumnType {
+        match self {
+            Column::Int(_) => ColumnType::Int,
+            Column::Float(_) => ColumnType::Float,
+            Column::Str(_) => ColumnType::Str,
+            Column::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read row `i` as a dynamic [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Str(v) => Value::Str(v[i]),
+            Column::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Append a dynamic [`Value`]; the value must match the column type
+    /// exactly (no coercion at the storage layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type mismatch — the table builder validates first.
+    pub fn push_value(&mut self, v: Value) {
+        match (self, v) {
+            (Column::Int(c), Value::Int(x)) => c.push(x),
+            (Column::Float(c), Value::Float(x)) => c.push(x),
+            (Column::Str(c), Value::Str(x)) => c.push(x),
+            (Column::Bool(c), Value::Bool(x)) => c.push(x),
+            (col, v) => panic!(
+                "type mismatch: column is {:?}, value is {}",
+                col.ty(),
+                v.type_name()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_each_type() {
+        let mut c = Column::new(ColumnType::Int);
+        c.push_value(Value::Int(9));
+        assert_eq!(c.value(0), Value::Int(9));
+
+        let mut c = Column::new(ColumnType::Float);
+        c.push_value(Value::Float(2.5));
+        assert_eq!(c.value(0), Value::Float(2.5));
+
+        let mut c = Column::new(ColumnType::Str);
+        c.push_value(Value::Str(Symbol(4)));
+        assert_eq!(c.value(0), Value::Str(Symbol(4)));
+
+        let mut c = Column::new(ColumnType::Bool);
+        c.push_value(Value::Bool(true));
+        assert_eq!(c.value(0), Value::Bool(true));
+    }
+
+    #[test]
+    fn length_tracking() {
+        let mut c = Column::with_capacity(ColumnType::Int, 8);
+        assert!(c.is_empty());
+        for i in 0..5 {
+            c.push_value(Value::Int(i));
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.ty(), ColumnType::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut c = Column::new(ColumnType::Int);
+        c.push_value(Value::Float(1.0));
+    }
+}

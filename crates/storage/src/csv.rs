@@ -1,0 +1,225 @@
+//! A minimal CSV loader so real datasets (e.g. an actual MovieLens export)
+//! can be ingested without extra dependencies.
+//!
+//! Supports the common subset: comma separation, double-quoted fields with
+//! `""` escapes, a mandatory header row, and per-column types supplied by
+//! the caller (no inference surprises). Not a general-purpose CSV parser —
+//! embedded newlines inside quoted fields are supported, but other dialects
+//! (alternate separators, BOM handling) are out of scope.
+
+use crate::schema::{ColumnType, Schema};
+use crate::table::{Cell, Table, TableBuilder};
+use qagview_common::{QagError, Result};
+
+/// Split one logical CSV record that is already known to contain balanced
+/// quotes.
+fn split_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match (c, in_quotes) {
+            ('"', false) => {
+                if !field.is_empty() {
+                    return Err(QagError::parse("quote inside unquoted field", 0));
+                }
+                in_quotes = true;
+            }
+            ('"', true) => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (',', false) => {
+                fields.push(std::mem::take(&mut field));
+            }
+            (c, _) => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(QagError::parse("unterminated quoted field", 0));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Assemble logical records (joining lines while quotes are unbalanced).
+fn logical_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut pending = String::new();
+    for line in text.lines() {
+        if !pending.is_empty() {
+            pending.push('\n');
+        }
+        pending.push_str(line);
+        let quotes = pending.chars().filter(|&c| c == '"').count();
+        if quotes % 2 == 0 {
+            records.push(std::mem::take(&mut pending));
+        }
+    }
+    if !pending.is_empty() {
+        records.push(pending);
+    }
+    records
+}
+
+fn parse_cell(text: &str, ty: ColumnType, row: usize, col: &str) -> Result<Cell> {
+    let err =
+        |what: &str| QagError::Execution(format!("row {row}, column `{col}`: {what}: `{text}`"));
+    match ty {
+        ColumnType::Int => text
+            .trim()
+            .parse::<i64>()
+            .map(Cell::Int)
+            .map_err(|_| err("not an integer")),
+        ColumnType::Float => text
+            .trim()
+            .parse::<f64>()
+            .map(Cell::Float)
+            .map_err(|_| err("not a number")),
+        ColumnType::Bool => match text.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "t" | "yes" => Ok(Cell::Bool(true)),
+            "0" | "false" | "f" | "no" => Ok(Cell::Bool(false)),
+            _ => Err(err("not a boolean")),
+        },
+        ColumnType::Str => Ok(Cell::Str(text.to_string())),
+    }
+}
+
+/// Load CSV text into a table. The header row must name every schema column
+/// (extra CSV columns are ignored; order may differ).
+pub fn load_csv(text: &str, schema: Schema) -> Result<Table> {
+    let records = logical_records(text);
+    let mut iter = records.iter();
+    let header = iter
+        .next()
+        .ok_or_else(|| QagError::parse("empty CSV input", 0))?;
+    let names = split_record(header)?;
+    // Map schema column -> CSV position.
+    let positions: Vec<usize> = schema
+        .columns()
+        .iter()
+        .map(|c| {
+            names
+                .iter()
+                .position(|n| n.trim() == c.name)
+                .ok_or_else(|| QagError::Binding(format!("CSV header missing column `{}`", c.name)))
+        })
+        .collect::<Result<Vec<usize>>>()?;
+
+    let mut builder = TableBuilder::with_capacity(schema.clone(), records.len() - 1);
+    for (row_idx, record) in iter.enumerate() {
+        if record.trim().is_empty() {
+            continue;
+        }
+        let fields = split_record(record)?;
+        let mut row = Vec::with_capacity(schema.arity());
+        for (ci, &pos) in positions.iter().enumerate() {
+            let text = fields.get(pos).ok_or_else(|| {
+                QagError::Execution(format!(
+                    "row {}: expected at least {} fields, found {}",
+                    row_idx + 2,
+                    pos + 1,
+                    fields.len()
+                ))
+            })?;
+            row.push(parse_cell(
+                text,
+                schema.column(ci).ty,
+                row_idx + 2,
+                &schema.column(ci).name,
+            )?);
+        }
+        builder.push_row(row)?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_common::Value;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("occupation", ColumnType::Str),
+            ("age", ColumnType::Int),
+            ("rating", ColumnType::Float),
+            ("premium", ColumnType::Bool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn loads_basic_csv() {
+        let text = "occupation,age,rating,premium\nStudent,23,4.5,true\nCoder,31,3.0,0\n";
+        let t = load_csv(text, schema()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.display_value(0, 0), "Student");
+        assert_eq!(t.value(1, 1), Value::Int(31));
+        assert_eq!(t.value(0, 3), Value::Bool(true));
+        assert_eq!(t.value(1, 3), Value::Bool(false));
+    }
+
+    #[test]
+    fn header_order_may_differ_and_extras_ignored() {
+        let text = "id,rating,premium,occupation,age\n9,2.5,no,\"Writer\",40\n";
+        let t = load_csv(text, schema()).unwrap();
+        assert_eq!(t.display_value(0, 0), "Writer");
+        assert_eq!(t.value(0, 2), Value::Float(2.5));
+    }
+
+    #[test]
+    fn quoted_fields_with_escapes_and_commas() {
+        let text = "occupation,age,rating,premium\n\"O\"\"Brien, Jr.\",50,1.0,1\n";
+        let t = load_csv(text, schema()).unwrap();
+        assert_eq!(t.display_value(0, 0), "O\"Brien, Jr.");
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_newline() {
+        let text = "occupation,age,rating,premium\n\"multi\nline\",20,3.5,t\n";
+        let t = load_csv(text, schema()).unwrap();
+        assert_eq!(t.display_value(0, 0), "multi\nline");
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn missing_header_column_rejected() {
+        let text = "occupation,age\nStudent,20\n";
+        let err = load_csv(text, schema()).unwrap_err();
+        assert!(err.to_string().contains("rating"));
+    }
+
+    #[test]
+    fn type_errors_name_row_and_column() {
+        let text = "occupation,age,rating,premium\nStudent,abc,4.5,true\n";
+        let err = load_csv(text, schema()).unwrap_err();
+        assert!(err.to_string().contains("row 2"));
+        assert!(err.to_string().contains("age"));
+    }
+
+    #[test]
+    fn short_row_rejected() {
+        let text = "occupation,age,rating,premium\nStudent,20\n";
+        assert!(load_csv(text, schema()).is_err());
+    }
+
+    #[test]
+    fn empty_lines_skipped_and_empty_input_rejected() {
+        let text = "occupation,age,rating,premium\n\nStudent,20,4.0,1\n\n";
+        let t = load_csv(text, schema()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert!(load_csv("", schema()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let text = "occupation,age,rating,premium\n\"oops,20,4.0,1\n";
+        assert!(load_csv(text, schema()).is_err());
+    }
+}

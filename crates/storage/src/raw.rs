@@ -1,0 +1,124 @@
+//! A deliberately string-based row store for the §6.3 hashing ablation.
+//!
+//! The paper reports a ~50× slowdown when cluster machinery operates on raw
+//! text attribute values instead of interned integers. To measure that in
+//! this reproduction (Fig. 8 family of benchmarks), [`RawTable`] keeps every
+//! cell as an owned `String` and offers the same row-group API the
+//! summarization pipeline consumes — so the only difference between the two
+//! code paths is the field representation.
+
+use crate::table::Table;
+use qagview_common::Value;
+
+/// A row-major table whose every cell is a `String`.
+///
+/// Only used by benchmarks and tests; production paths use [`Table`].
+#[derive(Debug, Clone, Default)]
+pub struct RawTable {
+    names: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl RawTable {
+    /// Create an empty raw table with the given column names.
+    pub fn new(names: Vec<String>) -> Self {
+        RawTable {
+            names,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Materialize a [`Table`] into string rows (resolving symbols).
+    pub fn from_table(table: &Table) -> Self {
+        let names = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut rows = Vec::with_capacity(table.num_rows());
+        for r in 0..table.num_rows() {
+            let row = (0..table.schema().arity())
+                .map(|c| match table.value(r, c) {
+                    Value::Str(s) => table.interner().resolve(s).to_string(),
+                    other => other.to_string(),
+                })
+                .collect();
+            rows.push(row);
+        }
+        RawTable { names, rows }
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.names.len(), "raw row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[String] {
+        &self.rows[i]
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[String]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::table::{Cell, TableBuilder};
+
+    #[test]
+    fn from_table_resolves_symbols() {
+        let schema =
+            Schema::from_pairs(&[("g", ColumnType::Str), ("v", ColumnType::Float)]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![Cell::from("M"), Cell::from(4.2)]).unwrap();
+        b.push_row(vec![Cell::from("F"), Cell::from(3.9)]).unwrap();
+        let raw = RawTable::from_table(&b.finish());
+        assert_eq!(raw.num_rows(), 2);
+        assert_eq!(raw.row(0), &["M".to_string(), "4.2".to_string()]);
+        assert_eq!(raw.names(), &["g".to_string(), "v".to_string()]);
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut raw = RawTable::new(vec!["a".into(), "b".into()]);
+        raw.push_row(vec!["1".into(), "x".into()]);
+        raw.push_row(vec!["2".into(), "y".into()]);
+        let all: Vec<Vec<String>> = raw.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1][1], "y");
+        assert!(!raw.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut raw = RawTable::new(vec!["a".into()]);
+        raw.push_row(vec!["1".into(), "2".into()]);
+    }
+}

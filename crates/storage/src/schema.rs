@@ -1,0 +1,168 @@
+//! Column types, column definitions, and schemas.
+
+use qagview_common::{FxHashMap, QagError, Result};
+
+/// The storage type of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Interned categorical string.
+    Str,
+    /// Boolean indicator (e.g. MovieLens `genres_adventure`).
+    Bool,
+}
+
+impl ColumnType {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Str => "STR",
+            ColumnType::Bool => "BOOL",
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive; SQL identifiers are lowercased by the
+    /// parser before lookup).
+    pub name: String,
+    /// Storage type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Construct a column definition.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of column definitions with fast name lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QagError::SchemaMismatch`] on duplicate column names.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Self> {
+        let mut by_name = FxHashMap::default();
+        for (i, c) in columns.iter().enumerate() {
+            if by_name.insert(c.name.clone(), i).is_some() {
+                return Err(QagError::SchemaMismatch(format!(
+                    "duplicate column `{}`",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns, by_name })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, ColumnType)]) -> Result<Self> {
+        Schema::new(pairs.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column definitions, in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Definition of column `i`.
+    pub fn column(&self, i: usize) -> &ColumnDef {
+        &self.columns[i]
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Index of the column named `name`, or a binding error mentioning it.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| QagError::Binding(format!("unknown column `{name}`")))
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns
+    }
+}
+
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("hdec", ColumnType::Int),
+            ("agegrp", ColumnType::Str),
+            ("gender", ColumnType::Str),
+            ("rating", ColumnType::Float),
+            ("is_adventure", ColumnType::Bool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("gender"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.column(3).ty, ColumnType::Float);
+    }
+
+    #[test]
+    fn require_reports_missing_column() {
+        let s = sample();
+        let err = s.require("ghost").unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err =
+            Schema::from_pairs(&[("a", ColumnType::Int), ("a", ColumnType::Str)]).unwrap_err();
+        assert!(matches!(err, QagError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn schema_equality_ignores_lookup_map_internals() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(ColumnType::Int.name(), "INT");
+        assert_eq!(ColumnType::Float.name(), "FLOAT");
+        assert_eq!(ColumnType::Str.name(), "STR");
+        assert_eq!(ColumnType::Bool.name(), "BOOL");
+    }
+}

@@ -1,0 +1,82 @@
+//! The three-way classification task of §8.1.
+
+use qagview_lattice::{AnswerSet, TupleId};
+
+/// Question categories: "top" (within the top `L`), "high" (at or above the
+/// overall average but outside the top `L`), "low" (below average).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Within the top `L` of the ranking.
+    Top,
+    /// Value ≥ the overall mean, but not top.
+    High,
+    /// Value below the overall mean.
+    Low,
+}
+
+/// Ground-truth category of tuple `t` for coverage level `l`.
+pub fn categorize(answers: &AnswerSet, l: usize, t: TupleId) -> Category {
+    if (t as usize) < l {
+        Category::Top
+    } else if answers.val(t) >= answers.mean_val() {
+        Category::High
+    } else {
+        Category::Low
+    }
+}
+
+/// Category implied by a value alone (summaries are labeled this way).
+pub fn category_of_value(answers: &AnswerSet, l: usize, value: f64) -> Category {
+    let top_threshold = if l > 0 && l <= answers.len() {
+        answers.val(l as u32 - 1)
+    } else {
+        f64::INFINITY
+    };
+    if value >= top_threshold {
+        Category::Top
+    } else if value >= answers.mean_val() {
+        Category::High
+    } else {
+        Category::Low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["p"], 10.0).unwrap();
+        b.push(&["q"], 8.0).unwrap();
+        b.push(&["r"], 6.0).unwrap(); // mean = 6.3
+        b.push(&["s"], 4.0).unwrap();
+        b.push(&["t"], 3.5).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn rank_beats_value_for_top() {
+        let s = answers();
+        assert_eq!(categorize(&s, 2, 0), Category::Top);
+        assert_eq!(categorize(&s, 2, 1), Category::Top);
+        assert_eq!(categorize(&s, 2, 2), Category::Low); // 6.0 < 6.3
+        assert_eq!(categorize(&s, 3, 3), Category::Low);
+    }
+
+    #[test]
+    fn high_band_between_mean_and_top() {
+        let s = answers();
+        // L = 1: rank 2 (8.0) is above the mean but outside the top.
+        assert_eq!(categorize(&s, 1, 1), Category::High);
+    }
+
+    #[test]
+    fn value_categorization_uses_thresholds() {
+        let s = answers();
+        assert_eq!(category_of_value(&s, 2, 9.0), Category::Top);
+        assert_eq!(category_of_value(&s, 2, 7.0), Category::High);
+        assert_eq!(category_of_value(&s, 2, 5.0), Category::Low);
+    }
+}

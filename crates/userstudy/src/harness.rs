@@ -1,0 +1,579 @@
+//! The full study protocol: task groups, sections, assignment, aggregation.
+
+use crate::category::{categorize, Category};
+use crate::subject::{SubjectModel, SubjectParams};
+use crate::summary::Summary;
+use qagview_baselines::decision_tree::fit_for_k;
+use qagview_common::rng::{child_seed, seeded};
+use qagview_common::{QagError, Result};
+use qagview_core::Summarizer;
+use qagview_lattice::{AnswerSet, TupleId};
+use rand::seq::SliceRandom;
+use std::fmt::Write as _;
+
+/// Study configuration; defaults mirror §8.1/§8.2.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Number of simulated subjects (paper: 16).
+    pub subjects: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Subject behavioural parameters.
+    pub params: SubjectParams,
+    /// Varying-method group `(L, k, D)` (paper: 50, 10, 1).
+    pub method_group: (usize, usize, usize),
+    /// Varying-k group `(L, D, k_a, k_b)` (paper: 30, 1, 5, 10).
+    pub k_group: (usize, usize, usize, usize),
+    /// Varying-D group `(L, k, D_a, D_b)` (paper: 10, 7, 1, 3).
+    pub d_group: (usize, usize, usize, usize),
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            subjects: 16,
+            seed: 2018,
+            params: SubjectParams::default(),
+            method_group: (50, 10, 1),
+            k_group: (30, 1, 5, 10),
+            d_group: (10, 7, 1, 3),
+        }
+    }
+}
+
+/// Aggregated per-section statistics (mean ± sd across subjects).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SectionStats {
+    /// Mean seconds per question.
+    pub time_mean: f64,
+    /// Std. deviation of per-subject mean times.
+    pub time_sd: f64,
+    /// Mean T-accuracy.
+    pub t_acc_mean: f64,
+    /// Std. deviation of T-accuracy.
+    pub t_acc_sd: f64,
+    /// Mean TH-accuracy.
+    pub th_acc_mean: f64,
+    /// Std. deviation of TH-accuracy.
+    pub th_acc_sd: f64,
+    /// Number of contributing subjects.
+    pub n: usize,
+}
+
+/// One arm (working set) of a task group.
+#[derive(Debug, Clone)]
+pub struct ArmReport {
+    /// Arm display name.
+    pub name: String,
+    /// Patterns-only, memory-only, patterns+members.
+    pub sections: [SectionStats; 3],
+    /// Fraction of all subjects preferring this arm.
+    pub preferred: f64,
+}
+
+/// One task group (two arms).
+#[derive(Debug, Clone)]
+pub struct TaskGroupReport {
+    /// Group display name.
+    pub group: String,
+    /// The two compared arms.
+    pub arms: [ArmReport; 2],
+}
+
+/// The study outcome: Table 1 (all subjects) and Table 2 (the method-first
+/// sequence half).
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// All 16 subjects (Table 1).
+    pub table1: Vec<TaskGroupReport>,
+    /// The method-first half (Table 2 / App. A.10).
+    pub table2: Vec<TaskGroupReport>,
+}
+
+const SECTION_NAMES: [&str; 3] = ["Patterns-only", "Memory-only", "Patterns+members"];
+
+impl StudyReport {
+    /// Render one table in the paper's layout.
+    pub fn render_table(groups: &[TaskGroupReport]) -> String {
+        let mut out = String::new();
+        for g in groups {
+            let _ = writeln!(out, "== Task group: {} ==", g.group);
+            let _ = writeln!(
+                out,
+                "{:<22} {:>24} {:>24}",
+                "", g.arms[0].name, g.arms[1].name
+            );
+            for (si, name) in SECTION_NAMES.iter().enumerate() {
+                let a = &g.arms[0].sections[si];
+                let b = &g.arms[1].sections[si];
+                let _ = writeln!(
+                    out,
+                    "{name:<22} time/q {:>6.1}±{:<4.1}  vs {:>6.1}±{:<4.1}",
+                    a.time_mean, a.time_sd, b.time_mean, b.time_sd
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<22} T-acc  {:>6.3}±{:<4.3} vs {:>6.3}±{:<4.3}",
+                    "", a.t_acc_mean, a.t_acc_sd, b.t_acc_mean, b.t_acc_sd
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<22} TH-acc {:>6.3}±{:<4.3} vs {:>6.3}±{:<4.3}",
+                    "", a.th_acc_mean, a.th_acc_sd, b.th_acc_mean, b.th_acc_sd
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{:<22} preferred {:>5.1}% vs {:>5.1}%",
+                "Overall",
+                g.arms[0].preferred * 100.0,
+                g.arms[1].preferred * 100.0
+            );
+        }
+        out
+    }
+
+    /// Render both tables.
+    pub fn render(&self) -> String {
+        format!(
+            "--- Table 1 (all subjects) ---\n{}\n--- Table 2 (method-first half) ---\n{}",
+            Self::render_table(&self.table1),
+            Self::render_table(&self.table2)
+        )
+    }
+}
+
+/// Per-subject raw record for one task group.
+#[derive(Debug, Clone)]
+struct SubjectRecord {
+    arm: usize,
+    method_first: bool,
+    /// Per section: (mean time, t-accuracy, th-accuracy).
+    sections: [(f64, f64, f64); 3],
+    vote: usize,
+}
+
+struct TaskGroup {
+    name: String,
+    l: usize,
+    arms: [Summary; 2],
+    /// 12 distinct question tuples, 4 per category.
+    question_pool: Vec<TupleId>,
+}
+
+fn question_pool(answers: &AnswerSet, l: usize, seed: u64) -> Result<Vec<TupleId>> {
+    let mut by_cat: [Vec<TupleId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for t in 0..answers.len() as u32 {
+        let idx = match categorize(answers, l, t) {
+            Category::Top => 0,
+            Category::High => 1,
+            Category::Low => 2,
+        };
+        by_cat[idx].push(t);
+    }
+    let mut rng = seeded(seed);
+    let mut pool = Vec::with_capacity(12);
+    for (ci, cat) in by_cat.iter_mut().enumerate() {
+        if cat.len() < 4 {
+            return Err(QagError::param(format!(
+                "category {ci} has only {} tuples; the study needs 4 per category",
+                cat.len()
+            )));
+        }
+        cat.shuffle(&mut rng);
+        pool.extend_from_slice(&cat[..4]);
+    }
+    Ok(pool)
+}
+
+fn build_groups(answers: &AnswerSet, cfg: &StudyConfig) -> Result<Vec<TaskGroup>> {
+    let mut groups = Vec::with_capacity(3);
+
+    // Varying-method.
+    let (l, k, d) = cfg.method_group;
+    let summarizer = Summarizer::new(answers, l)?;
+    let ours = summarizer.hybrid(k, d)?;
+    let tree = fit_for_k(answers, l, k)?;
+    groups.push(TaskGroup {
+        name: "varying-method".into(),
+        l,
+        arms: [
+            Summary::from_rules("decision tree", answers, l, &tree.rules()),
+            Summary::from_solution("our method", answers, l, &ours),
+        ],
+        question_pool: question_pool(answers, l, child_seed(cfg.seed, "q-method"))?,
+    });
+
+    // Varying-k.
+    let (l, d, k_a, k_b) = cfg.k_group;
+    let summarizer = Summarizer::new(answers, l)?;
+    groups.push(TaskGroup {
+        name: "varying-k".into(),
+        l,
+        arms: [
+            Summary::from_solution(
+                &format!("k = {k_a}"),
+                answers,
+                l,
+                &summarizer.hybrid(k_a, d)?,
+            ),
+            Summary::from_solution(
+                &format!("k = {k_b}"),
+                answers,
+                l,
+                &summarizer.hybrid(k_b, d)?,
+            ),
+        ],
+        question_pool: question_pool(answers, l, child_seed(cfg.seed, "q-k"))?,
+    });
+
+    // Varying-D.
+    let (l, k, d_a, d_b) = cfg.d_group;
+    let summarizer = Summarizer::new(answers, l)?;
+    groups.push(TaskGroup {
+        name: "varying-D".into(),
+        l,
+        arms: [
+            Summary::from_solution(
+                &format!("D = {d_a}"),
+                answers,
+                l,
+                &summarizer.hybrid(k, d_a)?,
+            ),
+            Summary::from_solution(
+                &format!("D = {d_b}"),
+                answers,
+                l,
+                &summarizer.hybrid(k, d_b)?,
+            ),
+        ],
+        question_pool: question_pool(answers, l, child_seed(cfg.seed, "q-d"))?,
+    });
+
+    Ok(groups)
+}
+
+fn accuracy(records: &[(Category, Category)], positive: fn(Category) -> bool) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let correct = records
+        .iter()
+        .filter(|(pred, truth)| positive(*pred) == positive(*truth))
+        .count();
+    correct as f64 / records.len() as f64
+}
+
+fn run_subject_on_group(
+    answers: &AnswerSet,
+    group: &TaskGroup,
+    arm: usize,
+    subject: &mut SubjectModel,
+    order_rng: &mut rand::rngs::StdRng,
+    time_multiplier: f64,
+) -> [(f64, f64, f64); 3] {
+    let pool = &group.question_pool;
+    // Sections 1 & 2: 6 distinct tuples each (2 per category); section 3:
+    // 8 of the 12 (4 top, 2 high, 2 low), reshuffled.
+    let s1: Vec<TupleId> = vec![pool[0], pool[1], pool[4], pool[5], pool[8], pool[9]];
+    let s2: Vec<TupleId> = vec![pool[2], pool[3], pool[6], pool[7], pool[10], pool[11]];
+    let mut s3: Vec<TupleId> = vec![
+        pool[0], pool[1], pool[2], pool[3], pool[4], pool[6], pool[8], pool[10],
+    ];
+    s3.shuffle(order_rng);
+
+    let summary = &group.arms[arm];
+    let mut out = [(0.0, 0.0, 0.0); 3];
+
+    // Patterns-only.
+    let mut times = Vec::new();
+    let mut preds = Vec::new();
+    for &t in &s1 {
+        let (p, time) = subject.answer_patterns_only(answers, summary, t);
+        times.push(time * time_multiplier);
+        preds.push((p, categorize(answers, group.l, t)));
+    }
+    out[0] = section_stats(&times, &preds);
+
+    // Memory-only.
+    let recalled = subject.recalled_items(summary);
+    let mut times = Vec::new();
+    let mut preds = Vec::new();
+    for &t in &s2 {
+        let (p, time) = subject.answer_memory_only(answers, &recalled, t);
+        times.push(time * time_multiplier);
+        preds.push((p, categorize(answers, group.l, t)));
+    }
+    out[1] = section_stats(&times, &preds);
+
+    // Patterns+members.
+    let mut times = Vec::new();
+    let mut preds = Vec::new();
+    for &t in &s3 {
+        let (p, time) = subject.answer_with_members(answers, group.l, summary, t);
+        times.push(time * time_multiplier);
+        preds.push((p, categorize(answers, group.l, t)));
+    }
+    out[2] = section_stats(&times, &preds);
+
+    out
+}
+
+fn section_stats(times: &[f64], preds: &[(Category, Category)]) -> (f64, f64, f64) {
+    let time = times.iter().sum::<f64>() / times.len().max(1) as f64;
+    let t_acc = accuracy(preds, |c| c == Category::Top);
+    let th_acc = accuracy(preds, |c| c != Category::Low);
+    (time, t_acc, th_acc)
+}
+
+fn mean_sd(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+fn aggregate(
+    groups: &[TaskGroup],
+    records: &[Vec<SubjectRecord>],
+    method_first_only: bool,
+) -> Vec<TaskGroupReport> {
+    groups
+        .iter()
+        .enumerate()
+        .map(|(gi, group)| {
+            let group_records: Vec<&SubjectRecord> = records[gi]
+                .iter()
+                .filter(|r| !method_first_only || r.method_first)
+                .collect();
+            let arms: Vec<ArmReport> = (0..2)
+                .map(|arm| {
+                    let own: Vec<&&SubjectRecord> =
+                        group_records.iter().filter(|r| r.arm == arm).collect();
+                    let mut sections = [SectionStats::default(); 3];
+                    for (si, slot) in sections.iter_mut().enumerate() {
+                        let times: Vec<f64> = own.iter().map(|r| r.sections[si].0).collect();
+                        let t_accs: Vec<f64> = own.iter().map(|r| r.sections[si].1).collect();
+                        let th_accs: Vec<f64> = own.iter().map(|r| r.sections[si].2).collect();
+                        let (time_mean, time_sd) = mean_sd(&times);
+                        let (t_acc_mean, t_acc_sd) = mean_sd(&t_accs);
+                        let (th_acc_mean, th_acc_sd) = mean_sd(&th_accs);
+                        *slot = SectionStats {
+                            time_mean,
+                            time_sd,
+                            t_acc_mean,
+                            t_acc_sd,
+                            th_acc_mean,
+                            th_acc_sd,
+                            n: own.len(),
+                        };
+                    }
+                    let votes = group_records.iter().filter(|r| r.vote == arm).count() as f64;
+                    ArmReport {
+                        name: group.arms[arm].name.clone(),
+                        sections,
+                        preferred: votes / group_records.len().max(1) as f64,
+                    }
+                })
+                .collect();
+            TaskGroupReport {
+                group: group.name.clone(),
+                arms: [arms[0].clone(), arms[1].clone()],
+            }
+        })
+        .collect()
+}
+
+/// Run the whole study against one answer relation.
+pub fn run_study(answers: &AnswerSet, cfg: &StudyConfig) -> Result<StudyReport> {
+    if cfg.subjects == 0 {
+        return Err(QagError::param("the study needs at least one subject"));
+    }
+    let groups = build_groups(answers, cfg)?;
+    let mut records: Vec<Vec<SubjectRecord>> = vec![Vec::new(); groups.len()];
+
+    for s in 0..cfg.subjects {
+        let method_first = s % 2 == 0;
+        let assignment_bits = (s / 2) % 8;
+        let mut subject =
+            SubjectModel::new(child_seed(cfg.seed, &format!("subject-{s}")), cfg.params);
+        let mut order_rng = seeded(child_seed(cfg.seed, &format!("order-{s}")));
+        // Sequence: [method, k, D] or [k, D, method] (§8.1); the learning
+        // effect shows up as a mild speed-up on later groups (App. A.10).
+        let sequence: [usize; 3] = if method_first { [0, 1, 2] } else { [1, 2, 0] };
+        for (position, &gi) in sequence.iter().enumerate() {
+            let arm = (assignment_bits >> gi) & 1;
+            let time_multiplier = 1.0 - 0.06 * position as f64;
+            let sections = run_subject_on_group(
+                answers,
+                &groups[gi],
+                arm,
+                &mut subject,
+                &mut order_rng,
+                time_multiplier,
+            );
+            let probes = &groups[gi].question_pool;
+            let vote = subject.prefer(
+                answers,
+                groups[gi].l,
+                [&groups[gi].arms[0], &groups[gi].arms[1]],
+                probes,
+            );
+            records[gi].push(SubjectRecord {
+                arm,
+                method_first,
+                sections,
+                vote,
+            });
+        }
+    }
+
+    Ok(StudyReport {
+        table1: aggregate(&groups, &records, false),
+        table2: aggregate(&groups, &records, true),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_datagen::synthetic::{answer_set, SyntheticConfig};
+
+    fn study_answers() -> AnswerSet {
+        answer_set(&SyntheticConfig {
+            boost: 2.0,
+            ..SyntheticConfig::new(300, 4, 77)
+        })
+        .unwrap()
+    }
+
+    fn small_cfg() -> StudyConfig {
+        StudyConfig {
+            subjects: 16,
+            seed: 9,
+            method_group: (50, 10, 1),
+            k_group: (30, 1, 5, 10),
+            d_group: (10, 7, 1, 3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_protocol_runs_and_has_shape() {
+        let s = study_answers();
+        let report = run_study(&s, &small_cfg()).unwrap();
+        assert_eq!(report.table1.len(), 3);
+        assert_eq!(report.table2.len(), 3);
+        for g in &report.table1 {
+            let pref_sum = g.arms[0].preferred + g.arms[1].preferred;
+            assert!(
+                (pref_sum - 1.0).abs() < 1e-9,
+                "votes must partition: {pref_sum}"
+            );
+            for arm in &g.arms {
+                for sec in &arm.sections {
+                    assert!(sec.n == 8, "balanced assignment gives 8 subjects per arm");
+                    assert!(sec.time_mean > 0.0);
+                    assert!((0.0..=1.0).contains(&sec.t_acc_mean));
+                    assert!((0.0..=1.0).contains(&sec.th_acc_mean));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = study_answers();
+        let a = run_study(&s, &small_cfg()).unwrap();
+        let b = run_study(&s, &small_cfg()).unwrap();
+        assert_eq!(
+            a.table1[0].arms[0].sections[0].time_mean,
+            b.table1[0].arms[0].sections[0].time_mean
+        );
+        assert_eq!(a.table1[2].arms[1].preferred, b.table1[2].arms[1].preferred);
+    }
+
+    #[test]
+    fn our_method_wins_the_method_group() {
+        // The paper's headline findings that are robust to question noise:
+        // simpler patterns are faster to apply, survive memory better, and
+        // win the preference vote.
+        let s = study_answers();
+        let report = run_study(&s, &small_cfg()).unwrap();
+        let method = &report.table1[0];
+        let (dt, ours) = (&method.arms[0], &method.arms[1]);
+        assert!(
+            ours.sections[0].time_mean < dt.sections[0].time_mean,
+            "patterns-only time: ours {} vs dt {}",
+            ours.sections[0].time_mean,
+            dt.sections[0].time_mean
+        );
+        assert!(
+            ours.sections[1].th_acc_mean + 0.1 >= dt.sections[1].th_acc_mean,
+            "memory-only TH: ours {} vs dt {}",
+            ours.sections[1].th_acc_mean,
+            dt.sections[1].th_acc_mean
+        );
+        assert!(
+            ours.preferred > dt.preferred,
+            "preference: ours {} vs dt {}",
+            ours.preferred,
+            dt.preferred
+        );
+    }
+
+    #[test]
+    fn patterns_members_is_most_accurate_section() {
+        let s = study_answers();
+        let report = run_study(&s, &small_cfg()).unwrap();
+        for g in &report.table1 {
+            for arm in &g.arms {
+                assert!(
+                    arm.sections[2].th_acc_mean + 0.05 >= arm.sections[0].th_acc_mean,
+                    "{}/{}: members {} vs patterns {}",
+                    g.group,
+                    arm.name,
+                    arm.sections[2].th_acc_mean,
+                    arm.sections[0].th_acc_mean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_fastest_section() {
+        let s = study_answers();
+        let report = run_study(&s, &small_cfg()).unwrap();
+        for g in &report.table1 {
+            for arm in &g.arms {
+                assert!(
+                    arm.sections[1].time_mean < arm.sections[0].time_mean,
+                    "{}/{}: memory should be fastest",
+                    g.group,
+                    arm.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_groups() {
+        let s = study_answers();
+        let report = run_study(&s, &small_cfg()).unwrap();
+        let text = report.render();
+        assert!(text.contains("varying-method"));
+        assert!(text.contains("varying-k"));
+        assert!(text.contains("varying-D"));
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("preferred"));
+    }
+
+    #[test]
+    fn too_small_relation_is_rejected() {
+        let tiny = answer_set(&SyntheticConfig::new(20, 3, 5)).unwrap();
+        // L = 50 > n = 20: summarizer construction fails.
+        assert!(run_study(&tiny, &small_cfg()).is_err());
+    }
+}

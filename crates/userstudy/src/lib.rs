@@ -1,0 +1,36 @@
+//! Simulated user study (paper §8 / App. A.9, Tables 1–2).
+//!
+//! The original study put 16 human subjects through three task groups
+//! (varying-method, varying-k, varying-D), each with three question
+//! sections (patterns-only, memory-only, patterns+members), measuring
+//! time per question, T-/TH-accuracy, and a final preference vote.
+//!
+//! **Substitution (documented in DESIGN.md):** humans are replaced by a
+//! parameterized subject model whose behaviour is driven by the *pattern
+//! complexity* of the summaries it reads — the mechanism the paper itself
+//! credits for its findings ("thanks to the simplicity of our patterns by
+//! design", §8.4):
+//!
+//! * inspection **time** grows with the complexity of the consulted items;
+//! * **memory** recall decays with item complexity and count;
+//! * **patterns+members** lookups are nearly perfect but slow;
+//! * the **preference vote** trades off experienced accuracy against
+//!   complexity.
+//!
+//! The harness reproduces the full protocol — balanced assignment of
+//! working sets, both task-group sequencings (Table 1 aggregates all
+//! subjects; Table 2 the method-first half), per-section metrics, and the
+//! preference row.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod category;
+pub mod harness;
+pub mod subject;
+pub mod summary;
+
+pub use category::{categorize, Category};
+pub use harness::{run_study, ArmReport, SectionStats, StudyConfig, StudyReport, TaskGroupReport};
+pub use subject::{SubjectModel, SubjectParams};
+pub use summary::{Summary, SummaryItem};

@@ -1,0 +1,187 @@
+//! Working sets shown to subjects: our clusters or decision-tree rules.
+
+use crate::category::{category_of_value, Category};
+use qagview_baselines::decision_tree::Rule;
+use qagview_core::Solution;
+use qagview_lattice::{AnswerSet, Pattern, TupleId};
+
+/// How a summary item matches tuples.
+#[derive(Debug, Clone)]
+pub enum Matcher {
+    /// A qagview cluster pattern.
+    Cluster(Pattern),
+    /// A decision-tree rule (conjunction of `=` / `≠` predicates).
+    Rule(Rule),
+}
+
+impl Matcher {
+    /// Whether the item matches a tuple.
+    pub fn matches(&self, codes: &[u32]) -> bool {
+        match self {
+            Matcher::Cluster(p) => p.covers_tuple(codes),
+            Matcher::Rule(r) => r.matches(codes),
+        }
+    }
+
+    /// Cognitive complexity: concrete cells for a pattern, predicates for a
+    /// rule (negations count double — "not Student" is harder to hold onto
+    /// than "Student").
+    pub fn complexity(&self) -> usize {
+        match self {
+            Matcher::Cluster(p) => p.arity() - p.level(),
+            Matcher::Rule(r) => r
+                .predicates
+                .iter()
+                .map(|p| if p.equals { 1 } else { 2 })
+                .sum(),
+        }
+    }
+}
+
+/// One row of the working set.
+#[derive(Debug, Clone)]
+pub struct SummaryItem {
+    /// The matcher shown to the subject.
+    pub matcher: Matcher,
+    /// The value category the item's average suggests.
+    pub label: Category,
+    /// Tuples listed under the item in the patterns+members section.
+    pub members: Vec<TupleId>,
+}
+
+/// A complete working set.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Display name ("our method", "decision tree", "k = 5", …).
+    pub name: String,
+    /// The items, in display order.
+    pub items: Vec<SummaryItem>,
+}
+
+impl Summary {
+    /// Build from a qagview solution.
+    pub fn from_solution(name: &str, answers: &AnswerSet, l: usize, solution: &Solution) -> Self {
+        let items = solution
+            .clusters
+            .iter()
+            .map(|c| SummaryItem {
+                matcher: Matcher::Cluster(c.pattern.clone()),
+                label: category_of_value(answers, l, c.avg()),
+                members: c.members.clone(),
+            })
+            .collect();
+        Summary {
+            name: name.to_string(),
+            items,
+        }
+    }
+
+    /// Build from decision-tree positive-leaf rules.
+    pub fn from_rules(name: &str, answers: &AnswerSet, l: usize, rules: &[Rule]) -> Self {
+        let items = rules
+            .iter()
+            .map(|r| {
+                let members: Vec<TupleId> = (0..answers.len() as u32)
+                    .filter(|&t| r.matches(answers.tuple(t)))
+                    .collect();
+                SummaryItem {
+                    matcher: Matcher::Rule(r.clone()),
+                    label: category_of_value(answers, l, r.avg_val),
+                    members,
+                }
+            })
+            .collect();
+        Summary {
+            name: name.to_string(),
+            items,
+        }
+    }
+
+    /// Mean complexity over items (0 for an empty summary).
+    pub fn mean_complexity(&self) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        self.items
+            .iter()
+            .map(|i| i.matcher.complexity() as f64)
+            .sum::<f64>()
+            / self.items.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_baselines::decision_tree::DecisionTree;
+    use qagview_core::Summarizer;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 9.0).unwrap();
+        b.push(&["x", "q"], 8.0).unwrap();
+        b.push(&["x", "r"], 7.0).unwrap();
+        b.push(&["y", "p"], 3.0).unwrap();
+        b.push(&["y", "q"], 2.0).unwrap();
+        b.push(&["z", "r"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn from_solution_labels_by_cluster_average() {
+        let s = answers();
+        let sm = Summarizer::new(&s, 3).unwrap();
+        let sol = sm.hybrid(2, 1).unwrap();
+        let summary = Summary::from_solution("ours", &s, 3, &sol);
+        assert_eq!(summary.items.len(), sol.len());
+        for item in &summary.items {
+            assert!(matches!(item.matcher, Matcher::Cluster(_)));
+            assert!(!item.members.is_empty());
+        }
+    }
+
+    #[test]
+    fn from_rules_collects_members() {
+        let s = answers();
+        let tree = DecisionTree::train(&s, 3, 3).unwrap();
+        let summary = Summary::from_rules("dt", &s, 3, &tree.rules());
+        assert_eq!(summary.items.len(), 1);
+        assert_eq!(summary.items[0].members, vec![0, 1, 2]);
+        assert_eq!(summary.items[0].label, Category::Top);
+    }
+
+    #[test]
+    fn negated_predicates_cost_more_complexity() {
+        let rule = Rule {
+            predicates: vec![
+                qagview_baselines::decision_tree::Predicate {
+                    attr: 0,
+                    code: 1,
+                    equals: true,
+                },
+                qagview_baselines::decision_tree::Predicate {
+                    attr: 1,
+                    code: 2,
+                    equals: false,
+                },
+            ],
+            positives: 1,
+            negatives: 0,
+            avg_val: 5.0,
+        };
+        assert_eq!(Matcher::Rule(rule).complexity(), 3);
+        let pattern = Matcher::Cluster(Pattern::new(vec![1, qagview_lattice::STAR]));
+        assert_eq!(pattern.complexity(), 1);
+    }
+
+    #[test]
+    fn mean_complexity() {
+        let s = answers();
+        let sm = Summarizer::new(&s, 3).unwrap();
+        let sol = sm.hybrid(2, 0).unwrap();
+        let summary = Summary::from_solution("ours", &s, 3, &sol);
+        assert!(summary.mean_complexity() > 0.0);
+        assert!(summary.mean_complexity() <= 2.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cluster placement: the Def. A.3 optimization and the Fig. 16 metrics.
+//!
+//! The left column keeps its order (`p_a` fixed); the optimizer permutes
+//! the right column to minimize the weighted earth-mover objective
+//! `D = Σ_ij m_ij · |p_ai − p_bj|`. Reduction (App. A.7.2): assigning right
+//! cluster `u` to position `v` costs `Σ_i m_iu · |i − v|`, independent of
+//! the rest of the permutation — a minimum-cost perfect matching.
+
+use crate::hungarian::min_cost_assignment;
+use crate::overlap::Transition;
+
+/// A placement of the right-hand clusters: `position[j]` is the vertical
+/// slot of right cluster `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Slot per right cluster.
+    pub position: Vec<usize>,
+}
+
+impl Placement {
+    /// The default placement: right clusters keep their display (value)
+    /// order — what the GUI shows without optimization.
+    pub fn default_order(n: usize) -> Self {
+        Placement {
+            position: (0..n).collect(),
+        }
+    }
+}
+
+/// The Def. A.3 objective for a given placement.
+pub fn total_distance(t: &Transition, placement: &Placement) -> f64 {
+    let mut d = 0.0;
+    for (i, j, m) in t.bands() {
+        let pa = i as f64;
+        let pb = placement.position[j] as f64;
+        d += m as f64 * (pa - pb).abs();
+    }
+    d
+}
+
+/// Number of crossing band pairs under a placement (the Fig. 16(b) metric):
+/// bands `(i → j)` and `(i' → j')` cross iff their endpoints are oppositely
+/// ordered on the two sides.
+pub fn band_crossings(t: &Transition, placement: &Placement) -> usize {
+    let bands = t.bands();
+    let mut crossings = 0;
+    for (x, &(i1, j1, _)) in bands.iter().enumerate() {
+        for &(i2, j2, _) in &bands[x + 1..] {
+            let left = i1 as isize - i2 as isize;
+            let right = placement.position[j1] as isize - placement.position[j2] as isize;
+            if left * right < 0 {
+                crossings += 1;
+            }
+        }
+    }
+    crossings
+}
+
+/// Solve Def. A.3 exactly via the Hungarian reduction. Returns the optimal
+/// placement and its objective value.
+pub fn optimal_placement(t: &Transition) -> (Placement, f64) {
+    let n = t.right_len();
+    if n == 0 {
+        return (Placement { position: vec![] }, 0.0);
+    }
+    // cost[u][v] = Σ_i m_iu · |i − v|.
+    let cost: Vec<Vec<f64>> = (0..n)
+        .map(|u| {
+            (0..n)
+                .map(|v| {
+                    (0..t.left_len())
+                        .map(|i| t.overlaps[i][u] as f64 * (i as f64 - v as f64).abs())
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+    let (assignment, total) = min_cost_assignment(&cost);
+    (
+        Placement {
+            position: assignment,
+        },
+        total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built transition: left cluster i overlaps right cluster
+    /// (n-1-i) — the reversal case where the default order is maximally
+    /// tangled and the optimum untangles everything.
+    fn reversed(n: usize) -> Transition {
+        let overlaps: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).map(|j| usize::from(i + j == n - 1) * 5).collect())
+            .collect();
+        Transition {
+            left_labels: (0..n).map(|i| format!("L{i}")).collect(),
+            right_labels: (0..n).map(|i| format!("R{i}")).collect(),
+            left_sizes: vec![5; n],
+            right_sizes: vec![5; n],
+            left_top: vec![2; n],
+            right_top: vec![2; n],
+            overlaps,
+        }
+    }
+
+    #[test]
+    fn default_order_of_reversal_is_bad() {
+        let t = reversed(4);
+        let default = Placement::default_order(4);
+        assert_eq!(total_distance(&t, &default), 5.0 * (3.0 + 1.0 + 1.0 + 3.0));
+        assert_eq!(band_crossings(&t, &default), 6); // C(4,2) crossings
+    }
+
+    #[test]
+    fn optimal_untangles_reversal() {
+        let t = reversed(4);
+        let (placement, cost) = optimal_placement(&t);
+        assert_eq!(cost, 0.0);
+        assert_eq!(placement.position, vec![3, 2, 1, 0]);
+        assert_eq!(band_crossings(&t, &placement), 0);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_default() {
+        // A lopsided matrix with shared mass.
+        let t = Transition {
+            left_labels: vec!["a".into(), "b".into(), "c".into()],
+            right_labels: vec!["r0".into(), "r1".into(), "r2".into()],
+            left_sizes: vec![10, 6, 4],
+            right_sizes: vec![8, 8, 4],
+            left_top: vec![3, 2, 1],
+            right_top: vec![4, 1, 1],
+            overlaps: vec![vec![2, 6, 1], vec![5, 0, 1], vec![0, 2, 2]],
+        };
+        let default = Placement::default_order(3);
+        let (opt, opt_cost) = optimal_placement(&t);
+        assert!(opt_cost <= total_distance(&t, &default) + 1e-9);
+        assert!((total_distance(&t, &opt) - opt_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_transition() {
+        let t = Transition {
+            left_labels: vec![],
+            right_labels: vec![],
+            left_sizes: vec![],
+            right_sizes: vec![],
+            left_top: vec![],
+            right_top: vec![],
+            overlaps: vec![],
+        };
+        let (p, c) = optimal_placement(&t);
+        assert!(p.position.is_empty());
+        assert_eq!(c, 0.0);
+        assert_eq!(band_crossings(&t, &p), 0);
+    }
+
+    #[test]
+    fn identity_transition_prefers_identity() {
+        let n = 3;
+        let overlaps: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).map(|j| usize::from(i == j) * 7).collect())
+            .collect();
+        let t = Transition {
+            left_labels: vec!["x".into(); n],
+            right_labels: vec!["y".into(); n],
+            left_sizes: vec![7; n],
+            right_sizes: vec![7; n],
+            left_top: vec![0; n],
+            right_top: vec![0; n],
+            overlaps,
+        };
+        let (p, c) = optimal_placement(&t);
+        assert_eq!(p.position, vec![0, 1, 2]);
+        assert_eq!(c, 0.0);
+    }
+}

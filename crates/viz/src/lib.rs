@@ -1,0 +1,30 @@
+//! Successive-solution comparison visualization (paper App. A.7, Figs.
+//! 13–16).
+//!
+//! When the analyst nudges `k`, `L`, or `D`, the system shows how the old
+//! clusters redistribute into the new ones with a two-column band diagram
+//! (a vertical Sankey). A careless vertical ordering of the new clusters
+//! tangles the bands (Fig. 15); the paper formulates placement as an
+//! optimization problem (Def. A.3) — minimize the overlap-weighted earth-
+//! mover distance `Σ m_ij · |p_ai − p_bj|` — and solves it exactly as a
+//! minimum-cost perfect matching on a complete bipartite graph (clusters ×
+//! positions).
+//!
+//! * [`overlap`] — the shared-tuple matrix between two solutions.
+//! * [`hungarian`] — an `O(n³)` minimum-cost assignment solver.
+//! * [`layout`] — default vs. optimal placements, total-distance and
+//!   band-crossing metrics (the Fig. 16 measurements).
+//! * [`sankey`] — ASCII rendering of a transition.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hungarian;
+pub mod layout;
+pub mod overlap;
+pub mod sankey;
+
+pub use hungarian::min_cost_assignment;
+pub use layout::{band_crossings, optimal_placement, total_distance, Placement};
+pub use overlap::Transition;
+pub use sankey::render_transition;

@@ -1,0 +1,174 @@
+//! The shared-tuple overlap matrix between two successive solutions.
+
+use qagview_core::Solution;
+use qagview_lattice::AnswerSet;
+
+/// A transition from an old solution (`left`) to a new one (`right`):
+/// cluster sizes, top-`L` content, and the pairwise overlap counts `m_ij`
+/// that weight the comparison bands (App. A.7.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Rendered pattern of each left cluster, in display order.
+    pub left_labels: Vec<String>,
+    /// Rendered pattern of each right cluster.
+    pub right_labels: Vec<String>,
+    /// Tuple count per left cluster (box width in the GUI).
+    pub left_sizes: Vec<usize>,
+    /// Tuple count per right cluster.
+    pub right_sizes: Vec<usize>,
+    /// Count of top-`L` tuples per left cluster (dark box fraction).
+    pub left_top: Vec<usize>,
+    /// Count of top-`L` tuples per right cluster.
+    pub right_top: Vec<usize>,
+    /// `overlaps[i][j]` = number of tuples shared by left `i` and right `j`.
+    pub overlaps: Vec<Vec<usize>>,
+}
+
+impl Transition {
+    /// Build the overlap matrix between two solutions over the same answer
+    /// relation. `l` is the coverage parameter (for the top-`L` fractions).
+    pub fn between(answers: &AnswerSet, left: &Solution, right: &Solution, l: usize) -> Self {
+        let left_labels = left
+            .clusters
+            .iter()
+            .map(|c| answers.pattern_to_string(&c.pattern))
+            .collect();
+        let right_labels = right
+            .clusters
+            .iter()
+            .map(|c| answers.pattern_to_string(&c.pattern))
+            .collect();
+        let left_sizes = left.clusters.iter().map(|c| c.members.len()).collect();
+        let right_sizes = right.clusters.iter().map(|c| c.members.len()).collect();
+        let count_top = |members: &[u32]| members.iter().filter(|&&t| (t as usize) < l).count();
+        let left_top = left
+            .clusters
+            .iter()
+            .map(|c| count_top(&c.members))
+            .collect();
+        let right_top = right
+            .clusters
+            .iter()
+            .map(|c| count_top(&c.members))
+            .collect();
+        let overlaps = left
+            .clusters
+            .iter()
+            .map(|a| {
+                right
+                    .clusters
+                    .iter()
+                    .map(|b| sorted_intersection_len(&a.members, &b.members))
+                    .collect()
+            })
+            .collect();
+        Transition {
+            left_labels,
+            right_labels,
+            left_sizes,
+            right_sizes,
+            left_top,
+            right_top,
+            overlaps,
+        }
+    }
+
+    /// Number of left clusters.
+    pub fn left_len(&self) -> usize {
+        self.left_sizes.len()
+    }
+
+    /// Number of right clusters.
+    pub fn right_len(&self) -> usize {
+        self.right_sizes.len()
+    }
+
+    /// The bands: `(left, right, shared)` triples with `shared > 0`.
+    pub fn bands(&self) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for (i, row) in self.overlaps.iter().enumerate() {
+            for (j, &m) in row.iter().enumerate() {
+                if m > 0 {
+                    out.push((i, j, m));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Length of the intersection of two ascending-sorted id lists.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_core::Summarizer;
+    use qagview_lattice::AnswerSetBuilder;
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into()]);
+        b.push(&["x", "p"], 9.0).unwrap();
+        b.push(&["x", "q"], 8.0).unwrap();
+        b.push(&["y", "p"], 7.0).unwrap();
+        b.push(&["y", "q"], 6.0).unwrap();
+        b.push(&["z", "p"], 1.0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn intersection_helper() {
+        assert_eq!(sorted_intersection_len(&[1, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(sorted_intersection_len(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_len(&[7], &[7]), 1);
+    }
+
+    #[test]
+    fn transition_between_k4_and_k2() {
+        let s = answers();
+        let sm = Summarizer::new(&s, 4).unwrap();
+        let left = sm.bottom_up(4, 0).unwrap();
+        let right = sm.bottom_up(2, 0).unwrap();
+        let t = Transition::between(&s, &left, &right, 4);
+        assert_eq!(t.left_len(), left.len());
+        assert_eq!(t.right_len(), right.len());
+        // Every left cluster's tuples must be accounted for in some band
+        // when the right side covers at least as much.
+        let band_total: usize = t.bands().iter().map(|&(_, _, m)| m).sum();
+        assert!(
+            band_total >= 4,
+            "top-4 tuples flow through bands, got {band_total}"
+        );
+        // Overlap symmetry sanity: overlap <= min(size_left, size_right).
+        for (i, j, m) in t.bands() {
+            assert!(m <= t.left_sizes[i].min(t.right_sizes[j]));
+        }
+    }
+
+    #[test]
+    fn top_l_fractions_counted() {
+        let s = answers();
+        let sm = Summarizer::new(&s, 2).unwrap();
+        let sol = sm.bottom_up(1, 0).unwrap();
+        let t = Transition::between(&s, &sol, &sol, 2);
+        // Identity transition: full overlap on the diagonal.
+        for i in 0..t.left_len() {
+            assert_eq!(t.overlaps[i][i], t.left_sizes[i]);
+            assert!(t.left_top[i] <= t.left_sizes[i]);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! ASCII rendering of a solution transition (the Fig. 13/14 view, in text).
+
+use crate::layout::Placement;
+use crate::overlap::Transition;
+use std::fmt::Write as _;
+
+/// Render a transition as a two-column band list. Right clusters are shown
+/// in `placement` order; each band line shows the shared tuple count, and
+/// box "widths" are proportional tuple counts with the top-`L` fraction in
+/// `#` and the redundant remainder in `-`.
+pub fn render_transition(t: &Transition, placement: &Placement) -> String {
+    let mut out = String::new();
+    let bar = |total: usize, top: usize| -> String {
+        const SCALE: usize = 24;
+        let max = 1usize.max(total);
+        let width = (total * SCALE).div_ceil(max.max(SCALE));
+        let top_w = if total == 0 {
+            0
+        } else {
+            (top * width).div_ceil(total)
+        };
+        format!(
+            "{}{}",
+            "#".repeat(top_w),
+            "-".repeat(width.saturating_sub(top_w))
+        )
+    };
+    let _ = writeln!(out, "old solution:");
+    for (i, label) in t.left_labels.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  [{i}] {label}  |{}| {} tuples",
+            bar(t.left_sizes[i], t.left_top[i]),
+            t.left_sizes[i]
+        );
+    }
+    let _ = writeln!(out, "new solution (optimized placement):");
+    // Invert placement: slot -> right cluster.
+    let mut slots: Vec<Option<usize>> = vec![None; t.right_len()];
+    for (j, &slot) in placement.position.iter().enumerate() {
+        slots[slot] = Some(j);
+    }
+    for (slot, j) in slots.iter().enumerate() {
+        let j = j.expect("placement is a permutation");
+        let _ = writeln!(
+            out,
+            "  [{slot}] {}  |{}| {} tuples",
+            t.right_labels[j],
+            bar(t.right_sizes[j], t.right_top[j]),
+            t.right_sizes[j]
+        );
+    }
+    let _ = writeln!(out, "bands (shared tuples):");
+    for (i, j, m) in t.bands() {
+        let _ = writeln!(out, "  old[{i}] ==({m})==> new[{}]", placement.position[j]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition() -> Transition {
+        Transition {
+            left_labels: vec!["(x, *)".into(), "(y, *)".into()],
+            right_labels: vec!["(*, *)".into()],
+            left_sizes: vec![4, 3],
+            right_sizes: vec![8],
+            left_top: vec![2, 1],
+            right_top: vec![3],
+            overlaps: vec![vec![4], vec![3]],
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_clusters_and_bands() {
+        let t = transition();
+        let text = render_transition(&t, &Placement::default_order(1));
+        assert!(text.contains("(x, *)"));
+        assert!(text.contains("(y, *)"));
+        assert!(text.contains("(*, *)"));
+        assert!(text.contains("==(4)==>"));
+        assert!(text.contains("==(3)==>"));
+    }
+
+    #[test]
+    fn bars_reflect_top_fraction() {
+        let t = transition();
+        let text = render_transition(&t, &Placement::default_order(1));
+        assert!(text.contains('#'), "top-L fraction bar");
+        assert!(text.contains('-'), "redundant fraction bar");
+    }
+}

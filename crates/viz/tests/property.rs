@@ -1,0 +1,97 @@
+//! Property tests for the layout optimizer: optimality, permutation
+//! validity, and dominance over the default placement.
+
+use proptest::prelude::*;
+use qagview_viz::hungarian::{min_cost_assignment, min_cost_assignment_brute};
+use qagview_viz::layout::{band_crossings, optimal_placement, total_distance, Placement};
+use qagview_viz::overlap::Transition;
+
+fn arb_transition() -> impl Strategy<Value = Transition> {
+    (1usize..=5, 1usize..=5).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(0usize..8, rows * cols).prop_map(move |cells| {
+            let overlaps: Vec<Vec<usize>> =
+                cells.chunks(cols).map(|chunk| chunk.to_vec()).collect();
+            let left_sizes: Vec<usize> = overlaps
+                .iter()
+                .map(|row| row.iter().sum::<usize>().max(1))
+                .collect();
+            let right_sizes: Vec<usize> = (0..cols)
+                .map(|j| overlaps.iter().map(|row| row[j]).sum::<usize>().max(1))
+                .collect();
+            Transition {
+                left_labels: (0..rows).map(|i| format!("L{i}")).collect(),
+                right_labels: (0..cols).map(|j| format!("R{j}")).collect(),
+                left_top: left_sizes.iter().map(|s| s / 2).collect(),
+                right_top: right_sizes.iter().map(|s| s / 2).collect(),
+                left_sizes,
+                right_sizes,
+                overlaps,
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimal placement is a permutation achieving its reported cost,
+    /// and no worse than the default ordering.
+    #[test]
+    fn optimal_dominates_default(t in arb_transition()) {
+        let (placement, cost) = optimal_placement(&t);
+        // Permutation validity.
+        let mut seen = vec![false; t.right_len()];
+        for &p in &placement.position {
+            prop_assert!(p < t.right_len());
+            prop_assert!(!seen[p], "duplicate slot");
+            seen[p] = true;
+        }
+        // Reported cost is the actual Def. A.3 objective.
+        prop_assert!((total_distance(&t, &placement) - cost).abs() < 1e-9);
+        // Dominance.
+        let default = Placement::default_order(t.right_len());
+        prop_assert!(cost <= total_distance(&t, &default) + 1e-9);
+    }
+
+    /// No single transposition of the optimal placement improves it
+    /// (local optimality — implied by global optimality).
+    #[test]
+    fn optimal_is_swap_stable(t in arb_transition()) {
+        let (placement, cost) = optimal_placement(&t);
+        let n = t.right_len();
+        for i in 0..n {
+            for j in i + 1..n {
+                let mut swapped = placement.clone();
+                swapped.position.swap(i, j);
+                prop_assert!(
+                    total_distance(&t, &swapped) + 1e-9 >= cost,
+                    "swap ({i},{j}) improved the optimum"
+                );
+            }
+        }
+    }
+
+    /// Hungarian equals brute force on random square matrices.
+    #[test]
+    fn hungarian_equals_brute(
+        n in 1usize..=5,
+        cells in prop::collection::vec(0.0f64..100.0, 25),
+    ) {
+        let cost: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| cells[i * 5 + j]).collect()).collect();
+        let (_, fast) = min_cost_assignment(&cost);
+        let (_, slow) = min_cost_assignment_brute(&cost);
+        prop_assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    /// Crossing counts are invariant under relabeling both sides with the
+    /// identity and zero for the empty band set.
+    #[test]
+    fn crossings_sanity(t in arb_transition()) {
+        let default = Placement::default_order(t.right_len());
+        let crossings = band_crossings(&t, &default);
+        // An upper bound: every band pair crosses at most once.
+        let bands = t.bands().len();
+        prop_assert!(crossings <= bands * bands.saturating_sub(1) / 2);
+    }
+}

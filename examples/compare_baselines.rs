@@ -1,0 +1,108 @@
+//! The App. A.5 qualitative comparison: our summarization vs. smart
+//! drill-down, diversified top-k, DisC diversity, MMR, and the §8 decision
+//! tree, all on the Example 1.1 workload.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use qagview::baselines::{
+    decision_tree, disc_diverse_subset, diversified_topk, mmr_select, smart_drilldown, RuleSource,
+};
+use qagview::datagen::movielens::{self, MovieLensConfig};
+use qagview::prelude::*;
+
+fn main() {
+    let table = movielens::generate(&MovieLensConfig::default()).expect("generator");
+    let mut catalog = Catalog::new();
+    catalog.register("ratingtable", table);
+    let output = run_query(
+        &catalog,
+        "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
+         FROM ratingtable WHERE genres_adventure = 1 \
+         GROUP BY hdec, agegrp, gender, occupation \
+         HAVING count(*) > 50 ORDER BY val DESC",
+    )
+    .expect("query");
+    let answers = answers_from_query(&output).expect("answers");
+    println!(
+        "workload: n = {} answer groups; k = 4, L = 10, D = 2\n",
+        answers.len()
+    );
+    let l = 10.min(answers.len());
+
+    // Our framework.
+    let summarizer = Summarizer::new(&answers, l).expect("index");
+    let ours = summarizer.hybrid(4, 2).expect("summarize");
+    println!("== qagview (this paper) ==");
+    print!("{}", ours.render(&answers, false));
+
+    // Smart drill-down, on top-L and on all elements (App. A.5.1).
+    for (label, source) in [
+        ("top-10 elements", RuleSource::TopL(l)),
+        ("all elements", RuleSource::AllElements),
+    ] {
+        println!("\n== smart drill-down on {label} ==");
+        let rules = smart_drilldown(&answers, 4, source).expect("drill-down");
+        for r in rules {
+            println!(
+                "  {}  W={} MCount={} avg={:.2}",
+                answers.pattern_to_string(&r.pattern),
+                r.weight,
+                r.marginal_count,
+                r.avg_val
+            );
+        }
+    }
+
+    // Diversified top-k (App. A.5.2).
+    println!("\n== diversified top-k on top-{l} elements ==");
+    for pick in diversified_topk(&answers, l, 4, 2).expect("div-topk") {
+        let row: Vec<&str> = (0..answers.arity())
+            .map(|i| answers.code_text(i, answers.tuple(pick.tuple)[i]))
+            .collect();
+        println!(
+            "  {} | score {:.2} | neighborhood avg {:.2}",
+            row.join(", "),
+            pick.score,
+            pick.neighborhood_avg
+        );
+    }
+
+    // DisC diversity (App. A.5.3).
+    println!("\n== DisC diversity (r = 2) on top-{l} elements ==");
+    for t in disc_diverse_subset(&answers, l, 2).expect("disc") {
+        let row: Vec<&str> = (0..answers.arity())
+            .map(|i| answers.code_text(i, answers.tuple(t)[i]))
+            .collect();
+        println!("  {} | score {:.2}", row.join(", "), answers.val(t));
+    }
+
+    // MMR sweep (App. A.5.4).
+    for lambda in [0.0, 0.5, 1.0] {
+        println!("\n== MMR λ = {lambda} ==");
+        for t in mmr_select(&answers, l, 4, lambda).expect("mmr") {
+            let row: Vec<&str> = (0..answers.arity())
+                .map(|i| answers.code_text(i, answers.tuple(t)[i]))
+                .collect();
+            println!("  {} | score {:.2}", row.join(", "), answers.val(t));
+        }
+    }
+
+    // Decision tree (§8).
+    println!("\n== decision tree (positive leaves <= 4) ==");
+    match decision_tree::fit_for_k(&answers, l, 4) {
+        Ok(tree) => {
+            for rule in tree.rules() {
+                println!(
+                    "  {}  [{} top / {} other, avg {:.2}]",
+                    rule.render(&answers),
+                    rule.positives,
+                    rule.negatives,
+                    rule.avg_val
+                );
+            }
+        }
+        Err(e) => println!("  (no suitable tree: {e})"),
+    }
+}

@@ -1,0 +1,194 @@
+//! An interactive terminal session — the closest CLI equivalent of the
+//! QagView GUI (paper App. A.3): load data, run the aggregate query, tune
+//! `(k, L, D)`, inspect clusters and their members, consult the guidance
+//! plot, and diff successive solutions.
+//!
+//! ```text
+//! cargo run --release --example interactive_session
+//! ```
+//!
+//! Commands (also printed at startup):
+//!
+//! ```text
+//! summarize <k> <l> <d>   two-layer summary for the parameters
+//! expand                  re-print the last summary with members
+//! plot <l>                guidance plot (avg vs k, curves per D) for L
+//! diff <k> <l> <d>        compare the last summary against new parameters
+//! baselines <k> <l>       smart drill-down / MMR quick comparison
+//! quit
+//! ```
+
+use qagview::baselines::{mmr_select, smart_drilldown, RuleSource};
+use qagview::datagen::movielens::{self, MovieLensConfig};
+use qagview::prelude::*;
+use std::io::{BufRead, Write};
+
+struct Session {
+    answers: AnswerSet,
+    last: Option<(Solution, usize)>,
+}
+
+impl Session {
+    fn summarize(&mut self, k: usize, l: usize, d: usize) -> Result<String, String> {
+        let summarizer = Summarizer::new(&self.answers, l).map_err(|e| e.to_string())?;
+        let sol = summarizer.hybrid(k, d).map_err(|e| e.to_string())?;
+        let text = sol.render(&self.answers, false);
+        self.last = Some((sol, l));
+        Ok(text)
+    }
+
+    fn expand(&self) -> Result<String, String> {
+        match &self.last {
+            Some((sol, _)) => Ok(sol.render(&self.answers, true)),
+            None => Err("no summary yet — run `summarize` first".into()),
+        }
+    }
+
+    fn plot(&self, l: usize) -> Result<String, String> {
+        let d_max = 3.min(self.answers.arity());
+        let pre = Precomputed::build(
+            &self.answers,
+            l,
+            PrecomputeConfig {
+                k_min: 2,
+                k_max: 15,
+                d_min: 1,
+                d_max,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(pre.guidance().render_ascii(12))
+    }
+
+    fn diff(&mut self, k: usize, l: usize, d: usize) -> Result<String, String> {
+        let (old, old_l) = self
+            .last
+            .clone()
+            .ok_or_else(|| "no summary yet — run `summarize` first".to_string())?;
+        let summarizer = Summarizer::new(&self.answers, l).map_err(|e| e.to_string())?;
+        let new = summarizer.hybrid(k, d).map_err(|e| e.to_string())?;
+        let transition = Transition::between(&self.answers, &old, &new, l.max(old_l));
+        let (placement, _) = optimal_placement(&transition);
+        let text = render_transition(&transition, &placement);
+        self.last = Some((new, l));
+        Ok(text)
+    }
+
+    fn baselines(&self, k: usize, l: usize) -> Result<String, String> {
+        let mut out = String::new();
+        out.push_str("smart drill-down (value-adapted):\n");
+        for r in
+            smart_drilldown(&self.answers, k, RuleSource::TopL(l)).map_err(|e| e.to_string())?
+        {
+            out.push_str(&format!(
+                "  {}  avg {:.2} x{}\n",
+                self.answers.pattern_to_string(&r.pattern),
+                r.avg_val,
+                r.marginal_count
+            ));
+        }
+        out.push_str("MMR (lambda = 0.5):\n");
+        for t in mmr_select(&self.answers, l, k, 0.5).map_err(|e| e.to_string())? {
+            let row: Vec<&str> = (0..self.answers.arity())
+                .map(|i| self.answers.code_text(i, self.answers.tuple(t)[i]))
+                .collect();
+            out.push_str(&format!(
+                "  {} | {:.2}\n",
+                row.join(", "),
+                self.answers.val(t)
+            ));
+        }
+        Ok(out)
+    }
+}
+
+fn parse3(parts: &[&str]) -> Option<(usize, usize, usize)> {
+    match parts {
+        [a, b, c] => Some((a.parse().ok()?, b.parse().ok()?, c.parse().ok()?)),
+        _ => None,
+    }
+}
+
+fn main() {
+    println!("loading MovieLens-like RatingTable + Example 1.1 query …");
+    let table = movielens::generate(&MovieLensConfig::default()).expect("generator");
+    let mut catalog = Catalog::new();
+    catalog.register("ratingtable", table);
+    let output = run_query(
+        &catalog,
+        "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
+         FROM ratingtable WHERE genres_adventure = 1 \
+         GROUP BY hdec, agegrp, gender, occupation \
+         HAVING count(*) > 50 ORDER BY val DESC",
+    )
+    .expect("query");
+    let answers = answers_from_query(&output).expect("answers");
+    println!(
+        "answer relation: n = {} groups over m = 4 attributes\n",
+        answers.len()
+    );
+    println!("commands:");
+    println!(
+        "  summarize <k> <l> <d> | expand | plot <l> | diff <k> <l> <d> | baselines <k> <l> | quit"
+    );
+
+    let mut session = Session {
+        answers,
+        last: None,
+    };
+    let stdin = std::io::stdin();
+    // Non-interactive invocations (CI, piping) get a scripted demo.
+    let scripted = ["summarize 4 8 2", "expand", "plot 15", "diff 3 8 2", "quit"];
+    let mut script_iter = scripted.iter();
+
+    loop {
+        print!("qagview> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        let is_tty = stdin
+            .lock()
+            .read_line(&mut line)
+            .map(|n| n > 0)
+            .unwrap_or(false);
+        let line = if is_tty {
+            line
+        } else {
+            match script_iter.next() {
+                Some(cmd) => {
+                    println!("{cmd}   (scripted demo)");
+                    (*cmd).to_string()
+                }
+                None => break,
+            }
+        };
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let result = match parts.as_slice() {
+            [] => continue,
+            ["quit"] | ["exit"] => break,
+            ["summarize", rest @ ..] => match parse3(rest) {
+                Some((k, l, d)) => session.summarize(k, l, d),
+                None => Err("usage: summarize <k> <l> <d>".into()),
+            },
+            ["expand"] => session.expand(),
+            ["plot", l] => match l.parse() {
+                Ok(l) => session.plot(l),
+                Err(_) => Err("usage: plot <l>".into()),
+            },
+            ["diff", rest @ ..] => match parse3(rest) {
+                Some((k, l, d)) => session.diff(k, l, d),
+                None => Err("usage: diff <k> <l> <d>".into()),
+            },
+            ["baselines", k, l] => match (k.parse(), l.parse()) {
+                (Ok(k), Ok(l)) => session.baselines(k, l),
+                _ => Err("usage: baselines <k> <l>".into()),
+            },
+            other => Err(format!("unknown command {other:?}")),
+        };
+        match result {
+            Ok(text) => println!("{text}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,102 @@
+//! The paper's running example end-to-end on the synthetic MovieLens
+//! RatingTable: Example 1.1's query, the Fig. 1 two-layer summary, and the
+//! Fig. 2 parameter-selection guidance plot with knee/flat detection.
+//!
+//! ```text
+//! cargo run --release --example movielens_explore
+//! ```
+
+use qagview::datagen::movielens::{self, MovieLensConfig};
+use qagview::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let table = movielens::generate(&MovieLensConfig::default()).expect("generator");
+    println!(
+        "generated RatingTable: {} rows x {} attributes in {:?}",
+        table.num_rows(),
+        table.schema().arity(),
+        t0.elapsed()
+    );
+    let mut catalog = Catalog::new();
+    catalog.register("ratingtable", table);
+
+    // Example 1.1.
+    let sql = "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
+               FROM ratingtable WHERE genres_adventure = 1 \
+               GROUP BY hdec, agegrp, gender, occupation \
+               HAVING count(*) > 50 ORDER BY val DESC";
+    let output = run_query(&catalog, sql).expect("query executes");
+    let answers = answers_from_query(&output).expect("answers");
+    println!(
+        "\nanswer relation: n = {} groups over m = 4 attributes",
+        answers.len()
+    );
+    println!("top-8 and bottom-8 (Fig. 1a):");
+    let n = answers.len();
+    for rank in (0..8.min(n)).chain(n.saturating_sub(8)..n) {
+        let t = rank as u32;
+        let row: Vec<&str> = (0..4)
+            .map(|i| answers.code_text(i, answers.tuple(t)[i]))
+            .collect();
+        println!(
+            "  {:>3}. {} | {:.2}",
+            rank + 1,
+            row.join(", "),
+            answers.val(t)
+        );
+    }
+
+    // Fig. 1b/1c: k = 4, L = 8, D = 2.
+    let summarizer = Summarizer::new(&answers, 8).expect("index");
+    let solution = summarizer.hybrid(4, 2).expect("summarize");
+    println!("\nFig. 1b/1c: clusters for k=4, L=8, D=2:");
+    print!("{}", solution.render(&answers, true));
+
+    // Fig. 2: precompute the (k, D) plane at L = 15 and plot.
+    let l = 15.min(answers.len());
+    let t1 = Instant::now();
+    let pre = Precomputed::build(
+        &answers,
+        l,
+        PrecomputeConfig {
+            k_min: 2,
+            k_max: 15,
+            d_min: 1,
+            d_max: 3,
+            ..Default::default()
+        },
+    )
+    .expect("precompute");
+    println!("\nprecomputed (k, D) plane for L={l} in {:?}", t1.elapsed());
+    let plot = pre.guidance();
+    print!("{}", plot.render_ascii(12));
+    for d in 1..=3 {
+        let knees = plot.knees(d, 0.002);
+        let flats = plot.flat_regions(d, 0.0005);
+        println!("D={d}: knee points {knees:?}, flat k-ranges {flats:?}");
+    }
+    println!(
+        "overlapping D bundles: {:?}",
+        plot.overlapping_d_bundles(1e-6)
+    );
+
+    // Interactive retrieval.
+    let t2 = Instant::now();
+    let sol = pre.solution(9, 2).expect("stored solution");
+    println!(
+        "\nretrieved solution for (k=9, D=2) in {:?} — avg {:.3}, {} clusters",
+        t2.elapsed(),
+        sol.avg(),
+        sol.len()
+    );
+    for c in &sol.clusters {
+        println!(
+            "  {}  avg {:.2} [{} tuples]",
+            answers.pattern_to_string(&c.pattern),
+            c.avg(),
+            c.members.len()
+        );
+    }
+}

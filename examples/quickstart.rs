@@ -1,0 +1,87 @@
+//! Quickstart: build a tiny ratings relation, run the paper-shaped
+//! aggregate query, and summarize the top answers as clusters.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use qagview::prelude::*;
+
+fn main() {
+    // A miniature version of the paper's RatingTable.
+    let schema = Schema::from_pairs(&[
+        ("hdec", ColumnType::Int),
+        ("agegrp", ColumnType::Str),
+        ("gender", ColumnType::Str),
+        ("occupation", ColumnType::Str),
+        ("rating", ColumnType::Float),
+    ])
+    .expect("valid schema");
+    let mut builder = TableBuilder::new(schema);
+    let rows: &[(i64, &str, &str, &str, f64)] = &[
+        (1975, "20s", "M", "Student", 4.3),
+        (1975, "20s", "M", "Student", 4.2),
+        (1980, "20s", "M", "Programmer", 4.2),
+        (1980, "20s", "M", "Programmer", 4.0),
+        (1980, "10s", "M", "Student", 4.0),
+        (1980, "10s", "M", "Student", 3.9),
+        (1980, "20s", "M", "Student", 3.9),
+        (1980, "20s", "M", "Student", 3.9),
+        (1985, "20s", "M", "Programmer", 3.9),
+        (1985, "20s", "M", "Programmer", 3.8),
+        (1995, "30s", "M", "Marketing", 3.0),
+        (1995, "30s", "M", "Marketing", 3.1),
+        (1995, "20s", "M", "Technician", 2.9),
+        (1995, "20s", "M", "Technician", 2.9),
+        (1995, "30s", "F", "Librarian", 2.8),
+        (1995, "30s", "F", "Librarian", 2.9),
+        (1995, "20s", "F", "Healthcare", 2.0),
+        (1995, "20s", "F", "Healthcare", 1.9),
+    ];
+    for &(h, a, g, o, r) in rows {
+        builder
+            .push_row(vec![
+                Cell::Int(h),
+                a.into(),
+                g.into(),
+                o.into(),
+                Cell::Float(r),
+            ])
+            .expect("row matches schema");
+    }
+    let mut catalog = Catalog::new();
+    catalog.register("ratingtable", builder.finish());
+
+    // The Example 1.1 query shape.
+    let sql = "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
+               FROM ratingtable GROUP BY hdec, agegrp, gender, occupation \
+               HAVING count(*) > 1 ORDER BY val DESC";
+    println!("query:\n  {sql}\n");
+    let output = run_query(&catalog, sql).expect("query executes");
+    println!("answer relation S ({} groups):", output.rows.len());
+    for (rank, row) in output.rows.iter().enumerate() {
+        println!(
+            "  {:>2}. {} | {:.2}",
+            rank + 1,
+            row.attrs.join(", "),
+            row.val
+        );
+    }
+
+    // Summarize: k = 3 clusters covering the top L = 5, pairwise distance
+    // >= 2.
+    let answers = answers_from_query(&output).expect("well-formed answers");
+    let summarizer = Summarizer::new(&answers, 5).expect("candidate index");
+    let solution = summarizer.hybrid(3, 2).expect("feasible summarization");
+
+    println!("\nclusters (k <= 3, L = 5, D = 2):");
+    print!("{}", solution.render(&answers, true));
+
+    // The trivial lower bound for contrast.
+    let trivial = summarizer.trivial();
+    println!(
+        "\ntrivial all-* cluster avg = {:.3}  (ours: {:.3})",
+        trivial.avg(),
+        solution.avg()
+    );
+}

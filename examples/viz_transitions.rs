@@ -1,0 +1,59 @@
+//! Visual comparison of two successive solutions (App. A.7 / Figs. 13–15):
+//! when the analyst changes `k`, show how the clusters redistribute, with
+//! the optimal (Hungarian) placement vs. the default ordering.
+//!
+//! ```text
+//! cargo run --release --example viz_transitions
+//! ```
+
+use qagview::prelude::*;
+use qagview::viz::{band_crossings, total_distance};
+
+fn main() {
+    // A structured relation with several natural cluster groups.
+    let mut builder = AnswerSetBuilder::new(vec!["brand".into(), "region".into(), "tier".into()]);
+    let rows: &[(&str, &str, &str, f64)] = &[
+        ("acme", "east", "gold", 9.6),
+        ("acme", "west", "gold", 9.2),
+        ("acme", "east", "silver", 8.8),
+        ("bolt", "east", "gold", 8.5),
+        ("bolt", "west", "gold", 8.1),
+        ("bolt", "east", "silver", 7.7),
+        ("crux", "west", "gold", 7.4),
+        ("crux", "east", "gold", 7.0),
+        ("crux", "west", "silver", 6.6),
+        ("dyno", "west", "gold", 6.2),
+        ("dyno", "east", "silver", 2.2),
+        ("acme", "west", "bronze", 1.8),
+        ("bolt", "west", "bronze", 1.4),
+        ("crux", "east", "bronze", 1.0),
+    ];
+    for &(b, r, t, v) in rows {
+        builder.push(&[b, r, t], v).expect("push");
+    }
+    let answers = builder.finish().expect("answers");
+
+    let summarizer = Summarizer::new(&answers, 10).expect("index");
+    let before = summarizer.hybrid(5, 1).expect("k=5 solution");
+    let after = summarizer.hybrid(3, 1).expect("k=3 solution");
+    println!("old solution (k=5): avg {:.3}", before.avg());
+    println!("new solution (k=3): avg {:.3}\n", after.avg());
+
+    let transition = Transition::between(&answers, &before, &after, 10);
+
+    // Default (value-ordered) placement vs. the Def. A.3 optimum.
+    let default = Placement::default_order(transition.right_len());
+    let (optimal, optimal_cost) = optimal_placement(&transition);
+    println!(
+        "default placement:  total distance {:.1}, {} band crossings",
+        total_distance(&transition, &default),
+        band_crossings(&transition, &default)
+    );
+    println!(
+        "matched placement:  total distance {:.1}, {} band crossings\n",
+        optimal_cost,
+        band_crossings(&transition, &optimal)
+    );
+
+    print!("{}", render_transition(&transition, &optimal));
+}

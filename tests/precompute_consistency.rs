@@ -1,0 +1,132 @@
+//! Integration: precomputed retrieval vs. direct algorithm runs across the
+//! whole (k, D) plane on a realistic workload.
+
+use qagview::datagen::synthetic::{answer_set, SyntheticConfig};
+use qagview::prelude::*;
+
+fn answers() -> AnswerSet {
+    answer_set(&SyntheticConfig::new(400, 5, 7)).expect("synthetic answers")
+}
+
+#[test]
+fn retrieved_solutions_feasible_over_the_full_plane() {
+    let answers = answers();
+    let l = 40;
+    let pre = Precomputed::build(
+        &answers,
+        l,
+        PrecomputeConfig {
+            k_min: 1,
+            k_max: 12,
+            d_min: 0,
+            d_max: 4,
+            ..Default::default()
+        },
+    )
+    .expect("precompute");
+    for d in 0..=4 {
+        for k in 1..=12 {
+            let sol = pre.solution(k, d).expect("stored solution");
+            let params = Params::new(k, l, d);
+            sol.verify(&answers, &params)
+                .unwrap_or_else(|e| panic!("k={k} d={d}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn plot_values_match_materialized_solutions() {
+    let answers = answers();
+    let pre = Precomputed::build(
+        &answers,
+        30,
+        PrecomputeConfig {
+            k_min: 2,
+            k_max: 10,
+            d_min: 1,
+            d_max: 3,
+            ..Default::default()
+        },
+    )
+    .expect("precompute");
+    let plot = pre.guidance();
+    for series in &plot.series {
+        for (ki, &k) in plot.k_values.iter().enumerate() {
+            let direct = pre.solution(k, series.d).unwrap().avg();
+            assert!(
+                (series.avg_by_k[ki] - direct).abs() < 1e-9,
+                "plot vs solution mismatch at k={k} d={}",
+                series.d
+            );
+        }
+    }
+}
+
+#[test]
+fn precomputed_quality_tracks_direct_hybrid() {
+    // The precomputation shares one Fixed-Order pool across all k, so the
+    // per-k solutions may differ slightly from per-k Hybrid runs — but the
+    // objective should stay in the same band (within 10% here).
+    let answers = answers();
+    let l = 30;
+    let summarizer = Summarizer::new(&answers, l).expect("index");
+    let pre = Precomputed::build(
+        &answers,
+        l,
+        PrecomputeConfig {
+            k_min: 2,
+            k_max: 10,
+            d_min: 2,
+            d_max: 2,
+            ..Default::default()
+        },
+    )
+    .expect("precompute");
+    for k in [2, 5, 8, 10] {
+        let direct = summarizer.hybrid(k, 2).unwrap().avg();
+        let stored = pre.solution(k, 2).unwrap().avg();
+        assert!(
+            (stored - direct).abs() <= 0.10 * direct.abs().max(1e-9),
+            "k={k}: stored {stored} vs direct {direct}"
+        );
+    }
+}
+
+#[test]
+fn retrieval_is_cheap_relative_to_recomputation() {
+    let answers = answers();
+    let l = 40;
+    let pre = Precomputed::build(
+        &answers,
+        l,
+        PrecomputeConfig {
+            k_min: 1,
+            k_max: 12,
+            d_min: 0,
+            d_max: 3,
+            ..Default::default()
+        },
+    )
+    .expect("precompute");
+    let summarizer = Summarizer::new(&answers, l).expect("index");
+
+    let t0 = std::time::Instant::now();
+    for d in 0..=3 {
+        for k in 1..=12 {
+            let _ = pre.solution(k, d).unwrap();
+        }
+    }
+    let retrieval = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    for d in 0..=3 {
+        for k in 1..=12 {
+            let _ = summarizer.hybrid(k, d).unwrap();
+        }
+    }
+    let recompute = t1.elapsed();
+    assert!(
+        retrieval < recompute,
+        "retrieval {retrieval:?} should beat recomputation {recompute:?}"
+    );
+}
