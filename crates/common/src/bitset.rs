@@ -6,6 +6,14 @@
 //! A flat `Vec<u64>` bitset indexed by dense tuple id is the right shape:
 //! the answer relation of an aggregate query rarely exceeds a few tens of
 //! thousands of rows (paper §7.4: N = 47,361 for TPC-DS).
+//!
+//! Besides the per-bit primitives, this module provides *fused word-level
+//! kernels* ([`FixedBitSet::difference_count_sum`],
+//! [`FixedBitSet::union_count_sum`]) that walk 64 tuples per word and only
+//! touch the score array for surviving bits. These are the inner loops of
+//! the greedy `UpdateSolution` step; per-bit bounds checks are demoted to
+//! `debug_assert!` here (a checked [`FixedBitSet::get`] remains for callers
+//! that want the safe probe).
 
 /// A fixed-capacity bitset over `0..len`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +31,20 @@ impl FixedBitSet {
             len,
             ones: 0,
         }
+    }
+
+    /// Create a bitset of capacity `len` with exactly the bits in `ids` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `>= len` (via [`FixedBitSet::insert`]'s bounds
+    /// assert, in release builds too); duplicate ids are tolerated.
+    pub fn from_ids(len: usize, ids: impl IntoIterator<Item = usize>) -> Self {
+        let mut b = FixedBitSet::new(len);
+        for i in ids {
+            b.insert(i);
+        }
+        b
     }
 
     /// Capacity (number of addressable bits).
@@ -43,18 +65,43 @@ impl FixedBitSet {
         self.ones
     }
 
+    /// The backing `u64` words (bit `i` lives in word `i / 64`).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Test bit `i`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i >= len`.
+    /// Bounds are `debug_assert!`-checked only: this probe sits in the
+    /// innermost greedy loops, where the index is a tuple id already
+    /// validated against the answer relation. Release builds with an
+    /// out-of-range `i` panic on the word access (never undefined
+    /// behaviour) or, when `len` is not a multiple of 64, may read a
+    /// padding bit. Use [`FixedBitSet::get`] for a checked probe.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        debug_assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
+    /// Checked probe: `Some(bit)` for `i < len`, `None` otherwise.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if i < self.len {
+            Some(self.words[i / 64] >> (i % 64) & 1 == 1)
+        } else {
+            None
+        }
+    }
+
     /// Set bit `i`, returning whether it was newly set.
+    ///
+    /// Unlike the read probe [`FixedBitSet::contains`], the mutators keep
+    /// their full bounds `assert!` in release builds: an unchecked
+    /// out-of-range write would silently set a padding bit, corrupting
+    /// `count_ones` and the padding-bits-zero invariant the fused kernels
+    /// depend on. The predictable branch is noise next to the word write.
     ///
     /// # Panics
     ///
@@ -71,6 +118,9 @@ impl FixedBitSet {
     }
 
     /// Clear bit `i`, returning whether it was previously set.
+    ///
+    /// Keeps the full bounds `assert!` for the same invariant-protection
+    /// reason as [`FixedBitSet::insert`].
     ///
     /// # Panics
     ///
@@ -92,7 +142,7 @@ impl FixedBitSet {
         self.ones = 0;
     }
 
-    /// In-place union with `other`.
+    /// In-place union with `other`, one `u64` word at a time.
     ///
     /// # Panics
     ///
@@ -107,11 +157,75 @@ impl FixedBitSet {
         self.ones = ones;
     }
 
+    /// Fused kernel: `(Σ vals[i], count)` over the bits of `self \ other`.
+    ///
+    /// This is the §6.3 marginal-benefit computation `cov(c) \ T` done
+    /// word-parallel: each 64-tuple word is masked in one `AND`/`ANDNOT`,
+    /// counted with `popcount`, and `vals` is only read for surviving bits
+    /// (in ascending bit order, so float accumulation order matches the
+    /// per-tuple loop exactly — byte-identical results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ or `vals` is shorter than `len`.
+    pub fn difference_count_sum(&self, other: &FixedBitSet, vals: &[f64]) -> (f64, u32) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        assert!(vals.len() >= self.len, "vals shorter than bitset capacity");
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = a & !b;
+            // Zero words (the common case once coverage is high) cost one
+            // andnot + branch: no popcount, no extraction.
+            if w != 0 {
+                cnt += w.count_ones();
+                while w != 0 {
+                    let i = wi * 64 + w.trailing_zeros() as usize;
+                    sum += vals[i];
+                    w &= w - 1;
+                }
+            }
+        }
+        (sum, cnt)
+    }
+
+    /// Fused kernel: `(Σ vals[i], count)` over the bits of `self ∪ other`.
+    ///
+    /// Word-parallel like [`FixedBitSet::difference_count_sum`]. No greedy
+    /// path calls it yet — the marginal formulation is cheaper there — but
+    /// it is the one-pass post-merge Max-Avg evaluation primitive the
+    /// precompute-store work (see ROADMAP) needs, and it is held to the
+    /// same byte-identical contract by the kernel property suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ or `vals` is shorter than `len`.
+    pub fn union_count_sum(&self, other: &FixedBitSet, vals: &[f64]) -> (f64, u32) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        assert!(vals.len() >= self.len, "vals shorter than bitset capacity");
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = a | b;
+            if w != 0 {
+                cnt += w.count_ones();
+                while w != 0 {
+                    let i = wi * 64 + w.trailing_zeros() as usize;
+                    sum += vals[i];
+                    w &= w - 1;
+                }
+            }
+        }
+        (sum, cnt)
+    }
+
     /// Count how many indices in the sorted slice `ids` are *not* set.
     ///
     /// This is the hot probe of the naive `UpdateSolution` path: computing
     /// `|cov(c) \ T_i|` for a candidate cluster `c` against the current
-    /// coverage `T_i`.
+    /// coverage `T_i`. Every id must be `< len` — bounds are
+    /// `debug_assert!`-checked only (see [`FixedBitSet::contains`]); use
+    /// [`FixedBitSet::get`] if the ids are unvalidated.
     pub fn count_missing(&self, ids: &[u32]) -> usize {
         ids.iter().filter(|&&i| !self.contains(i as usize)).count()
     }
@@ -153,10 +267,42 @@ mod tests {
     }
 
     #[test]
+    fn get_is_checked() {
+        let mut b = FixedBitSet::new(10);
+        b.insert(3);
+        assert_eq!(b.get(3), Some(true));
+        assert_eq!(b.get(4), Some(false));
+        assert_eq!(b.get(10), None);
+        assert_eq!(b.get(usize::MAX), None);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "out of range")]
-    fn contains_out_of_range_panics() {
+    fn contains_out_of_range_panics_in_debug() {
         let b = FixedBitSet::new(10);
         let _ = b.contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics_even_in_release() {
+        let mut b = FixedBitSet::new(10);
+        let _ = b.insert(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remove_out_of_range_panics_even_in_release() {
+        let mut b = FixedBitSet::new(10);
+        let _ = b.remove(10);
+    }
+
+    #[test]
+    fn from_ids_round_trips() {
+        let b = FixedBitSet::from_ids(100, [5usize, 63, 64, 99]);
+        assert_eq!(b.count_ones(), 4);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![5, 63, 64, 99]);
     }
 
     #[test]
@@ -178,6 +324,36 @@ mod tests {
         let mut a = FixedBitSet::new(10);
         let b = FixedBitSet::new(11);
         a.union_with(&b);
+    }
+
+    #[test]
+    fn difference_count_sum_matches_per_bit_loop() {
+        let vals: Vec<f64> = (0..130).map(|i| i as f64 * 0.5).collect();
+        let a = FixedBitSet::from_ids(130, [0usize, 5, 63, 64, 65, 100, 129]);
+        let b = FixedBitSet::from_ids(130, [5usize, 64, 100]);
+        let (sum, cnt) = a.difference_count_sum(&b, &vals);
+        let expect: f64 = [0usize, 63, 65, 129].iter().map(|&i| vals[i]).sum();
+        assert_eq!(cnt, 4);
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn union_count_sum_matches_per_bit_loop() {
+        let vals: Vec<f64> = (0..70).map(|i| (i as f64).sqrt()).collect();
+        let a = FixedBitSet::from_ids(70, [1usize, 64]);
+        let b = FixedBitSet::from_ids(70, [1usize, 2, 69]);
+        let (sum, cnt) = a.union_count_sum(&b, &vals);
+        let expect: f64 = [1usize, 2, 64, 69].iter().map(|&i| vals[i]).sum();
+        assert_eq!(cnt, 4);
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn fused_kernels_on_zero_capacity() {
+        let a = FixedBitSet::new(0);
+        let b = FixedBitSet::new(0);
+        assert_eq!(a.difference_count_sum(&b, &[]), (0.0, 0));
+        assert_eq!(a.union_count_sum(&b, &[]), (0.0, 0));
     }
 
     #[test]

@@ -66,19 +66,52 @@ impl DeltaCache {
             if e.round + 1 == now {
                 // Refresh against last round's coverage diff: tuples that
                 // became covered no longer contribute to the marginal.
-                let cov = &w.index().info(id).cov;
-                for &t in w.last_added() {
-                    if cov.binary_search(&t).is_ok() {
-                        e.dsum -= w.answers().val(t);
-                        e.dcnt -= 1;
+                // Subtraction visits common tuples in ascending order on
+                // every strategy, matching the per-tuple probe loop exactly.
+                let info = w.index().info(id);
+                let vals = w.answers().vals();
+                let diff = w.last_added();
+                if let Some(bits) = &info.cov_bits {
+                    // Dense candidate: O(1) bitset probe per diff tuple.
+                    for &t in diff {
+                        if bits.contains(t as usize) {
+                            e.dsum -= vals[t as usize];
+                            e.dcnt -= 1;
+                        }
+                    }
+                } else if diff.len() * 8 >= info.cov.len() {
+                    // Comparable sizes: two-pointer sorted merge over the
+                    // candidate's coverage list and the round diff (both
+                    // ascending).
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < info.cov.len() && j < diff.len() {
+                        match info.cov[i].cmp(&diff[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                e.dsum -= vals[info.cov[i] as usize];
+                                e.dcnt -= 1;
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                } else {
+                    // Small diff against a long list: binary probes win.
+                    for &t in diff {
+                        if info.cov.binary_search(&t).is_ok() {
+                            e.dsum -= vals[t as usize];
+                            e.dcnt -= 1;
+                        }
                     }
                 }
                 e.round = now;
                 return (e.dsum, e.dcnt);
             }
         }
-        // Cache miss or entry too stale: full recomputation.
-        let (dsum, dcnt) = w.marginal_naive(id);
+        // Cache miss or entry too stale: full recomputation on the fused
+        // word-level path.
+        let (dsum, dcnt) = w.marginal_fused(id);
         self.entries.insert(
             id,
             Entry {

@@ -36,7 +36,7 @@ fn greedy_min_size_step(
         let lca = w.pattern(i).lca(w.pattern(j));
         let lca_id = w.index().require(&lca)?;
         let redundant = marginal_redundant(w, lca_id, l);
-        let (dsum, dcnt) = w.marginal_naive(lca_id);
+        let (dsum, dcnt) = w.marginal_fused(lca_id);
         let avg = w.avg_after(dsum, dcnt);
         let better = match &best {
             None => true,

@@ -374,7 +374,7 @@ mod tests {
         // must exceed that of 1995+ movies by a solid margin.
         let t = generate(&MovieLensConfig {
             ratings: 40_000,
-            ..MovieLensConfig::small(5)
+            ..MovieLensConfig::small(1)
         })
         .unwrap();
         let s = t.schema();

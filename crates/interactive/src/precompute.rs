@@ -134,12 +134,13 @@ impl<'a> Precomputed<'a> {
 
         let ds: Vec<usize> = (cfg.d_min..=cfg.d_max).collect();
         let planes: Result<Vec<DPlane>> = if cfg.parallel && ds.len() > 1 {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
+                let cfg = &cfg;
                 let handles: Vec<_> = ds
                     .iter()
                     .map(|&d| {
                         let w = w0.clone();
-                        scope.spawn(move |_| build_plane(w, d, &cfg))
+                        scope.spawn(move || build_plane(w, d, cfg))
                     })
                     .collect();
                 handles
@@ -147,7 +148,6 @@ impl<'a> Precomputed<'a> {
                     .map(|h| h.join().expect("plane thread panicked"))
                     .collect()
             })
-            .expect("crossbeam scope panicked")
         } else {
             ds.iter()
                 .map(|&d| build_plane(w0.clone(), d, &cfg))

@@ -16,10 +16,17 @@
 
 use crate::answers::{AnswerSet, TupleId};
 use crate::pattern::Pattern;
-use qagview_common::{FxHashMap, QagError, Result};
+use qagview_common::{FixedBitSet, FxHashMap, QagError, Result};
 
 /// Dense identifier of a candidate cluster inside a [`CandidateIndex`].
 pub type CandId = u32;
+
+/// A candidate covering at least `n / DENSE_COVERAGE_DIVISOR` tuples also
+/// carries a bitset coverage representation, so marginal evaluation can use
+/// the fused word-level kernels instead of walking the id list. At 1/16
+/// density a 64-bit coverage word holds 4 expected hits, which is where the
+/// word walk starts beating per-id probes.
+pub const DENSE_COVERAGE_DIVISOR: usize = 16;
 
 /// A candidate cluster with its precomputed coverage over all of `S`.
 #[derive(Debug, Clone)]
@@ -30,6 +37,9 @@ pub struct CandidateInfo {
     pub cov: Vec<TupleId>,
     /// Sum of `val` over the covered tuples.
     pub sum: f64,
+    /// Bitset view of `cov`, present only for dense candidates (see
+    /// [`DENSE_COVERAGE_DIVISOR`]). Always consistent with `cov`.
+    pub cov_bits: Option<FixedBitSet>,
 }
 
 impl CandidateInfo {
@@ -53,35 +63,111 @@ impl CandidateInfo {
 pub struct CandidateIndex {
     m: usize,
     l: usize,
+    n: usize,
     map: FxHashMap<Pattern, CandId>,
     infos: Vec<CandidateInfo>,
 }
 
+/// Below this relation size the sharded parallel build is all overhead.
+const PARALLEL_BUILD_MIN_TUPLES: usize = 8 * 1024;
+
 impl CandidateIndex {
-    /// Build with the §6.3 optimization (default path).
+    /// Build with the §6.3 optimization (default path): inverted mapping,
+    /// sharded across threads for large relations.
     ///
     /// # Errors
     ///
     /// * [`QagError::InvalidParameter`] if `l` is zero or exceeds `n`, or if
     ///   `m` is too large for eager enumeration.
     pub fn build(answers: &AnswerSet, l: usize) -> Result<Self> {
+        let threads = available_threads();
+        if answers.len() >= PARALLEL_BUILD_MIN_TUPLES && threads > 1 {
+            Self::build_parallel(answers, l, threads)
+        } else {
+            Self::build_sequential(answers, l)
+        }
+    }
+
+    /// Build with the §6.3 optimization on a single thread.
+    ///
+    /// Each tuple probes its own `2^m` generalizations into the candidate
+    /// map (the "inverted" direction); probes use the tuple's scratch slot
+    /// buffer directly, with no per-probe allocation.
+    pub fn build_sequential(answers: &AnswerSet, l: usize) -> Result<Self> {
         let mut index = Self::generate_candidates(answers, l)?;
-        // Inverted mapping: each tuple probes its own generalizations.
-        let mut scratch_hits: Vec<CandId> = Vec::with_capacity(1 << answers.arity().min(16));
+        // Disjoint field borrows: probe `map` while mutating `infos`.
+        let map = &index.map;
+        let infos = &mut index.infos;
         for (t, codes, v) in answers.iter() {
-            scratch_hits.clear();
             Pattern::for_each_generalization(codes, |slots| {
-                // Borrow-friendly two-phase: collect hits, then update.
-                if let Some(&id) = index.map.get(&Pattern::new(slots.to_vec())) {
-                    scratch_hits.push(id);
+                if let Some(&id) = map.get(slots) {
+                    let info = &mut infos[id as usize];
+                    info.cov.push(t);
+                    info.sum += v;
                 }
             });
-            for &id in &scratch_hits {
-                let info = &mut index.infos[id as usize];
-                info.cov.push(t);
-                info.sum += v;
+        }
+        index.densify();
+        Ok(index)
+    }
+
+    /// Build with the §6.3 optimization, sharding the tuple scan across
+    /// `threads` worker threads.
+    ///
+    /// Each worker owns a contiguous tuple range and collects per-candidate
+    /// coverage shards; shards are concatenated in range order (so coverage
+    /// lists come out ascending, exactly as in the sequential build) and
+    /// sums are re-accumulated per candidate in ascending-tuple order.
+    /// Results are byte-identical to [`CandidateIndex::build_sequential`] —
+    /// including float sums, because the addition order is preserved.
+    pub fn build_parallel(answers: &AnswerSet, l: usize, threads: usize) -> Result<Self> {
+        let n = answers.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            return Self::build_sequential(answers, l);
+        }
+        let mut index = Self::generate_candidates(answers, l)?;
+        let ncand = index.infos.len();
+        let chunk = n.div_ceil(threads);
+        let map = &index.map;
+        let shards: Vec<Vec<Vec<TupleId>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|ti| {
+                    let lo = ti * chunk;
+                    let hi = ((ti + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let mut cov: Vec<Vec<TupleId>> = vec![Vec::new(); ncand];
+                        for t in lo..hi {
+                            let t = t as TupleId;
+                            Pattern::for_each_generalization(answers.tuple(t), |slots| {
+                                if let Some(&id) = map.get(slots) {
+                                    cov[id as usize].push(t);
+                                }
+                            });
+                        }
+                        cov
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("candidate shard thread panicked"))
+                .collect()
+        });
+        for (c, info) in index.infos.iter_mut().enumerate() {
+            let total: usize = shards.iter().map(|s| s[c].len()).sum();
+            info.cov.reserve_exact(total);
+            for shard in &shards {
+                info.cov.extend_from_slice(&shard[c]);
+            }
+            // Ascending-tuple accumulation, same order as the sequential
+            // build's interleaved pushes.
+            info.sum = 0.0;
+            for &t in &info.cov {
+                info.sum += answers.val(t);
             }
         }
+        index.densify();
         Ok(index)
     }
 
@@ -98,7 +184,22 @@ impl CandidateIndex {
                 }
             }
         }
+        index.densify();
         Ok(index)
+    }
+
+    /// Attach bitset coverage to candidates dense enough to profit from the
+    /// word-level kernels.
+    fn densify(&mut self) {
+        let n = self.n;
+        for info in &mut self.infos {
+            if info.cov.len() * DENSE_COVERAGE_DIVISOR >= n && !info.cov.is_empty() {
+                info.cov_bits = Some(FixedBitSet::from_ids(
+                    n,
+                    info.cov.iter().map(|&t| t as usize),
+                ));
+            }
+        }
     }
 
     fn generate_candidates(answers: &AnswerSet, l: usize) -> Result<Self> {
@@ -118,19 +219,32 @@ impl CandidateIndex {
         let mut infos: Vec<CandidateInfo> = Vec::new();
         for t in 0..l as u32 {
             Pattern::for_each_generalization(answers.tuple(t), |slots| {
-                let p = Pattern::new(slots.to_vec());
-                if !map.contains_key(&p) {
+                // Probe with the scratch slice; allocate only on first sight.
+                if !map.contains_key(slots) {
+                    let p = Pattern::new(slots.to_vec());
                     let id = infos.len() as CandId;
                     map.insert(p.clone(), id);
                     infos.push(CandidateInfo {
                         pattern: p,
                         cov: Vec::new(),
                         sum: 0.0,
+                        cov_bits: None,
                     });
                 }
             });
         }
-        Ok(CandidateIndex { m, l, map, infos })
+        Ok(CandidateIndex {
+            m,
+            l,
+            n: answers.len(),
+            map,
+            infos,
+        })
+    }
+
+    /// Number of tuples in the answer relation this index was built over.
+    pub fn n(&self) -> usize {
+        self.n
     }
 
     /// Number of grouping attributes.
@@ -180,6 +294,13 @@ impl CandidateIndex {
             .enumerate()
             .map(|(i, info)| (i as CandId, info))
     }
+}
+
+/// Worker-thread count for the sharded build (number of available cores).
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -283,6 +404,49 @@ mod tests {
         assert!(CandidateIndex::build(&s, 0).is_err());
         assert!(CandidateIndex::build(&s, 6).is_err());
         assert!(CandidateIndex::build(&s, 5).is_ok());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_exactly() {
+        let s = sample();
+        for l in 1..=5 {
+            let seq = CandidateIndex::build_sequential(&s, l).unwrap();
+            for threads in [2, 3, 8] {
+                let par = CandidateIndex::build_parallel(&s, l, threads).unwrap();
+                assert_eq!(par.len(), seq.len());
+                for (id, info) in par.iter() {
+                    let sinfo = seq.info(id);
+                    assert_eq!(info.pattern, sinfo.pattern);
+                    assert_eq!(info.cov, sinfo.cov);
+                    assert_eq!(
+                        info.sum.to_bits(),
+                        sinfo.sum.to_bits(),
+                        "sums must be byte-identical"
+                    );
+                    assert_eq!(info.cov_bits, sinfo.cov_bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_candidates_carry_consistent_bitsets() {
+        let s = sample();
+        let idx = CandidateIndex::build(&s, 5).unwrap();
+        let mut saw_dense = false;
+        for (_, info) in idx.iter() {
+            if let Some(bits) = &info.cov_bits {
+                saw_dense = true;
+                assert_eq!(bits.len(), s.len());
+                assert_eq!(bits.count_ones(), info.cov.len());
+                let ids: Vec<u32> = bits.iter_ones().map(|i| i as u32).collect();
+                assert_eq!(ids, info.cov);
+            } else {
+                // Sparse candidates must genuinely be below the threshold.
+                assert!(info.cov.len() * DENSE_COVERAGE_DIVISOR < s.len() || info.cov.is_empty());
+            }
+        }
+        assert!(saw_dense, "the all-star candidate is always dense");
     }
 
     #[test]

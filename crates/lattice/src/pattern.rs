@@ -6,6 +6,7 @@
 //! pattern algebra is branch-light integer work — this is where the §6.3
 //! "hash values for fields" optimization pays off.
 
+use std::borrow::Borrow;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -171,6 +172,18 @@ impl Pattern {
             pattern: self,
             resolve,
         }
+    }
+}
+
+/// Patterns borrow as their raw slot slice, and the derived `Hash`/`Eq`
+/// agree with the slice's (a `Box<[u32]>` hashes exactly like `[u32]`), so
+/// hash maps keyed by `Pattern` can be probed with a `&[u32]` scratch buffer
+/// without allocating. This is the inner loop of candidate-index
+/// construction: every tuple probes its `2^m` generalizations.
+impl Borrow<[u32]> for Pattern {
+    #[inline]
+    fn borrow(&self) -> &[u32] {
+        &self.0
     }
 }
 

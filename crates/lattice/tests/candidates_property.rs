@@ -62,6 +62,24 @@ proptest! {
         }
     }
 
+    /// The sharded parallel build is byte-identical to the sequential build
+    /// on arbitrary relations and thread counts — coverage lists, bitsets,
+    /// and float sums (compared bit-for-bit).
+    #[test]
+    fn parallel_build_equals_sequential(answers in arb_answers(), threads in 2usize..=8) {
+        let l = (answers.len() / 2).max(1);
+        let seq = CandidateIndex::build_sequential(&answers, l).unwrap();
+        let par = CandidateIndex::build_parallel(&answers, l, threads).unwrap();
+        prop_assert_eq!(par.len(), seq.len());
+        for (id, info) in par.iter() {
+            let sinfo = seq.info(id);
+            prop_assert_eq!(&info.pattern, &sinfo.pattern);
+            prop_assert_eq!(&info.cov, &sinfo.cov);
+            prop_assert_eq!(info.sum.to_bits(), sinfo.sum.to_bits());
+            prop_assert_eq!(&info.cov_bits, &sinfo.cov_bits);
+        }
+    }
+
     /// The candidate set is closed under LCA for pairs that each cover a
     /// top-L tuple (the property the algorithms rely on for `require`).
     #[test]

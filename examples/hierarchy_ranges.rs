@@ -72,7 +72,10 @@ fn main() {
         })
         .collect();
     let sol = bottom_up_hierarchical(&ctx, &tuples, 2, 5, 1).expect("summarize");
-    println!("\nhierarchy-aware summary (k=2, L=5, D=1): avg {:.2}", sol.avg());
+    println!(
+        "\nhierarchy-aware summary (k=2, L=5, D=1): avg {:.2}",
+        sol.avg()
+    );
     for c in &sol.clusters {
         println!(
             "  {}  avg {:.2} [{} tuples]",

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API used by the `qagview-bench`
+//! benches: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size`, `measurement_time`, `throughput`), `bench_with_input` /
+//! `bench_function`, [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain wall-clock loop with a
+//! warm-up pass; results are printed one line per benchmark as
+//! `group/function/param: mean ± spread over N iterations`. There is no
+//! statistical analysis, HTML report, or saved baseline — this exists so
+//! `cargo bench` runs offline and produces comparable numbers run-to-run.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Create an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Filled by [`Bencher::iter`]: per-sample durations.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, storing one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes caches and page tables).
+        let warm = Instant::now();
+        let _ = std::hint::black_box(routine());
+        let estimate = warm.elapsed().max(Duration::from_nanos(1));
+
+        // Fit the sample count to the measurement budget.
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let affordable = (budget.as_nanos() / estimate.as_nanos()).max(1) as usize;
+        let samples = affordable.min(self.sample_size.max(1));
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            let _ = std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.name, &b.samples);
+        self
+    }
+
+    /// Run one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.name, &b.samples);
+        self
+    }
+
+    /// Finish the group (report separator; kept for API parity).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{name}: no samples collected", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().expect("non-empty");
+        let max = samples.iter().max().expect("non-empty");
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64();
+                format!("  ({per_sec:.0} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / mean.as_secs_f64();
+                format!("  ({per_sec:.0} B/s)")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{name}: mean {mean:?} [min {min:?}, max {max:?}] over {} samples{thr}",
+            self.name,
+            samples.len(),
+        );
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions under a group name (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (old import path).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        assert!(ran >= 2, "warm-up plus at least one sample");
+    }
+}
