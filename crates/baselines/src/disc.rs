@@ -1,4 +1,4 @@
-//! DisC diversity (paper App. A.5.3, adapting Drosou & Pitoura [8]).
+//! DisC diversity (paper App. A.5.3, adapting Drosou & Pitoura \[8\]).
 //!
 //! A *DisC diverse subset* `S'` of a set `P` at radius `r`: every element
 //! of `P` is within distance `r` of some element of `S'` (coverage), and no

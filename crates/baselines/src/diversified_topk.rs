@@ -1,4 +1,4 @@
-//! Diversified top-`k` (paper App. A.5.2, adapting Qin et al. [31]).
+//! Diversified top-`k` (paper App. A.5.2, adapting Qin et al. \[31\]).
 //!
 //! Select at most `k` *elements* (not patterns) such that every selected
 //! pair is at distance `≥ D` (Hamming over the grouping attributes) and the

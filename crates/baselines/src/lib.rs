@@ -5,16 +5,16 @@
 //! implementations of each, and §8's user study compares against decision
 //! trees. This crate implements them all from scratch:
 //!
-//! * [`smart_drilldown`] — Joglekar et al.'s smart drill-down operator [24]
+//! * [`mod@smart_drilldown`] — Joglekar et al.'s smart drill-down operator \[24\]
 //!   with the paper's value-adapted scoring
 //!   `Σ MCount(r, R) · W(r) · val(r)`.
-//! * [`diversified_topk`] — Qin et al.'s diversified top-`k` [31]:
+//! * [`mod@diversified_topk`] — Qin et al.'s diversified top-`k` \[31\]:
 //!   max-score element subsets with pairwise distance `≥ D`.
-//! * [`disc`] — Drosou & Pitoura's DisC diversity [8]: a minimal
+//! * [`mod@disc`] — Drosou & Pitoura's DisC diversity \[8\]: a minimal
 //!   independent covering subset at radius `r`.
-//! * [`mmr`] — the λ-parameterized MMR-style diversification evaluated in
-//!   App. A.5.4 [41].
-//! * [`decision_tree`] — a CART-style classifier (gini, categorical
+//! * [`mod@mmr`] — the λ-parameterized MMR-style diversification evaluated in
+//!   App. A.5.4 \[41\].
+//! * [`mod@decision_tree`] — a CART-style classifier (gini, categorical
 //!   equality splits, height tuned so positive leaves `≤ k`) matching the
 //!   §8 scikit-learn adaptation.
 

@@ -1,4 +1,4 @@
-//! λ-parameterized MMR-style diversification (paper App. A.5.4, [41]).
+//! λ-parameterized MMR-style diversification (paper App. A.5.4, \[41\]).
 //!
 //! Greedy Maximal-Marginal-Relevance selection over the top-`L` elements:
 //! the first pick is the highest-scored element; each subsequent pick

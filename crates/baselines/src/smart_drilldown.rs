@@ -1,4 +1,4 @@
-//! Value-adapted smart drill-down (paper App. A.5.1, adapting [24]).
+//! Value-adapted smart drill-down (paper App. A.5.1, adapting \[24\]).
 //!
 //! Smart drill-down selects an *ordered* set of `k` rules (patterns with
 //! `∗`) maximizing `Σ_r MCount(r, R) · W(r)`, where the marginal count
@@ -6,7 +6,7 @@
 //! the number of non-`∗` attributes. To compare against a value-aware
 //! summarizer, the paper multiplies in `val(r)` — the average value of the
 //! rule's *uncovered* tuples — and runs the greedy algorithm (shown to work
-//! well in [24]) over either all elements or the top-`L` only.
+//! well in \[24\]) over either all elements or the top-`L` only.
 
 use qagview_common::{FixedBitSet, QagError, Result};
 use qagview_lattice::{AnswerSet, Pattern};

@@ -77,6 +77,9 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            // Same-type integers compare exactly — casting both through
+            // f64 would collapse values beyond 2^53.
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
             (a, b) => {
                 let (x, y) = (a.as_f64()?, b.as_f64()?);
                 x.partial_cmp(&y)
@@ -90,6 +93,8 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Str(a), Value::Str(b)) => Some(a == b),
             (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            // Same-type integers compare exactly (see `sql_cmp`).
+            (Value::Int(a), Value::Int(b)) => Some(a == b),
             (Value::Bool(a), b) | (b, Value::Bool(a)) if b.as_f64().is_some() => {
                 // Permit `flag = 1` style predicates on indicator columns.
                 Some(b.as_f64() == Some(f64::from(u8::from(*a))))
@@ -156,6 +161,17 @@ mod tests {
             Value::Int(4).sql_cmp(&Value::Int(1)),
             Some(Ordering::Greater)
         );
+    }
+
+    #[test]
+    fn int_int_comparison_is_exact_beyond_2_pow_53() {
+        let a = Value::Int((1i64 << 53) + 1);
+        let b = Value::Int(1i64 << 53);
+        // As f64 the two collapse to the same value; exact semantics must
+        // distinguish them.
+        assert_eq!(a.sql_eq(&b), Some(false));
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Greater));
+        assert_eq!(a.sql_eq(&a), Some(true));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! top-`L` elements "with random seeding", derives the minimum covering
 //! pattern of each cluster, and feeds those patterns to Fixed-Order before
 //! the elements themselves. Since the attributes are categorical, the
-//! appropriate Lloyd-style algorithm is **k-modes** (Huang [21] in the
+//! appropriate Lloyd-style algorithm is **k-modes** (Huang \[21\] in the
 //! paper's bibliography): Hamming-distance assignment plus per-attribute
 //! majority-vote mode updates.
 

@@ -11,16 +11,16 @@
 //! `k < L`) are NP-hard (§4.3), so the paper ships greedy heuristics built
 //! on the cluster semilattice:
 //!
-//! * [`bottom_up`] — Algorithm 1: start from the top-`L` singletons, then
+//! * [`mod@bottom_up`] — Algorithm 1: start from the top-`L` singletons, then
 //!   greedily `Merge` (replace two clusters by their LCA) first to enforce
 //!   the distance constraint and then to enforce the size constraint.
-//! * [`fixed_order`] — Algorithm 3: stream the top-`L` elements in
+//! * [`mod@fixed_order`] — Algorithm 3: stream the top-`L` elements in
 //!   descending score order into an online solution (plus the paper's
 //!   `random-` and `k-means-` seeded variants).
-//! * [`hybrid`] — §5.3: a Fixed-Order phase with an enlarged pool of
+//! * [`mod@hybrid`] — §5.3: a Fixed-Order phase with an enlarged pool of
 //!   `c · k` clusters followed by a Bottom-Up reduction phase; the workhorse
 //!   of the interactive precomputation in `qagview-interactive`.
-//! * [`brute_force`] — the exact reference solver used for Fig. 5.
+//! * [`mod@brute_force`] — the exact reference solver used for Fig. 5.
 //! * [`minsize`] — the Min-Size alternative objective the paper mentions in
 //!   footnote 5, kept as an extension.
 //!

@@ -184,7 +184,7 @@ impl ConceptHierarchy {
     }
 
     /// Least common ancestor of two nodes — `O(depth)` by walking the deeper
-    /// node up first (the paper cites the `O(log n)` method [18]; tree
+    /// node up first (the paper cites the `O(log n)` method \[18\]; tree
     /// depths here are tiny constants).
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
         let (mut a, mut b) = (a, b);

@@ -1,4 +1,4 @@
-//! A static interval tree (CLRS §14.3, the paper's citation [6]).
+//! A static interval tree (CLRS §14.3, the paper's citation \[6\]).
 //!
 //! Stores closed integer intervals `[lo, hi]` with payloads and answers
 //! stabbing queries ("which intervals contain `point`?") in

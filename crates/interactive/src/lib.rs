@@ -19,6 +19,13 @@
 //! stabbing queries in `O(log N_k + |answer|)`. [`plot::GuidancePlot`]
 //! exposes the Fig. 2 data series (average value vs. `k`, one curve per
 //! `D`) with knee-point and flat-region detection for the §6.1 visual guide.
+//!
+//! The same incremental philosophy applies one layer down, at the query
+//! that produces the answer relation in the first place:
+//! [`session::QuerySession`] caches the finished group phase of every
+//! query it runs, so moving a `HAVING` threshold (or flipping `ORDER BY`
+//! / `LIMIT`) re-derives `S` in `O(groups)` from the cached group table
+//! instead of rescanning the base relation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,7 +33,9 @@
 pub mod interval_tree;
 pub mod plot;
 pub mod precompute;
+pub mod session;
 
 pub use interval_tree::IntervalTree;
 pub use plot::{DSeries, GuidancePlot};
 pub use precompute::{PrecomputeConfig, Precomputed};
+pub use session::QuerySession;

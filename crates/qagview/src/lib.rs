@@ -76,7 +76,7 @@ pub fn answers_from_query(output: &QueryOutput) -> Result<AnswerSet> {
 pub mod prelude {
     pub use crate::answers_from_query;
     pub use qagview_core::{BottomUpOptions, EvalMode, Params, Seeding, Solution, Summarizer};
-    pub use qagview_interactive::{GuidancePlot, PrecomputeConfig, Precomputed};
+    pub use qagview_interactive::{GuidancePlot, PrecomputeConfig, Precomputed, QuerySession};
     pub use qagview_lattice::{AnswerSet, AnswerSetBuilder, CandidateIndex, Pattern, STAR};
     pub use qagview_query::run_query;
     pub use qagview_storage::{Catalog, Cell, ColumnType, Schema, Table, TableBuilder};

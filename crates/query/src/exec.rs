@@ -1,11 +1,33 @@
-//! Query execution: filter → hash group-by → aggregate → having → order →
-//! limit.
+//! Query execution.
+//!
+//! Two engines share the same semantics:
+//!
+//! * [`execute`] — the vectorized production path: the scan runs in
+//!   batches of [`BATCH_ROWS`] rows; `WHERE` conjuncts refine a
+//!   [`SelectionVector`] through typed per-column kernels; surviving rows
+//!   have their group keys encoded into fixed-width `u64` lanes and
+//!   assigned dense group ids by a [`crate::group::GroupTable`];
+//!   aggregates accumulate columnarly per group id. The finished group
+//!   phase is a [`GroupedResult`], from which `HAVING`/`ORDER BY`/`LIMIT`
+//!   are derived in `O(groups)` — and which sessions cache so a moved
+//!   threshold never rescans the table.
+//! * [`execute_rows`] — the row-at-a-time reference implementation
+//!   (per-row [`Value`] materialization, per-row key vectors). It is kept
+//!   as the differential-testing oracle and the benchmark baseline.
 
 use crate::ast::{AggFunc, CmpOp, OrderDir};
-use crate::plan::{BoundPredicate, BoundQuery};
+use crate::group::{
+    cmp_holds, encode_i64, fold_hash, AggColumns, GroupCounts, GroupTable, GroupedResult,
+};
+use crate::plan::{BoundPredicate, BoundQuery, GroupSpec};
 use qagview_common::{FxHashMap, QagError, Result, Value};
-use qagview_storage::Table;
-use std::cmp::Ordering;
+use qagview_storage::selection::{gather_f64, gather_i64_as_f64, SelOp, SelectionVector};
+use qagview_storage::{Column, Table};
+
+/// Rows per scan batch of the vectorized pipeline. Sized so the per-batch
+/// scratch (selection vector, encoded keys, group ids, gathered values)
+/// stays L1/L2-resident.
+pub const BATCH_ROWS: usize = 4096;
 
 /// One output row: the grouping attribute values (display text) plus the
 /// aggregate score.
@@ -27,6 +49,289 @@ pub struct QueryOutput {
     /// The rows, in `ORDER BY` order.
     pub rows: Vec<QueryRow>,
 }
+
+fn sel_op(op: CmpOp) -> SelOp {
+    match op {
+        CmpOp::Eq => SelOp::Eq,
+        CmpOp::Neq => SelOp::Ne,
+        CmpOp::Lt => SelOp::Lt,
+        CmpOp::Le => SelOp::Le,
+        CmpOp::Gt => SelOp::Gt,
+        CmpOp::Ge => SelOp::Ge,
+    }
+}
+
+/// Refine `sel` by one bound predicate through the typed kernel matching
+/// the (column type, literal type) pair.
+fn apply_predicate(table: &Table, p: &BoundPredicate, sel: &mut SelectionVector) -> Result<()> {
+    let col = table.column(p.col);
+    match (&p.value, col) {
+        // String literal absent from the table's interner: `=` can never
+        // match, `<>` matches every (non-null) row. Ordered operators are
+        // rejected at bind time; refuse them here too rather than silently
+        // matching nothing.
+        (None, _) => match p.op {
+            CmpOp::Eq => sel.clear(),
+            CmpOp::Neq => {}
+            _ => {
+                return Err(QagError::internal(
+                    "ordered comparison against an interner-miss literal".to_string(),
+                ))
+            }
+        },
+        (Some(Value::Int(x)), Column::Int(v)) => sel.retain_cmp(v, sel_op(p.op), *x),
+        (Some(Value::Float(x)), Column::Int(v)) => sel.retain_i64_vs_f64(v, sel_op(p.op), *x),
+        (Some(Value::Int(x)), Column::Float(v)) => sel.retain_cmp(v, sel_op(p.op), *x as f64),
+        (Some(Value::Float(x)), Column::Float(v)) => sel.retain_cmp(v, sel_op(p.op), *x),
+        (Some(Value::Bool(b)), Column::Bool(v)) => sel.retain_bool(v, sel_op(p.op), *b),
+        (Some(Value::Str(s)), Column::Str(v)) => match p.op {
+            CmpOp::Eq => sel.retain_symbol_eq(v, *s, false),
+            CmpOp::Neq => sel.retain_symbol_eq(v, *s, true),
+            _ => {
+                return Err(QagError::internal(
+                    "ordered string comparisons are rejected at bind time".to_string(),
+                ))
+            }
+        },
+        (Some(v), col) => {
+            return Err(QagError::internal(format!(
+                "predicate literal {v:?} does not match column type {:?}",
+                col.ty()
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Encode one column's lane of the batch keys, folding each row's hash as
+/// it goes. `dense_start` is `Some(first_row)` when the selection is the
+/// full contiguous batch — the common no-predicate case — letting the
+/// loop walk the column slice directly instead of through the selection.
+#[allow(clippy::too_many_arguments)] // private kernel; the args are the kernel's working set
+fn encode_lane<T: Copy>(
+    v: &[T],
+    sel: &SelectionVector,
+    dense_start: Option<usize>,
+    enc: impl Fn(T) -> u64,
+    out: &mut [u64],
+    hashes: &mut [u64],
+    j: usize,
+    width: usize,
+) {
+    match dense_start {
+        Some(start) => {
+            for (i, &x) in v[start..start + sel.len()].iter().enumerate() {
+                let e = enc(x);
+                out[i * width + j] = e;
+                hashes[i] = fold_hash(hashes[i], e);
+            }
+        }
+        None => {
+            for (i, &r) in sel.rows().iter().enumerate() {
+                let e = enc(v[r as usize]);
+                out[i * width + j] = e;
+                hashes[i] = fold_hash(hashes[i], e);
+            }
+        }
+    }
+}
+
+/// Encode the group key of every selected row into `out` (row-major, one
+/// `u64` lane per group column), writing column by column so each column
+/// type dispatches once per batch. The per-row key hash is folded
+/// incrementally into `hashes` during the same cache-friendly passes, so
+/// the group table never has to re-walk the keys to hash them.
+fn encode_keys(
+    table: &Table,
+    group_cols: &[usize],
+    sel: &SelectionVector,
+    dense_start: Option<usize>,
+    out: &mut Vec<u64>,
+    hashes: &mut Vec<u64>,
+) -> Result<()> {
+    let width = group_cols.len();
+    out.clear();
+    out.resize(sel.len() * width, 0);
+    hashes.clear();
+    hashes.resize(sel.len(), 0);
+    for (j, &c) in group_cols.iter().enumerate() {
+        match table.column(c) {
+            Column::Int(v) => encode_lane(v, sel, dense_start, encode_i64, out, hashes, j, width),
+            Column::Str(v) => encode_lane(
+                v,
+                sel,
+                dense_start,
+                |s| u64::from(s.0),
+                out,
+                hashes,
+                j,
+                width,
+            ),
+            Column::Bool(v) => encode_lane(v, sel, dense_start, u64::from, out, hashes, j, width),
+            Column::Float(_) => {
+                return Err(QagError::internal(
+                    "float group keys are rejected at bind time".to_string(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the group phase of a query — batched filter, group-id assignment,
+/// columnar aggregation — producing the cacheable [`GroupedResult`].
+pub fn group_aggregate(spec: &GroupSpec, table: &Table) -> Result<GroupedResult> {
+    let mut gt = GroupTable::new(spec.group_cols.len());
+    group_aggregate_with(spec, table, &mut gt)
+}
+
+/// [`group_aggregate`] against a caller-provided [`GroupTable`], so a
+/// session can reuse the table's hash-map and key-arena allocations across
+/// queries. The table is cleared first.
+pub fn group_aggregate_with(
+    spec: &GroupSpec,
+    table: &Table,
+    gt: &mut GroupTable,
+) -> Result<GroupedResult> {
+    gt.clear(spec.group_cols.len());
+    let mut counts = GroupCounts::default();
+    let mut acc: Vec<AggColumns> = spec.aggs.iter().map(|_| AggColumns::default()).collect();
+
+    let mut sel = SelectionVector::with_capacity(BATCH_ROWS);
+    let mut keys: Vec<u64> = Vec::with_capacity(BATCH_ROWS * spec.group_cols.len());
+    let mut hashes: Vec<u64> = Vec::with_capacity(BATCH_ROWS);
+    let mut gids: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+
+    // Distinct aggregate input columns (Count aggregates need none), each
+    // gathered once per batch and shared by every aggregate reading it.
+    let mut input_cols: Vec<usize> = Vec::new();
+    let agg_input: Vec<Option<usize>> = spec
+        .aggs
+        .iter()
+        .map(|agg| {
+            let c = agg.col.filter(|_| agg.func != AggFunc::Count)?;
+            Some(match input_cols.iter().position(|&ic| ic == c) {
+                Some(k) => k,
+                None => {
+                    input_cols.push(c);
+                    input_cols.len() - 1
+                }
+            })
+        })
+        .collect();
+    for &c in &input_cols {
+        let col = table.column(c);
+        if col.as_f64().is_none() && col.as_i64().is_none() {
+            return Err(QagError::Execution(format!(
+                "aggregate input column is not numeric ({})",
+                col.ty().name()
+            )));
+        }
+    }
+    let mut input_scratch: Vec<Vec<f64>> = input_cols
+        .iter()
+        .map(|_| Vec::with_capacity(BATCH_ROWS))
+        .collect();
+
+    let n = table.num_rows();
+    let mut batch_start = 0usize;
+    while batch_start < n {
+        let end = (batch_start + BATCH_ROWS).min(n);
+        sel.fill_range(batch_start as u32, end as u32);
+        for p in &spec.predicates {
+            apply_predicate(table, p, &mut sel)?;
+            if sel.is_empty() {
+                break;
+            }
+        }
+        if sel.is_empty() {
+            batch_start = end;
+            continue;
+        }
+
+        // The selection is "dense" when no predicate dropped a row: the
+        // kernels can then walk the column slices directly.
+        let dense_start = if sel.len() == end - batch_start {
+            Some(batch_start)
+        } else {
+            None
+        };
+        encode_keys(
+            table,
+            &spec.group_cols,
+            &sel,
+            dense_start,
+            &mut keys,
+            &mut hashes,
+        )?;
+        gt.assign(&keys, &hashes, sel.len(), &mut gids);
+
+        // Row counts are shared: every aggregate of the query counts
+        // exactly the selected rows (columns are non-nullable).
+        counts.count_rows(&gids, gt.num_groups());
+        // Gather each distinct input column once. Float columns in a
+        // dense batch are aggregated straight off the column storage (the
+        // scratch stays empty for them); everything else fills scratch.
+        for (k, &c) in input_cols.iter().enumerate() {
+            let col = table.column(c);
+            if let Some(v) = col.as_f64() {
+                if dense_start.is_none() {
+                    gather_f64(v, &sel, &mut input_scratch[k]);
+                }
+            } else if let Some(v) = col.as_i64() {
+                match dense_start {
+                    // Dense i64 batch: convert off the contiguous slice,
+                    // no selection indirection.
+                    Some(start) => {
+                        input_scratch[k].clear();
+                        input_scratch[k]
+                            .extend(v[start..start + sel.len()].iter().map(|&x| x as f64));
+                    }
+                    None => gather_i64_as_f64(v, &sel, &mut input_scratch[k]),
+                }
+            } else {
+                unreachable!("non-numeric inputs rejected before the scan");
+            }
+        }
+        for (ai, agg) in spec.aggs.iter().enumerate() {
+            // COUNT(*) / COUNT(col) finish from the shared counts alone.
+            let Some(k) = agg_input[ai] else { continue };
+            let vals: &[f64] = match (table.column(input_cols[k]).as_f64(), dense_start) {
+                (Some(v), Some(start)) => &v[start..start + sel.len()],
+                _ => &input_scratch[k],
+            };
+            // Each aggregate only ever finishes its own function, so only
+            // that function's state needs maintaining.
+            match agg.func {
+                AggFunc::Sum | AggFunc::Avg => acc[ai].accumulate_sum(&gids, vals, gt.num_groups()),
+                AggFunc::Min => acc[ai].accumulate_min(&gids, vals, gt.num_groups()),
+                AggFunc::Max => acc[ai].accumulate_max(&gids, vals, gt.num_groups()),
+                AggFunc::Count => unreachable!("filtered above"),
+            }
+        }
+        batch_start = end;
+    }
+
+    GroupedResult::finish(
+        table,
+        &spec.group_cols,
+        spec.group_names.clone(),
+        &spec.aggs,
+        gt,
+        &counts,
+        &acc,
+    )
+}
+
+/// Execute a bound query through the vectorized pipeline, producing the
+/// answer relation.
+pub fn execute(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
+    group_aggregate(&query.group, table)?.apply(&query.output)
+}
+
+// ---------------------------------------------------------------------------
+// Row-at-a-time reference engine
+// ---------------------------------------------------------------------------
 
 /// Hashable group key part (floats are banned from GROUP BY at bind time).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -90,17 +395,6 @@ impl AggState {
     }
 }
 
-fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
-    match op {
-        CmpOp::Eq => ord == Ordering::Equal,
-        CmpOp::Neq => ord != Ordering::Equal,
-        CmpOp::Lt => ord == Ordering::Less,
-        CmpOp::Le => ord != Ordering::Greater,
-        CmpOp::Gt => ord == Ordering::Greater,
-        CmpOp::Ge => ord != Ordering::Less,
-    }
-}
-
 fn row_passes(table: &Table, row: usize, preds: &[BoundPredicate]) -> bool {
     preds.iter().all(|p| {
         let lhs = table.value(row, p.col);
@@ -120,21 +414,25 @@ fn row_passes(table: &Table, row: usize, preds: &[BoundPredicate]) -> bool {
     })
 }
 
-/// Execute a bound query, producing the answer relation.
-pub fn execute(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
+/// Execute a bound query row-at-a-time — the reference implementation the
+/// vectorized engine is differentially tested against, and the baseline of
+/// the `query_exec` perf section.
+pub fn execute_rows(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
+    let spec = &query.group;
+    let out = &query.output;
     // Group states keyed by the group-by values; insertion order retained
     // separately for deterministic output when no ORDER BY is given.
     let mut groups: FxHashMap<Vec<KeyPart>, usize> = FxHashMap::default();
     let mut keys: Vec<Vec<KeyPart>> = Vec::new();
     let mut states: Vec<Vec<AggState>> = Vec::new();
-    let mut key_scratch: Vec<KeyPart> = Vec::with_capacity(query.group_cols.len());
+    let mut key_scratch: Vec<KeyPart> = Vec::with_capacity(spec.group_cols.len());
 
     for row in 0..table.num_rows() {
-        if !row_passes(table, row, &query.predicates) {
+        if !row_passes(table, row, &spec.predicates) {
             continue;
         }
         key_scratch.clear();
-        for &c in &query.group_cols {
+        for &c in &spec.group_cols {
             key_scratch.push(key_part(table.value(row, c))?);
         }
         let gid = match groups.get(key_scratch.as_slice()) {
@@ -143,13 +441,14 @@ pub fn execute(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
                 let g = keys.len();
                 groups.insert(key_scratch.clone(), g);
                 keys.push(key_scratch.clone());
-                states.push(vec![AggState::new(); query.aggs.len()]);
+                states.push(vec![AggState::new(); spec.aggs.len()]);
                 g
             }
         };
-        for (ai, agg) in query.aggs.iter().enumerate() {
+        for (ai, agg) in spec.aggs.iter().enumerate() {
             let x = match agg.col {
                 None => None,
+                Some(_) if agg.func == AggFunc::Count => None,
                 Some(c) => Some(table.value(row, c).as_f64().ok_or_else(|| {
                     QagError::Execution(format!("aggregate input at row {row} is not numeric"))
                 })?),
@@ -161,8 +460,8 @@ pub fn execute(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
     // HAVING + projection.
     let mut rows: Vec<(Vec<KeyPart>, QueryRow)> = Vec::with_capacity(keys.len());
     'group: for (gid, key) in keys.iter().enumerate() {
-        for h in &query.having {
-            let agg = &query.aggs[h.agg_idx];
+        for h in &out.having {
+            let agg = &spec.aggs[h.agg_idx];
             let v = states[gid][h.agg_idx].finish(agg.func);
             let ord = v.partial_cmp(&h.value).ok_or_else(|| {
                 QagError::Execution("NaN aggregate in HAVING comparison".to_string())
@@ -171,15 +470,17 @@ pub fn execute(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
                 continue 'group;
             }
         }
-        let val = states[gid][0].finish(query.aggs[0].func);
-        let attrs = render_key(table, query, key);
+        let val = states[gid][0].finish(spec.aggs[0].func);
+        let attrs = render_key(table, spec, key);
         rows.push((key.clone(), QueryRow { attrs, val }));
     }
 
-    // ORDER BY val, deterministic tie-break on the group key.
-    if let Some(dir) = query.order {
+    // ORDER BY val under the shared total order (NaN included),
+    // deterministic tie-break on the group key.
+    if let Some(dir) = out.order {
         rows.sort_by(|a, b| {
-            let ord = a.1.val.partial_cmp(&b.1.val).unwrap_or(Ordering::Equal);
+            let ord =
+                crate::group::f64_sort_bits(a.1.val).cmp(&crate::group::f64_sort_bits(b.1.val));
             let ord = match dir {
                 OrderDir::Asc => ord,
                 OrderDir::Desc => ord.reverse(),
@@ -189,20 +490,20 @@ pub fn execute(query: &BoundQuery, table: &Table) -> Result<QueryOutput> {
     }
 
     let mut rows: Vec<QueryRow> = rows.into_iter().map(|(_, r)| r).collect();
-    if let Some(limit) = query.limit {
+    if let Some(limit) = out.limit {
         rows.truncate(limit);
     }
 
     Ok(QueryOutput {
-        attr_names: query.group_names.clone(),
-        val_name: query.agg_alias.clone(),
+        attr_names: spec.group_names.clone(),
+        val_name: out.agg_alias.clone(),
         rows,
     })
 }
 
-fn render_key(table: &Table, query: &BoundQuery, key: &[KeyPart]) -> Vec<String> {
+fn render_key(table: &Table, spec: &GroupSpec, key: &[KeyPart]) -> Vec<String> {
     key.iter()
-        .zip(&query.group_cols)
+        .zip(&spec.group_cols)
         .map(|(part, _)| match part {
             KeyPart::Int(i) => i.to_string(),
             KeyPart::Str(s) => table
@@ -246,11 +547,16 @@ mod tests {
         b.finish()
     }
 
+    /// Run through the vectorized engine, asserting along the way that the
+    /// row-at-a-time reference produces the identical output.
     fn run(sql: &str) -> QueryOutput {
         let t = ratings();
         let stmt = parse(sql).unwrap();
         let bound = bind(&stmt, &t).unwrap();
-        execute(&bound, &t).unwrap()
+        let vectorized = execute(&bound, &t).unwrap();
+        let reference = execute_rows(&bound, &t).unwrap();
+        assert_eq!(vectorized, reference, "engines diverge on {sql}");
+        vectorized
     }
 
     #[test]
@@ -283,6 +589,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_conjunct_having() {
+        // Both conjuncts must hold: count(*) > 1 keeps (M,Student) and
+        // (F,Student); avg(rating) >= 3 then drops (F,Student) [avg 2.5].
+        let out = run(
+            "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ \
+             HAVING count(*) > 1 AND avg(rating) >= 3 ORDER BY val DESC",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].attrs, vec!["M", "Student"]);
+        // And with the conjunct order flipped, the result is the same.
+        let flipped = run(
+            "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ \
+             HAVING avg(rating) >= 3 AND count(*) > 1 ORDER BY val DESC",
+        );
+        assert_eq!(out.rows, flipped.rows);
+    }
+
+    #[test]
     fn count_star_and_sum_min_max() {
         let out = run("SELECT gender, COUNT(*) AS val FROM r GROUP BY gender ORDER BY val DESC");
         assert_eq!(out.rows[0].attrs, vec!["M"]);
@@ -296,6 +620,26 @@ mod tests {
 
         let out = run("SELECT gender, MAX(rating) AS val FROM r GROUP BY gender ORDER BY val DESC");
         assert_eq!(out.rows[0].val, 5.0);
+    }
+
+    #[test]
+    fn count_star_mixed_with_column_aggregates() {
+        // COUNT(*) projected while HAVING references column aggregates.
+        let out = run("SELECT gender, COUNT(*) AS val FROM r GROUP BY gender \
+             HAVING avg(rating) > 3 AND max(rating) >= 5 ORDER BY val DESC");
+        // M: avg 3.5, max 5 → kept (4 rows). F: avg 10/3, max 5 → kept (3).
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].attrs, vec!["M"]);
+        assert_eq!(out.rows[0].val, 4.0);
+        assert_eq!(out.rows[1].val, 3.0);
+
+        // Column aggregate projected while HAVING mixes COUNT(*) in.
+        let out = run("SELECT occ, SUM(rating) AS val FROM r GROUP BY occ \
+             HAVING count(*) > 1 AND min(rating) < 2 ORDER BY val ASC");
+        // Student: count 5, min 1.0 → kept, sum 15. Others fail count/min.
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].attrs, vec!["Student"]);
+        assert_eq!(out.rows[0].val, 15.0);
     }
 
     #[test]
@@ -356,6 +700,45 @@ mod tests {
     }
 
     #[test]
+    fn order_by_ties_use_interned_key_order_in_both_directions() {
+        // (M,Student) and (M,Programmer) tie at MAX(rating) = 4.0 once the
+        // 5.0 row is filtered out. The documented tie-break is the encoded
+        // group key ascending — i.e. interning order (first appearance in
+        // the table), NOT display-string order — and it applies unreversed
+        // under both ASC and DESC.
+        let desc = run(
+            "SELECT gender, occ, MAX(rating) AS val FROM r WHERE rating < 5 \
+             GROUP BY gender, occ ORDER BY val DESC",
+        );
+        let tied: Vec<&Vec<String>> = desc
+            .rows
+            .iter()
+            .filter(|r| r.val == 4.0)
+            .map(|r| &r.attrs)
+            .collect();
+        // "Student" interns before "Programmer" (row order), so the
+        // (M,Student) group precedes (M,Programmer) among the ties.
+        assert_eq!(
+            tied,
+            vec![
+                &vec!["M".to_string(), "Student".to_string()],
+                &vec!["M".to_string(), "Programmer".to_string()]
+            ]
+        );
+        let asc = run(
+            "SELECT gender, occ, MAX(rating) AS val FROM r WHERE rating < 5 \
+             GROUP BY gender, occ ORDER BY val ASC",
+        );
+        let tied_asc: Vec<&Vec<String>> = asc
+            .rows
+            .iter()
+            .filter(|r| r.val == 4.0)
+            .map(|r| &r.attrs)
+            .collect();
+        assert_eq!(tied, tied_asc, "tie order is direction-independent");
+    }
+
+    #[test]
     fn empty_result_for_all_filtered() {
         let out =
             run("SELECT gender, AVG(rating) AS val FROM r WHERE rating > 100 GROUP BY gender");
@@ -369,5 +752,173 @@ mod tests {
             run("SELECT adventure, AVG(rating) AS val FROM r GROUP BY adventure ORDER BY val DESC");
         assert_eq!(out.rows.len(), 2);
         assert_eq!(out.rows[0].attrs, vec!["true"]);
+    }
+
+    #[test]
+    fn nan_aggregates_order_identically_in_both_engines() {
+        // NaN scores get one well-defined slot in the shared total order
+        // (above +inf), so ORDER BY — and therefore the cached
+        // GroupedResult — stays byte-identical between engines even on
+        // pathological float data.
+        let schema =
+            Schema::from_pairs(&[("g", ColumnType::Int), ("x", ColumnType::Float)]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (g, x) in [
+            (3i64, 2.0),
+            (1, f64::NAN),
+            (2, 5.0),
+            (0, f64::NAN),
+            (4, -1.0),
+        ] {
+            b.push_row(vec![Cell::Int(g), Cell::Float(x)]).unwrap();
+        }
+        let t = b.finish();
+        // NaN != NaN under PartialEq, so byte-identity is asserted on
+        // (attrs, value bits) instead of QueryOutput equality.
+        let canon = |out: &QueryOutput| -> Vec<(Vec<String>, u64)> {
+            out.rows
+                .iter()
+                .map(|r| (r.attrs.clone(), r.val.to_bits()))
+                .collect()
+        };
+        for dir in ["ASC", "DESC"] {
+            let sql = format!("SELECT g, AVG(x) AS val FROM t GROUP BY g ORDER BY val {dir}");
+            let bound = bind(&parse(&sql).unwrap(), &t).unwrap();
+            let vec_out = execute(&bound, &t).unwrap();
+            let row_out = execute_rows(&bound, &t).unwrap();
+            assert_eq!(canon(&vec_out), canon(&row_out), "{sql}");
+            // NaN groups sit above +inf: last under ASC, first under DESC,
+            // tied NaNs in group-key order either way.
+            let attrs: Vec<&str> = vec_out.rows.iter().map(|r| r.attrs[0].as_str()).collect();
+            match dir {
+                "ASC" => assert_eq!(attrs, vec!["4", "3", "2", "0", "1"]),
+                _ => assert_eq!(attrs, vec!["0", "1", "2", "3", "4"]),
+            }
+        }
+    }
+
+    #[test]
+    fn int_predicates_beyond_2_pow_53_stay_exact_in_both_engines() {
+        // i64 predicate comparisons must not round-trip through f64:
+        // 2^53 and 2^53 + 1 are distinct i64s that collapse to one f64.
+        let schema = Schema::from_pairs(&[("g", ColumnType::Str), ("n", ColumnType::Int)]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec!["a".into(), Cell::Int(1i64 << 53)]).unwrap();
+        b.push_row(vec!["b".into(), Cell::Int((1i64 << 53) + 1)])
+            .unwrap();
+        let t = b.finish();
+        for (op, expected) in [("=", 1), ("<>", 1), ("<=", 1), (">", 1)] {
+            let sql = format!(
+                "SELECT g, COUNT(*) AS val FROM t WHERE n {op} 9007199254740992 GROUP BY g"
+            );
+            let bound = bind(&parse(&sql).unwrap(), &t).unwrap();
+            let vec_out = execute(&bound, &t).unwrap();
+            let row_out = execute_rows(&bound, &t).unwrap();
+            assert_eq!(vec_out, row_out, "{sql}");
+            assert_eq!(vec_out.rows.len(), expected, "{sql}");
+        }
+    }
+
+    #[test]
+    fn multiple_aggregates_share_one_gather_of_the_same_column() {
+        // Three aggregates over the same column (plus COUNT(*)) must agree
+        // with the reference engine — exercises the shared input-gather
+        // path with and without a WHERE filter.
+        for where_clause in ["", "WHERE adventure = 1 "] {
+            run(&format!(
+                "SELECT gender, AVG(rating) AS val FROM r {where_clause}GROUP BY gender \
+                 HAVING min(rating) > 0 AND max(rating) <= 5 AND count(*) > 0 \
+                 ORDER BY val DESC"
+            ));
+        }
+    }
+
+    #[test]
+    fn nan_having_errors_in_both_engines_even_under_limit() {
+        // HAVING is evaluated over every group before LIMIT cuts the
+        // walk, so a NaN aggregate errors identically in both engines —
+        // LIMIT must not let the vectorized path silently succeed where
+        // the reference errors.
+        let schema =
+            Schema::from_pairs(&[("g", ColumnType::Int), ("x", ColumnType::Float)]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![Cell::Int(1), Cell::Float(1.0)]).unwrap();
+        b.push_row(vec![Cell::Int(2), Cell::Float(f64::NAN)])
+            .unwrap();
+        let t = b.finish();
+        let sql = "SELECT g, AVG(x) AS val FROM t GROUP BY g \
+                   HAVING avg(x) > 0 ORDER BY val ASC LIMIT 1";
+        let bound = bind(&parse(sql).unwrap(), &t).unwrap();
+        let vec_err = execute(&bound, &t).unwrap_err();
+        let row_err = execute_rows(&bound, &t).unwrap_err();
+        assert!(vec_err.to_string().contains("NaN aggregate"), "{vec_err}");
+        assert_eq!(vec_err.to_string(), row_err.to_string());
+    }
+
+    #[test]
+    fn grouped_result_reuse_across_thresholds() {
+        // One group phase, many output specs: every derived output must be
+        // byte-identical to a cold end-to-end execution.
+        let t = ratings();
+        let base = "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ \
+                    HAVING count(*) > 0 ORDER BY val DESC";
+        let bound = bind(&parse(base).unwrap(), &t).unwrap();
+        let grouped = group_aggregate(&bound.group, &t).unwrap();
+        assert_eq!(grouped.num_groups(), 4);
+        assert_eq!(grouped.num_aggs(), 2); // AVG + COUNT(*)
+
+        for threshold in 0..4 {
+            for (dir, limit) in [("DESC", ""), ("ASC", ""), ("DESC", " LIMIT 2")] {
+                let sql = format!(
+                    "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ \
+                     HAVING count(*) > {threshold} ORDER BY val {dir}{limit}"
+                );
+                let b = bind(&parse(&sql).unwrap(), &t).unwrap();
+                assert_eq!(
+                    b.group.fingerprint(),
+                    bound.group.fingerprint(),
+                    "same group phase"
+                );
+                let from_cache = grouped.apply(&b.output).unwrap();
+                let cold = execute(&b, &t).unwrap();
+                assert_eq!(from_cache, cold, "{sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_boundaries_do_not_change_results() {
+        // A table larger than one batch, with group keys straddling batch
+        // boundaries; vectorized and reference engines must agree exactly.
+        let schema = Schema::from_pairs(&[
+            ("g", ColumnType::Int),
+            ("flag", ColumnType::Bool),
+            ("x", ColumnType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::with_capacity(schema, 3 * BATCH_ROWS + 17);
+        for i in 0..(3 * BATCH_ROWS + 17) as i64 {
+            b.push_row(vec![
+                Cell::Int(i % 37 - 18), // negative keys exercise the order-preserving encoding
+                Cell::Bool(i % 3 == 0),
+                Cell::Float((i % 101) as f64 / 4.0),
+            ])
+            .unwrap();
+        }
+        let t = b.finish();
+        for sql in [
+            "SELECT g, AVG(x) AS val FROM t GROUP BY g ORDER BY val DESC",
+            "SELECT g, SUM(x) AS val FROM t WHERE flag = true GROUP BY g \
+             HAVING count(*) > 20 ORDER BY val ASC",
+            "SELECT g, MAX(x) AS val FROM t WHERE x >= 2.5 GROUP BY g \
+             ORDER BY val DESC LIMIT 7",
+        ] {
+            let bound = bind(&parse(sql).unwrap(), &t).unwrap();
+            assert_eq!(
+                execute(&bound, &t).unwrap(),
+                execute_rows(&bound, &t).unwrap(),
+                "{sql}"
+            );
+        }
     }
 }

@@ -15,10 +15,13 @@
 //!
 //! This crate implements exactly that fragment end-to-end: [`lexer`] →
 //! [`ast`] → [`parser`] → [`plan`] (name/type binding against a
-//! [`qagview_storage::Table`]) → [`exec`] (filter → hash group-by →
-//! aggregate → having → order → limit). The output is the paper's answer
-//! relation `S`: one row per group with its display attribute values and
-//! score.
+//! [`qagview_storage::Table`], split into the expensive
+//! [`plan::GroupSpec`] and the cheap [`plan::OutputSpec`]) → [`exec`]
+//! (vectorized batched filter → group-id assignment via a reusable
+//! [`group::GroupTable`] → columnar aggregation → `O(groups)` derivation
+//! of having/order/limit from the cached [`group::GroupedResult`]). The
+//! output is the paper's answer relation `S`: one row per group with its
+//! display attribute values and score.
 //!
 //! # Examples
 //!
@@ -49,14 +52,18 @@
 
 pub mod ast;
 pub mod exec;
+pub mod group;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
 
 pub use ast::{AggFunc, CmpOp, Literal, OrderDir, SelectStmt};
-pub use exec::{execute, QueryOutput, QueryRow};
+pub use exec::{
+    execute, execute_rows, group_aggregate, group_aggregate_with, QueryOutput, QueryRow,
+};
+pub use group::{GroupTable, GroupedResult};
 pub use parser::parse;
-pub use plan::{bind, BoundQuery};
+pub use plan::{bind, BoundQuery, GroupSpec, OutputSpec};
 
 use qagview_common::Result;
 use qagview_storage::Catalog;

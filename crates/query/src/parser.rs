@@ -372,6 +372,34 @@ mod tests {
     }
 
     #[test]
+    fn multiple_having_conjuncts() {
+        let stmt = parse(
+            "SELECT g, AVG(x) FROM t GROUP BY g \
+             HAVING count(*) > 2 AND avg(x) >= 1.5 AND max(x) < 10",
+        )
+        .unwrap();
+        assert_eq!(stmt.having.len(), 3);
+        assert_eq!(stmt.having[0].agg.func, AggFunc::Count);
+        assert_eq!(stmt.having[0].agg.column, None);
+        assert_eq!(stmt.having[1].agg.func, AggFunc::Avg);
+        assert_eq!(stmt.having[1].op, CmpOp::Ge);
+        assert_eq!(stmt.having[1].value, Literal::Float(1.5));
+        assert_eq!(stmt.having[2].agg.func, AggFunc::Max);
+        assert_eq!(stmt.having[2].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn count_star_alongside_column_aggregate_in_having() {
+        let stmt =
+            parse("SELECT g, COUNT(*) AS val FROM t GROUP BY g HAVING avg(x) > 3 AND count(*) > 1")
+                .unwrap();
+        assert_eq!(stmt.agg.func, AggFunc::Count);
+        assert_eq!(stmt.agg.column, None);
+        assert_eq!(stmt.having[0].agg.column, Some("x".into()));
+        assert_eq!(stmt.having[1].agg.column, None);
+    }
+
+    #[test]
     fn boolean_literals() {
         let stmt = parse("SELECT g, AVG(x) FROM t WHERE flag = TRUE GROUP BY g").unwrap();
         assert_eq!(stmt.where_clause[0].value, Literal::Bool(true));

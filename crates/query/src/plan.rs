@@ -28,7 +28,7 @@ pub struct BoundAgg {
 /// A `HAVING` conjunct over a bound aggregate.
 #[derive(Debug, Clone)]
 pub struct BoundHaving {
-    /// Index into [`BoundQuery::aggs`] of the aggregate to test.
+    /// Index into [`GroupSpec::aggs`] of the aggregate to test.
     pub agg_idx: usize,
     /// Comparison operator.
     pub op: CmpOp,
@@ -36,9 +36,14 @@ pub struct BoundHaving {
     pub value: f64,
 }
 
-/// A fully bound query, ready for execution.
+/// The expensive phase of a bound query: scan, filter, group, aggregate.
+///
+/// Everything the executor needs to build a
+/// [`crate::group::GroupedResult`]. Two queries with equal group specs
+/// (against the same table) share their grouped result — this is what lets
+/// an interactive session move a `HAVING` threshold without rescanning.
 #[derive(Debug, Clone)]
-pub struct BoundQuery {
+pub struct GroupSpec {
     /// Group-by column indices, in projection order.
     pub group_cols: Vec<usize>,
     /// Group-by column names (output header).
@@ -46,16 +51,54 @@ pub struct BoundQuery {
     /// All aggregates to compute per group. Index 0 is the projected `val`
     /// aggregate; the rest are referenced by `HAVING`.
     pub aggs: Vec<BoundAgg>,
-    /// Output alias of the projected aggregate.
-    pub agg_alias: String,
     /// Bound `WHERE` conjuncts.
     pub predicates: Vec<BoundPredicate>,
+}
+
+impl GroupSpec {
+    /// A deterministic key identifying this group phase, used to cache and
+    /// reuse grouped results across queries within a session. Two specs
+    /// with the same fingerprint (against the same table) group and
+    /// aggregate identically, whatever their `HAVING`/`ORDER BY`/`LIMIT`.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "cols:{:?};aggs:[", self.group_cols);
+        for a in &self.aggs {
+            let _ = write!(s, "{:?}({:?}),", a.func, a.col);
+        }
+        let _ = write!(s, "];preds:[");
+        for p in &self.predicates {
+            let _ = write!(s, "{}{:?}{:?},", p.col, p.op, p.value);
+        }
+        s.push(']');
+        s
+    }
+}
+
+/// The cheap phase of a bound query: everything derived from the grouped
+/// result in `O(groups)` — `HAVING` filtering, ordering, and `LIMIT`.
+#[derive(Debug, Clone)]
+pub struct OutputSpec {
+    /// Output alias of the projected aggregate.
+    pub agg_alias: String,
     /// Bound `HAVING` conjuncts.
     pub having: Vec<BoundHaving>,
     /// Sort direction for the aggregate (None = unsorted input order).
     pub order: Option<OrderDir>,
     /// Row limit.
     pub limit: Option<usize>,
+}
+
+/// A fully bound query, ready for execution: the expensive group phase and
+/// the cheap output phase, split so the former can be computed once and the
+/// latter re-derived per parameter change.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// Scan/filter/group/aggregate phase.
+    pub group: GroupSpec,
+    /// Having/order/limit phase.
+    pub output: OutputSpec,
 }
 
 fn bind_literal(table: &Table, col: usize, lit: &Literal, op: CmpOp) -> Result<Option<Value>> {
@@ -178,14 +221,18 @@ pub fn bind(stmt: &SelectStmt, table: &Table) -> Result<BoundQuery> {
     };
 
     Ok(BoundQuery {
-        group_cols,
-        group_names: stmt.group_by.clone(),
-        aggs,
-        agg_alias: stmt.agg_alias.clone(),
-        predicates,
-        having,
-        order,
-        limit: stmt.limit,
+        group: GroupSpec {
+            group_cols,
+            group_names: stmt.group_by.clone(),
+            aggs,
+            predicates,
+        },
+        output: OutputSpec {
+            agg_alias: stmt.agg_alias.clone(),
+            having,
+            order,
+            limit: stmt.limit,
+        },
     })
 }
 
@@ -225,18 +272,49 @@ mod tests {
              HAVING count(*) > 2 ORDER BY val DESC LIMIT 5",
         )
         .unwrap();
-        assert_eq!(q.group_cols, vec![0]);
-        assert_eq!(q.aggs.len(), 2); // AVG(x) + COUNT(*)
-        assert_eq!(q.having[0].agg_idx, 1);
-        assert_eq!(q.order, Some(OrderDir::Desc));
-        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.group.group_cols, vec![0]);
+        assert_eq!(q.group.aggs.len(), 2); // AVG(x) + COUNT(*)
+        assert_eq!(q.output.having[0].agg_idx, 1);
+        assert_eq!(q.output.order, Some(OrderDir::Desc));
+        assert_eq!(q.output.limit, Some(5));
     }
 
     #[test]
     fn having_reuses_projected_aggregate() {
         let q = bind_sql("SELECT g, AVG(x) FROM t GROUP BY g HAVING avg(x) > 1.5").unwrap();
-        assert_eq!(q.aggs.len(), 1);
-        assert_eq!(q.having[0].agg_idx, 0);
+        assert_eq!(q.group.aggs.len(), 1);
+        assert_eq!(q.output.having[0].agg_idx, 0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_output_phase_but_not_group_phase() {
+        let base = bind_sql(
+            "SELECT g, AVG(x) AS val FROM t WHERE n > 1 GROUP BY g \
+             HAVING count(*) > 2 ORDER BY val DESC LIMIT 5",
+        )
+        .unwrap();
+        // Different threshold, order, and limit: same group phase.
+        let moved = bind_sql(
+            "SELECT g, AVG(x) AS val FROM t WHERE n > 1 GROUP BY g \
+             HAVING count(*) > 9 ORDER BY val ASC",
+        )
+        .unwrap();
+        assert_eq!(base.group.fingerprint(), moved.group.fingerprint());
+        // Different predicate: different group phase.
+        let other = bind_sql(
+            "SELECT g, AVG(x) AS val FROM t WHERE n > 2 GROUP BY g \
+             HAVING count(*) > 2 ORDER BY val DESC",
+        )
+        .unwrap();
+        assert_ne!(base.group.fingerprint(), other.group.fingerprint());
+        // Different HAVING aggregate function: it joins the agg list, so
+        // the group phase differs too.
+        let other = bind_sql(
+            "SELECT g, AVG(x) AS val FROM t WHERE n > 1 GROUP BY g \
+             HAVING sum(x) > 2 ORDER BY val DESC",
+        )
+        .unwrap();
+        assert_ne!(base.group.fingerprint(), other.group.fingerprint());
     }
 
     #[test]
@@ -270,13 +348,39 @@ mod tests {
     fn string_predicates_limited_to_equality() {
         assert!(bind_sql("SELECT g, AVG(x) FROM t WHERE g < 'a' GROUP BY g").is_err());
         let q = bind_sql("SELECT g, AVG(x) FROM t WHERE g = 'a' GROUP BY g").unwrap();
-        assert!(q.predicates[0].value.is_some());
+        assert!(q.group.predicates[0].value.is_some());
     }
 
     #[test]
     fn missing_string_literal_binds_to_none() {
         let q = bind_sql("SELECT g, AVG(x) FROM t WHERE g = 'zzz' GROUP BY g").unwrap();
-        assert!(q.predicates[0].value.is_none());
+        assert!(q.group.predicates[0].value.is_none());
+    }
+
+    #[test]
+    fn interner_miss_literal_per_operator() {
+        // Regression (BoundPredicate string handling): a string literal
+        // absent from the table's interner must bind to `None` for `=` and
+        // `<>` — and every *ordered* comparison against a string column
+        // must be a bind error, not a predicate that silently matches
+        // nothing at execution time.
+        for op in ["=", "<>", "!="] {
+            let q = bind_sql(&format!(
+                "SELECT g, AVG(x) FROM t WHERE g {op} 'zzz' GROUP BY g"
+            ))
+            .unwrap();
+            assert!(q.group.predicates[0].value.is_none(), "op {op}");
+        }
+        for op in ["<", "<=", ">", ">="] {
+            let err = bind_sql(&format!(
+                "SELECT g, AVG(x) FROM t WHERE g {op} 'zzz' GROUP BY g"
+            ))
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("= and <>"),
+                "op {op} must fail at bind time: {err}"
+            );
+        }
     }
 
     #[test]

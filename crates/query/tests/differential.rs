@@ -2,7 +2,7 @@
 //! of the same semantics, on random tables and queries.
 
 use proptest::prelude::*;
-use qagview_query::{execute, parse, plan::bind, QueryRow};
+use qagview_query::{execute, execute_rows, group_aggregate, parse, plan::bind, QueryRow};
 use qagview_storage::{Cell, ColumnType, Schema, Table, TableBuilder};
 use std::collections::BTreeMap;
 
@@ -122,6 +122,10 @@ proptest! {
         let stmt = parse(&sql).unwrap();
         let bound = bind(&stmt, &table).unwrap();
         let got = execute(&bound, &table).unwrap();
+        // The vectorized engine must agree byte-for-byte (values, order,
+        // rendered attrs) with the row-at-a-time reference engine.
+        let row_engine = execute_rows(&bound, &table).unwrap();
+        prop_assert_eq!(&got, &row_engine, "engines diverge on {}", &sql);
         let expected = reference(&rows, agg, having, flag_filter);
 
         prop_assert_eq!(got.rows.len(), expected.len(), "row count for {}", sql);
@@ -138,6 +142,44 @@ proptest! {
         // And the value sequence must be non-increasing.
         for w in got.rows.windows(2) {
             prop_assert!(w[0].val >= w[1].val);
+        }
+    }
+
+    /// A grouped result computed once serves every HAVING threshold,
+    /// direction, and LIMIT byte-identically to cold execution — on both
+    /// engines.
+    #[test]
+    fn grouped_result_reuse_matches_cold_execution(
+        rows in arb_rows(),
+        thresholds in prop::collection::vec(0usize..4, 1..4),
+        flag_filter in prop::option::of(any::<bool>()),
+    ) {
+        let table = build_table(&rows);
+        let where_clause = match flag_filter {
+            Some(true) => "WHERE flag = true ",
+            Some(false) => "WHERE flag = false ",
+            None => "",
+        };
+        let base_sql = format!(
+            "SELECT g1, g2, AVG(x) AS val FROM t {where_clause}GROUP BY g1, g2"
+        );
+        let base = bind(&parse(&format!("{base_sql} HAVING count(*) > 0")).unwrap(), &table).unwrap();
+        let grouped = group_aggregate(&base.group, &table).unwrap();
+        for &th in &thresholds {
+            for dir in ["ASC", "DESC"] {
+                let sql = format!("{base_sql} HAVING count(*) > {th} ORDER BY val {dir} LIMIT 3");
+                let bound = bind(&parse(&sql).unwrap(), &table).unwrap();
+                prop_assert_eq!(
+                    base.group.fingerprint(),
+                    bound.group.fingerprint(),
+                    "threshold moves must not change the group phase"
+                );
+                let reused = grouped.apply(&bound.output).unwrap();
+                let cold = execute(&bound, &table).unwrap();
+                let cold_rows = execute_rows(&bound, &table).unwrap();
+                prop_assert_eq!(&reused, &cold, "reuse vs cold for {}", &sql);
+                prop_assert_eq!(&reused, &cold_rows, "reuse vs row engine for {}", &sql);
+            }
         }
     }
 

@@ -77,6 +77,47 @@ impl Column {
         }
     }
 
+    /// The raw integer slice, if this is an `Int` column.
+    ///
+    /// The typed slice accessors let scans borrow the column storage
+    /// directly instead of boxing each cell into a [`Value`] — the
+    /// vectorized executor's aggregate-input path reads through them, and
+    /// they are the supported surface for any external columnar scan.
+    #[inline]
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw float slice, if this is a `Float` column.
+    #[inline]
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw interned-symbol slice, if this is a `Str` column.
+    #[inline]
+    pub fn as_symbols(&self) -> Option<&[Symbol]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw bool slice, if this is a `Bool` column.
+    #[inline]
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Append a dynamic [`Value`]; the value must match the column type
     /// exactly (no coercion at the storage layer).
     ///
@@ -119,6 +160,29 @@ mod tests {
         let mut c = Column::new(ColumnType::Bool);
         c.push_value(Value::Bool(true));
         assert_eq!(c.value(0), Value::Bool(true));
+    }
+
+    #[test]
+    fn slice_accessors_expose_typed_storage() {
+        let mut c = Column::new(ColumnType::Int);
+        c.push_value(Value::Int(3));
+        c.push_value(Value::Int(-7));
+        assert_eq!(c.as_i64(), Some(&[3i64, -7][..]));
+        assert_eq!(c.as_f64(), None);
+        assert_eq!(c.as_symbols(), None);
+        assert_eq!(c.as_bool(), None);
+
+        let mut c = Column::new(ColumnType::Float);
+        c.push_value(Value::Float(1.5));
+        assert_eq!(c.as_f64(), Some(&[1.5][..]));
+
+        let mut c = Column::new(ColumnType::Str);
+        c.push_value(Value::Str(Symbol(2)));
+        assert_eq!(c.as_symbols(), Some(&[Symbol(2)][..]));
+
+        let mut c = Column::new(ColumnType::Bool);
+        c.push_value(Value::Bool(true));
+        assert_eq!(c.as_bool(), Some(&[true][..]));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! comparison.
 //!
 //! * [`schema`] — column types, column definitions, named schemas.
-//! * [`column`] — typed column vectors.
+//! * [`mod@column`] — typed column vectors with raw slice accessors.
+//! * [`selection`] — selection vectors and vectorized predicate kernels
+//!   (the scan primitives of the batched query executor).
 //! * [`table`] — the table itself plus a row-oriented builder.
 //! * [`catalog`] — a named collection of tables (the query engine's `FROM`
 //!   resolver).
@@ -29,6 +31,7 @@ pub mod column;
 pub mod csv;
 pub mod raw;
 pub mod schema;
+pub mod selection;
 pub mod table;
 
 pub use catalog::Catalog;
@@ -36,4 +39,5 @@ pub use column::Column;
 pub use csv::load_csv;
 pub use raw::RawTable;
 pub use schema::{ColumnDef, ColumnType, Schema};
+pub use selection::{gather_f64, gather_i64_as_f64, SelOp, SelectionVector};
 pub use table::{Cell, Table, TableBuilder};

@@ -11,6 +11,10 @@ use qagview_lattice::{AnswerSet, TupleId};
 use rand::seq::SliceRandom;
 use std::fmt::Write as _;
 
+/// Default master-seed set for [`run_study_averaged`]: five independent
+/// streams, so headline conclusions never hinge on one simulated cohort.
+pub const DEFAULT_STUDY_SEEDS: [u64; 5] = [1807, 2018, 42, 7, 97];
+
 /// Study configuration; defaults mirror §8.1/§8.2.
 #[derive(Debug, Clone, Copy)]
 pub struct StudyConfig {
@@ -32,10 +36,6 @@ impl Default for StudyConfig {
     fn default() -> Self {
         StudyConfig {
             subjects: 16,
-            // Master seed chosen so the default simulated stream is
-            // representative of the modelled §8.4 effects (the headline
-            // ours-vs-decision-tree deltas are real but noisy at 16
-            // subjects; an unlucky stream can invert them).
             seed: 1807,
             params: SubjectParams::default(),
             method_group: (50, 10, 1),
@@ -163,6 +163,8 @@ struct TaskGroup {
     arms: [Summary; 2],
     /// 12 distinct question tuples, 4 per category.
     question_pool: Vec<TupleId>,
+    /// Child-seed tag regenerating the pool for another master seed.
+    pool_tag: &'static str,
 }
 
 fn question_pool(answers: &AnswerSet, l: usize, seed: u64) -> Result<Vec<TupleId>> {
@@ -190,7 +192,13 @@ fn question_pool(answers: &AnswerSet, l: usize, seed: u64) -> Result<Vec<TupleId
     Ok(pool)
 }
 
-fn build_groups(answers: &AnswerSet, cfg: &StudyConfig) -> Result<Vec<TaskGroup>> {
+/// Build the three task groups: summaries (seed-independent) plus the
+/// question pools for `master_seed`.
+fn build_groups(
+    answers: &AnswerSet,
+    cfg: &StudyConfig,
+    master_seed: u64,
+) -> Result<Vec<TaskGroup>> {
     let mut groups = Vec::with_capacity(3);
 
     // Varying-method.
@@ -205,7 +213,8 @@ fn build_groups(answers: &AnswerSet, cfg: &StudyConfig) -> Result<Vec<TaskGroup>
             Summary::from_rules("decision tree", answers, l, &tree.rules()),
             Summary::from_solution("our method", answers, l, &ours),
         ],
-        question_pool: question_pool(answers, l, child_seed(cfg.seed, "q-method"))?,
+        question_pool: question_pool(answers, l, child_seed(master_seed, "q-method"))?,
+        pool_tag: "q-method",
     });
 
     // Varying-k.
@@ -228,7 +237,8 @@ fn build_groups(answers: &AnswerSet, cfg: &StudyConfig) -> Result<Vec<TaskGroup>
                 &summarizer.hybrid(k_b, d)?,
             ),
         ],
-        question_pool: question_pool(answers, l, child_seed(cfg.seed, "q-k"))?,
+        question_pool: question_pool(answers, l, child_seed(master_seed, "q-k"))?,
+        pool_tag: "q-k",
     });
 
     // Varying-D.
@@ -251,10 +261,20 @@ fn build_groups(answers: &AnswerSet, cfg: &StudyConfig) -> Result<Vec<TaskGroup>
                 &summarizer.hybrid(k, d_b)?,
             ),
         ],
-        question_pool: question_pool(answers, l, child_seed(cfg.seed, "q-d"))?,
+        question_pool: question_pool(answers, l, child_seed(master_seed, "q-d"))?,
+        pool_tag: "q-d",
     });
 
     Ok(groups)
+}
+
+/// Re-draw every group's question pool for another master seed, keeping
+/// the (expensive, seed-independent) summaries.
+fn refresh_pools(answers: &AnswerSet, groups: &mut [TaskGroup], master_seed: u64) -> Result<()> {
+    for g in groups {
+        g.question_pool = question_pool(answers, g.l, child_seed(master_seed, g.pool_tag))?;
+    }
+    Ok(())
 }
 
 fn accuracy(records: &[(Category, Category)], positive: fn(Category) -> bool) -> f64 {
@@ -390,20 +410,21 @@ fn aggregate(
         .collect()
 }
 
-/// Run the whole study against one answer relation.
-pub fn run_study(answers: &AnswerSet, cfg: &StudyConfig) -> Result<StudyReport> {
-    if cfg.subjects == 0 {
-        return Err(QagError::param("the study needs at least one subject"));
-    }
-    let groups = build_groups(answers, cfg)?;
-    let mut records: Vec<Vec<SubjectRecord>> = vec![Vec::new(); groups.len()];
-
+/// Simulate `cfg.subjects` subjects under one master seed, appending their
+/// records per group.
+fn simulate_subjects(
+    answers: &AnswerSet,
+    groups: &[TaskGroup],
+    cfg: &StudyConfig,
+    master_seed: u64,
+    records: &mut [Vec<SubjectRecord>],
+) {
     for s in 0..cfg.subjects {
         let method_first = s % 2 == 0;
         let assignment_bits = (s / 2) % 8;
         let mut subject =
-            SubjectModel::new(child_seed(cfg.seed, &format!("subject-{s}")), cfg.params);
-        let mut order_rng = seeded(child_seed(cfg.seed, &format!("order-{s}")));
+            SubjectModel::new(child_seed(master_seed, &format!("subject-{s}")), cfg.params);
+        let mut order_rng = seeded(child_seed(master_seed, &format!("order-{s}")));
         // Sequence: [method, k, D] or [k, D, method] (§8.1); the learning
         // effect shows up as a mild speed-up on later groups (App. A.10).
         let sequence: [usize; 3] = if method_first { [0, 1, 2] } else { [1, 2, 0] };
@@ -432,6 +453,41 @@ pub fn run_study(answers: &AnswerSet, cfg: &StudyConfig) -> Result<StudyReport> 
                 vote,
             });
         }
+    }
+}
+
+/// Run the whole study against one answer relation, under the single
+/// master seed `cfg.seed`.
+///
+/// The headline deltas are noisy at 16 subjects: one stream can invert
+/// them. Conclusions should come from [`run_study_averaged`], which pools
+/// several master seeds.
+pub fn run_study(answers: &AnswerSet, cfg: &StudyConfig) -> Result<StudyReport> {
+    run_study_averaged(answers, cfg, &[cfg.seed])
+}
+
+/// Run the study once per master seed — fresh question pools and subject
+/// streams each time, the same (seed-independent) summaries throughout —
+/// and aggregate all `seeds.len() × cfg.subjects` subject records into one
+/// report. With ≥ 5 seeds the §8.4 conclusions no longer depend on any
+/// single simulated stream.
+pub fn run_study_averaged(
+    answers: &AnswerSet,
+    cfg: &StudyConfig,
+    seeds: &[u64],
+) -> Result<StudyReport> {
+    if cfg.subjects == 0 {
+        return Err(QagError::param("the study needs at least one subject"));
+    }
+    let [first, rest @ ..] = seeds else {
+        return Err(QagError::param("the study needs at least one master seed"));
+    };
+    let mut groups = build_groups(answers, cfg, *first)?;
+    let mut records: Vec<Vec<SubjectRecord>> = vec![Vec::new(); groups.len()];
+    simulate_subjects(answers, &groups, cfg, *first, &mut records);
+    for &seed in rest {
+        refresh_pools(answers, &mut groups, seed)?;
+        simulate_subjects(answers, &groups, cfg, seed, &mut records);
     }
 
     Ok(StudyReport {
@@ -572,6 +628,68 @@ mod tests {
         assert!(text.contains("varying-D"));
         assert!(text.contains("Table 2"));
         assert!(text.contains("preferred"));
+    }
+
+    #[test]
+    fn averaged_study_pools_subjects_across_seeds() {
+        let s = study_answers();
+        let report = run_study_averaged(&s, &small_cfg(), &DEFAULT_STUDY_SEEDS).unwrap();
+        assert_eq!(report.table1.len(), 3);
+        for g in &report.table1 {
+            let pref_sum = g.arms[0].preferred + g.arms[1].preferred;
+            assert!((pref_sum - 1.0).abs() < 1e-9);
+            for arm in &g.arms {
+                for sec in &arm.sections {
+                    assert_eq!(
+                        sec.n,
+                        8 * DEFAULT_STUDY_SEEDS.len(),
+                        "each seed contributes 8 subjects per arm"
+                    );
+                }
+            }
+        }
+        // Table 2 pools the method-first half of every seed.
+        for g in &report.table2 {
+            for arm in &g.arms {
+                assert_eq!(arm.sections[0].n, 4 * DEFAULT_STUDY_SEEDS.len());
+            }
+        }
+    }
+
+    #[test]
+    fn averaged_headline_conclusions_hold_for_disjoint_seed_sets() {
+        // The point of averaging: two unrelated 5-seed sets must agree on
+        // the §8.4 headline conclusions, with no hand-picked stream.
+        let s = study_answers();
+        for seeds in [&[11u64, 23, 35, 47, 59][..], &[101, 211, 307, 401, 503][..]] {
+            let report = run_study_averaged(&s, &small_cfg(), seeds).unwrap();
+            let method = &report.table1[0];
+            let (dt, ours) = (&method.arms[0], &method.arms[1]);
+            assert!(
+                ours.sections[0].time_mean < dt.sections[0].time_mean,
+                "{seeds:?}: patterns-only time"
+            );
+            assert!(ours.preferred > dt.preferred, "{seeds:?}: preference");
+        }
+    }
+
+    #[test]
+    fn single_seed_averaged_equals_run_study() {
+        let s = study_answers();
+        let cfg = small_cfg();
+        let a = run_study(&s, &cfg).unwrap();
+        let b = run_study_averaged(&s, &cfg, &[cfg.seed]).unwrap();
+        assert_eq!(
+            a.table1[0].arms[0].sections[0].time_mean,
+            b.table1[0].arms[0].sections[0].time_mean
+        );
+        assert_eq!(a.table1[2].arms[1].preferred, b.table1[2].arms[1].preferred);
+    }
+
+    #[test]
+    fn empty_seed_set_rejected() {
+        let s = study_answers();
+        assert!(run_study_averaged(&s, &small_cfg(), &[]).is_err());
     }
 
     #[test]

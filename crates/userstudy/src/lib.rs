@@ -31,6 +31,9 @@ pub mod subject;
 pub mod summary;
 
 pub use category::{categorize, Category};
-pub use harness::{run_study, ArmReport, SectionStats, StudyConfig, StudyReport, TaskGroupReport};
+pub use harness::{
+    run_study, run_study_averaged, ArmReport, SectionStats, StudyConfig, StudyReport,
+    TaskGroupReport, DEFAULT_STUDY_SEEDS,
+};
 pub use subject::{SubjectModel, SubjectParams};
 pub use summary::{Summary, SummaryItem};

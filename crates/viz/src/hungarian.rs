@@ -2,7 +2,7 @@
 //!
 //! The classic `O(n³)` Hungarian algorithm with row/column potentials
 //! (Kuhn–Munkres). The paper (App. A.7.2) reduces optimal cluster placement
-//! to exactly this problem and cites its polynomial solvability [14]; here
+//! to exactly this problem and cites its polynomial solvability \[14\]; here
 //! the measured gap vs. brute force is reproduced in the Fig. 16 benches
 //! (the paper reports <10 ms vs >2 s at k=10).
 

@@ -308,7 +308,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Accepted length specifications for [`vec`]: an exact length or a
+        /// Accepted length specifications for [`fn@vec`]: an exact length or a
         /// half-open/inclusive range of lengths.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
