@@ -21,7 +21,11 @@
 //!   MovieLens-like RatingTable: row-at-a-time reference engine vs the
 //!   vectorized batched engine (cold), and cold re-execution vs `O(groups)`
 //!   threshold re-evaluation from a cached `GroupedResult` (the §6
-//!   interactive-loop hot path).
+//!   interactive-loop hot path);
+//! * **session tick** — end-to-end command latency of the owned
+//!   exploration engine on the same table: a warm `SetThreshold` slider
+//!   tick and a warm `SetK` knob move (median of 21) vs rebuilding the
+//!   pipeline cold at the same state (warm-vs-cold bar ≥ 10×).
 //!
 //! Methodology: each timed section reports the best of `reps` runs (min
 //! wall clock), so scheduler noise only ever inflates, never deflates, the
@@ -30,11 +34,13 @@
 use qagview_bench::synthetic_answers;
 use qagview_core::{hybrid_with, EvalMode, Params, WorkingSet};
 use qagview_datagen::movielens::{self, MovieLensConfig};
+use qagview_interactive::{ExploreCommand, ExploreSession, Explorer, ExplorerConfig};
 use qagview_lattice::{AnswerSet, CandidateIndex};
 use qagview_query::{bind, execute, execute_rows, group_aggregate, parse};
 use qagview_storage::Catalog;
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 const N: usize = 50_000;
@@ -66,6 +72,21 @@ fn time_best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Median wall-clock of `reps` runs — used for the session-tick latencies,
+/// which are small enough that a median is the more honest central
+/// tendency (min would understate lock and allocator jitter).
+fn time_median_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
 }
 
 /// Absorb candidates (largest coverage first, skipping near-universal ones
@@ -191,6 +212,104 @@ fn bench_query_exec(all_ok: &mut bool) -> String {
         groups = grouped.num_groups(),
         aggs = grouped.num_aggs(),
         positions = thresholds.len(),
+    )
+}
+
+/// The `session_tick` section: command latency of the owned exploration
+/// engine on the 50k-row MovieLens table — a warm `SetThreshold` slider
+/// tick and a warm `SetK` knob move versus rebuilding the pipeline cold at
+/// the same state (fresh engine: scan + answer relation + plane build).
+fn bench_session_tick(all_ok: &mut bool) -> String {
+    let table = movielens::generate(&MovieLensConfig {
+        ratings: N,
+        ..Default::default()
+    })
+    .expect("movielens table");
+    let rows = table.num_rows();
+    let mut catalog = Catalog::new();
+    catalog.register("ratingtable", table);
+    let catalog = Arc::new(catalog);
+
+    let sql = "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val FROM ratingtable \
+               GROUP BY hdec, agegrp, gender, occupation \
+               HAVING count(*) > 50 ORDER BY val DESC";
+
+    // Cold: a fresh engine answers the opening command from nothing.
+    let cold_ms = time_median_ms(5, || {
+        let engine = Arc::new(Explorer::from_shared(
+            Arc::clone(&catalog),
+            ExplorerConfig::default(),
+        ));
+        let mut session = ExploreSession::new(engine);
+        session
+            .apply(ExploreCommand::SetQuery(sql.into()))
+            .expect("cold open")
+    });
+
+    // Warm: one long-lived session; ticks alternate between two values so
+    // every measured command does real state-advancing work. The 50.0/50.5
+    // threshold pair leaves the answer relation unchanged (counts are
+    // integers), which is exactly the §6 slider fast path: group phase and
+    // plane answer from cache, the relation re-derives in O(groups).
+    let engine = Arc::new(Explorer::from_shared(
+        Arc::clone(&catalog),
+        ExplorerConfig::default(),
+    ));
+    let mut session = ExploreSession::new(Arc::clone(&engine));
+    let groups = {
+        let r = session
+            .apply(ExploreCommand::SetQuery(sql.into()))
+            .expect("warm open");
+        session
+            .apply(ExploreCommand::SetK(6))
+            .expect("initial SetK");
+        // Warm both threshold positions once so the answers layer is hot.
+        session
+            .apply(ExploreCommand::SetThreshold(50.5))
+            .expect("warmup tick");
+        session
+            .apply(ExploreCommand::SetThreshold(50.0))
+            .expect("warmup tick");
+        r.summary.total
+    };
+
+    let mut flip = false;
+    let threshold_tick_ms = time_median_ms(21, || {
+        flip = !flip;
+        let t = if flip { 50.5 } else { 50.0 };
+        session
+            .apply(ExploreCommand::SetThreshold(t))
+            .expect("threshold tick")
+    });
+    let mut flip = false;
+    let set_k_tick_ms = time_median_ms(21, || {
+        flip = !flip;
+        let k = if flip { 7 } else { 6 };
+        session.apply(ExploreCommand::SetK(k)).expect("k tick")
+    });
+
+    let warm_vs_cold = cold_ms / threshold_tick_ms.max(set_k_tick_ms);
+    eprintln!(
+        "session tick ({rows} rows, {groups} answers): cold open {cold_ms:.2} ms, \
+         SetThreshold tick {threshold_tick_ms:.4} ms, SetK tick {set_k_tick_ms:.4} ms \
+         (warm-vs-cold {warm_vs_cold:.0}x)"
+    );
+    if warm_vs_cold < 10.0 {
+        *all_ok = false;
+        eprintln!("  WARNING: warm session ticks below the 10x acceptance bar");
+    }
+
+    format!(
+        r#"  "session_tick": {{
+    "sql": "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val FROM ratingtable GROUP BY hdec, agegrp, gender, occupation HAVING count(*) > t ORDER BY val DESC",
+    "rows": {rows},
+    "answers": {groups},
+    "k": 6,
+    "cold_open_ms": {cold_ms:.3},
+    "set_threshold_tick_ms": {threshold_tick_ms:.4},
+    "set_k_tick_ms": {set_k_tick_ms:.4},
+    "warm_vs_cold": {warm_vs_cold:.2}
+  }}"#
     )
 }
 
@@ -345,9 +464,10 @@ fn main() {
     }
 
     let query_exec = bench_query_exec(&mut all_ok);
+    let session_tick = bench_session_tick(&mut all_ok);
 
     let json = format!(
-        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n{session_tick},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         sections.join(",\n")
     );
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");

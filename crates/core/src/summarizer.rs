@@ -9,7 +9,7 @@ use crate::params::Params;
 use crate::solution::{Solution, SolutionCluster};
 use crate::working::EvalMode;
 use qagview_common::Result;
-use qagview_lattice::{AnswerSet, CandidateIndex, Pattern};
+use qagview_lattice::{AnswerSet, AnswersHandle, CandidateIndex, Pattern};
 
 /// One-stop entry point: owns the candidate index for a fixed `(S, L)` and
 /// dispatches to the algorithms of §5.
@@ -17,30 +17,38 @@ use qagview_lattice::{AnswerSet, CandidateIndex, Pattern};
 /// Building the index is the paper's per-query "initialization" step
 /// (Fig. 6g); reusing a `Summarizer` across `(k, D)` choices amortizes it
 /// exactly as the prototype does.
+///
+/// The answer relation is held through an [`AnswersHandle`], so the same
+/// type serves both ownership stories: `Summarizer::new(&answers, l)`
+/// borrows for `'a` as before, while
+/// `Summarizer::new(Arc::new(answers), l)` yields a `Summarizer<'static>`
+/// that can live inside a shared cache and cross threads.
 #[derive(Debug)]
 pub struct Summarizer<'a> {
-    answers: &'a AnswerSet,
+    answers: AnswersHandle<'a>,
     index: CandidateIndex,
 }
 
 impl<'a> Summarizer<'a> {
     /// Build the candidate index for coverage level `l` (the §6.3 optimized
-    /// path).
-    pub fn new(answers: &'a AnswerSet, l: usize) -> Result<Self> {
-        Ok(Summarizer {
-            answers,
-            index: CandidateIndex::build(answers, l)?,
-        })
+    /// path). Accepts `&AnswerSet` or `Arc<AnswerSet>`.
+    pub fn new(answers: impl Into<AnswersHandle<'a>>, l: usize) -> Result<Self> {
+        let answers = answers.into();
+        let index = CandidateIndex::build(&answers, l)?;
+        Ok(Summarizer { answers, index })
     }
 
     /// Use a pre-built index (e.g. the naive-build ablation).
-    pub fn with_index(answers: &'a AnswerSet, index: CandidateIndex) -> Self {
-        Summarizer { answers, index }
+    pub fn with_index(answers: impl Into<AnswersHandle<'a>>, index: CandidateIndex) -> Self {
+        Summarizer {
+            answers: answers.into(),
+            index,
+        }
     }
 
     /// The underlying answer relation.
-    pub fn answers(&self) -> &'a AnswerSet {
-        self.answers
+    pub fn answers(&self) -> &AnswerSet {
+        &self.answers
     }
 
     /// The candidate index (shared with `qagview-interactive`).
@@ -60,7 +68,7 @@ impl<'a> Summarizer<'a> {
     /// Bottom-Up (Algorithm 1) with default options.
     pub fn bottom_up(&self, k: usize, d: usize) -> Result<Solution> {
         bottom_up(
-            self.answers,
+            &self.answers,
             &self.index,
             &self.params(k, d),
             BottomUpOptions::default(),
@@ -69,13 +77,13 @@ impl<'a> Summarizer<'a> {
 
     /// Bottom-Up with explicit options (variants / eval mode).
     pub fn bottom_up_with(&self, k: usize, d: usize, opts: BottomUpOptions) -> Result<Solution> {
-        bottom_up(self.answers, &self.index, &self.params(k, d), opts)
+        bottom_up(&self.answers, &self.index, &self.params(k, d), opts)
     }
 
     /// Fixed-Order (Algorithm 3), plain.
     pub fn fixed_order(&self, k: usize, d: usize) -> Result<Solution> {
         fixed_order(
-            self.answers,
+            &self.answers,
             &self.index,
             &self.params(k, d),
             Seeding::None,
@@ -86,7 +94,7 @@ impl<'a> Summarizer<'a> {
     /// Fixed-Order with a seeding variant.
     pub fn fixed_order_with(&self, k: usize, d: usize, seeding: Seeding) -> Result<Solution> {
         fixed_order(
-            self.answers,
+            &self.answers,
             &self.index,
             &self.params(k, d),
             seeding,
@@ -97,7 +105,7 @@ impl<'a> Summarizer<'a> {
     /// Hybrid (§5.3) with the default pool factor `c = 2`.
     pub fn hybrid(&self, k: usize, d: usize) -> Result<Solution> {
         hybrid_with(
-            self.answers,
+            &self.answers,
             &self.index,
             &self.params(k, d),
             DEFAULT_POOL_FACTOR,
@@ -108,7 +116,7 @@ impl<'a> Summarizer<'a> {
     /// Hybrid with an explicit pool factor.
     pub fn hybrid_with(&self, k: usize, d: usize, c: usize) -> Result<Solution> {
         hybrid_with(
-            self.answers,
+            &self.answers,
             &self.index,
             &self.params(k, d),
             c,
@@ -119,7 +127,7 @@ impl<'a> Summarizer<'a> {
     /// Exact brute-force reference (exponential; small instances only).
     pub fn brute_force(&self, k: usize, d: usize) -> Result<Solution> {
         brute_force(
-            self.answers,
+            &self.answers,
             &self.index,
             &self.params(k, d),
             BruteForceOptions::default(),
@@ -128,7 +136,7 @@ impl<'a> Summarizer<'a> {
 
     /// Min-Size greedy (footnote-5 alternative objective).
     pub fn min_size(&self, k: usize, d: usize) -> Result<Solution> {
-        min_size_greedy(self.answers, &self.index, &self.params(k, d))
+        min_size_greedy(&self.answers, &self.index, &self.params(k, d))
     }
 
     /// The trivial feasible solution — a single all-`∗` cluster — whose
@@ -188,6 +196,19 @@ mod tests {
         assert_eq!(t.covered, 4);
         assert!((t.avg() - 2.5).abs() < 1e-12);
         t.verify(&s, &Params::new(1, 2, 0)).unwrap();
+    }
+
+    #[test]
+    fn shared_construction_is_static_thread_safe_and_identical() {
+        let s = answers();
+        let borrowed = Summarizer::new(&s, 2).unwrap().hybrid(2, 1).unwrap();
+        let shared: Summarizer<'static> =
+            Summarizer::new(std::sync::Arc::new(s.clone()), 2).unwrap();
+        fn assert_static_send_sync<T: 'static + Send + Sync>(_: &T) {}
+        assert_static_send_sync(&shared);
+        let owned_sol = shared.hybrid(2, 1).unwrap();
+        assert_eq!(borrowed.patterns(), owned_sol.patterns());
+        assert_eq!(shared.answers().len(), 4);
     }
 
     #[test]

@@ -1,0 +1,909 @@
+//! The owned, command-driven end-to-end exploration engine.
+//!
+//! The paper's whole point is one *interactive loop* (§6, Fig. 2): the
+//! analyst moves a `HAVING` threshold or a `(k, L, D)` knob and expects an
+//! instant refreshed summary. [`Explorer`] owns everything that loop
+//! needs — a shared [`Catalog`] plus three fingerprint-keyed cache layers —
+//! behind one `Send + Sync` value, so sessions on any number of serving
+//! threads share every expensive artifact:
+//!
+//! 1. **group phases** — [`qagview_query::GroupedResult`]s keyed by
+//!    `(TableId, GroupSpec fingerprint)`; a threshold tick never rescans
+//!    the base table;
+//! 2. **answer relations** — dense-coded [`AnswerSet`]s keyed by
+//!    `(TableId, group ⊕ output fingerprint)`, built straight from the
+//!    interned group codes (no display-string round trip);
+//! 3. **parameter planes** — [`Precomputed`] `(k, D)` planes keyed by the
+//!    answer set's *content* fingerprint and `(L, k_max)`, so even a
+//!    threshold move that happens not to change the answer relation reuses
+//!    the whole plane; and **summarizers** — owned
+//!    [`qagview_core::Summarizer`]s keyed the same way, serving
+//!    [`ExploreCommand::DrillDown`] focus views.
+//!
+//! [`ExploreSession`] holds the current exploration state
+//! `(sql, k, L, D, threshold, drill)` and advances it through typed
+//! [`ExploreCommand`]s; every command returns an [`ExploreResponse`] whose
+//! [`CacheProvenance`] says which layer answered from cache, and whose
+//! [`Transition`] (when the underlying relation is unchanged) feeds the
+//! App. A.7 band diagram between consecutive summaries.
+//!
+//! Responses are deterministic functions of the state: re-running the
+//! whole pipeline from scratch at the same state yields byte-identical
+//! summaries and plots (property-tested), so cache hits are purely a cost
+//! story.
+
+use crate::cache::{LayerStats, LruCache};
+use crate::plot::GuidancePlot;
+use crate::precompute::{PrecomputeConfig, Precomputed};
+use qagview_common::{QagError, Result};
+use qagview_core::{Solution, Summarizer, DEFAULT_POOL_FACTOR};
+use qagview_lattice::{AnswerSet, AnswerSetBuilder, Pattern, STAR};
+use qagview_query::{bind, group_aggregate_with, parse, GroupTable, GroupedResult};
+use qagview_storage::{Catalog, TableId};
+use qagview_viz::Transition;
+use std::sync::{Arc, Mutex};
+
+/// Default `k` of a fresh session (the paper's Fig. 1 walkthrough).
+pub const DEFAULT_K: usize = 4;
+/// Default `L` of a fresh session.
+pub const DEFAULT_L: usize = 8;
+/// Default `D` of a fresh session.
+pub const DEFAULT_D: usize = 2;
+
+/// Tuning knobs of an [`Explorer`] — cache bounds and plane shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorerConfig {
+    /// Max cached group phases (layer 1).
+    pub group_cache_entries: usize,
+    /// Max cached answer relations (layer 2).
+    pub answers_cache_entries: usize,
+    /// Max cached `(k, D)` planes (layer 3).
+    pub plane_cache_entries: usize,
+    /// Max cached drill-down summarizers.
+    pub summarizer_cache_entries: usize,
+    /// Planes always materialize `k` up to at least this value, so knob
+    /// moves within the range are pure lookups.
+    pub default_k_max: usize,
+    /// Hybrid pool factor `c` for plane construction.
+    pub pool_factor: usize,
+    /// Build the per-`D` planes on parallel threads (byte-identical to
+    /// serial; see the `parallel_and_serial_builds_agree` property).
+    pub parallel_planes: bool,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            group_cache_entries: 32,
+            answers_cache_entries: 64,
+            plane_cache_entries: 8,
+            summarizer_cache_entries: 16,
+            default_k_max: 20,
+            pool_factor: DEFAULT_POOL_FACTOR,
+            parallel_planes: true,
+        }
+    }
+}
+
+/// Whether a cache layer answered a lookup or had to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// Computed cold (and cached for next time).
+    Miss,
+}
+
+/// Cumulative counters of every [`Explorer`] cache layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplorerStats {
+    /// Group-phase cache (layer 1).
+    pub group_phase: LayerStats,
+    /// Answer-relation cache (layer 2).
+    pub answers: LayerStats,
+    /// Parameter-plane cache (layer 3).
+    pub planes: LayerStats,
+    /// Drill-down summarizer cache.
+    pub summarizers: LayerStats,
+}
+
+/// Which cache layer answered each stage of one command, plus a cumulative
+/// counter snapshot. This is how a caller (or a future HTTP facade) can
+/// see — and assert — that a threshold tick after a knob move hit both the
+/// group-phase cache and the precomputed plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheProvenance {
+    /// Layer 1: finished group phase of the query's scan.
+    pub group_phase: CacheOutcome,
+    /// Layer 2: dense-coded answer relation.
+    pub answers: CacheOutcome,
+    /// Layer 3: the `(k, D)` parameter plane serving summary and plot.
+    pub plane: CacheOutcome,
+    /// Drill-down summarizer (only consulted while a drill is active).
+    pub summarizer: Option<CacheOutcome>,
+    /// Cumulative hits/misses/evictions per layer, after this command.
+    pub stats: ExplorerStats,
+}
+
+/// One cluster of a rendered summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterView {
+    /// The cluster's pattern (codes relative to the summarized relation).
+    pub pattern: Pattern,
+    /// The pattern rendered against the relation's domains, e.g.
+    /// `(1980, *, M, *)`.
+    pub label: String,
+    /// Number of answer tuples the cluster covers.
+    pub size: usize,
+    /// How many of the top-`L` tuples it covers (the dark fraction of the
+    /// GUI's boxes).
+    pub top_l: usize,
+    /// Sum of covered scores.
+    pub sum: f64,
+    /// Average covered score.
+    pub avg: f64,
+}
+
+/// A rendered summary: the solution clusters plus objective bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryView {
+    /// Attribute names of the summarized relation.
+    pub attr_names: Vec<String>,
+    /// Clusters, highest average first.
+    pub clusters: Vec<ClusterView>,
+    /// Distinct tuples covered by the union of the clusters.
+    pub covered: usize,
+    /// Size of the summarized relation.
+    pub total: usize,
+    /// The Max-Avg objective value.
+    pub avg: f64,
+    /// `k` the summary was computed for.
+    pub k: usize,
+    /// Effective coverage parameter (the session `L` capped at the
+    /// relation size).
+    pub l: usize,
+    /// Effective distance parameter (the session `D` capped at `m`).
+    pub d: usize,
+}
+
+/// The full exploration state a response was computed from. Feeding the
+/// same state to a fresh engine reproduces the same summary and plot
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreState {
+    /// The SQL of the current query.
+    pub sql: String,
+    /// Size knob `k`.
+    pub k: usize,
+    /// Coverage knob `L` (capped at the relation size when applied).
+    pub l: usize,
+    /// Distance knob `D` (capped at `m` when applied).
+    pub d: usize,
+    /// Override for the first `HAVING` conjunct's threshold; `None` keeps
+    /// the value written in the SQL.
+    pub threshold: Option<f64>,
+    /// Focus pattern of an active drill-down (`None` = overview).
+    pub drill: Option<Pattern>,
+}
+
+/// Typed session commands — the verbs of the §6 interactive loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreCommand {
+    /// Switch to a new query (clears any drill; knobs are kept).
+    SetQuery(String),
+    /// Move the `HAVING` slider: override the first conjunct's threshold.
+    SetThreshold(f64),
+    /// Set the size knob `k ≥ 1`.
+    SetK(usize),
+    /// Set the coverage knob `L ≥ 1`.
+    SetL(usize),
+    /// Set the distance knob `D`.
+    SetD(usize),
+    /// Focus on the answers covered by a pattern and re-summarize within
+    /// (an all-`∗` pattern returns to the overview).
+    DrillDown(Pattern),
+}
+
+/// The engine's answer to one command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreResponse {
+    /// The state the response was computed from.
+    pub state: ExploreState,
+    /// The refreshed summary (of the drill focus, if one is active).
+    pub summary: SummaryView,
+    /// The Fig. 2 guidance plot of the current base relation.
+    pub plot: GuidancePlot,
+    /// Band-diagram transition from the previous summary, when both were
+    /// computed over the identical relation (parameter nudges); `None`
+    /// right after the relation itself changed.
+    pub transition: Option<Transition>,
+    /// Which cache layers answered, and the cumulative counters.
+    pub provenance: CacheProvenance,
+}
+
+impl ExploreResponse {
+    /// Whether two responses show the user the same thing: state, summary,
+    /// plot, and transition all equal. Cache provenance is deliberately
+    /// excluded — a warm and a cold run of the same state must compare
+    /// equal under this method.
+    pub fn same_view(&self, other: &ExploreResponse) -> bool {
+        self.state == other.state
+            && self.summary == other.summary
+            && self.plot == other.plot
+            && self.transition == other.transition
+    }
+}
+
+/// Everything `view` computes for one state.
+#[derive(Debug)]
+struct EngineView {
+    relation: Arc<AnswerSet>,
+    relation_fp: u64,
+    l_eff: usize,
+    solution: Solution,
+    summary: SummaryView,
+    plot: GuidancePlot,
+}
+
+struct AnswerEntry {
+    answers: Arc<AnswerSet>,
+    fp: u64,
+}
+
+/// The cache layers, all behind one mutex. The lock is held only for
+/// lookups and inserts — artifact construction (table scans, plane
+/// builds, drill summarizer builds) runs unlocked, so concurrent
+/// sessions never block behind each other's cold work. Two sessions
+/// racing on the same missing key may both compute it; the artifacts are
+/// deterministic, so the duplicate work is wasted cost only, and the
+/// last insert wins.
+struct Caches {
+    groups: LruCache<(TableId, u64), Arc<GroupedResult>>,
+    answers: LruCache<(TableId, u64), Arc<AnswerEntry>>,
+    planes: LruCache<(u64, usize, usize), Arc<Precomputed<'static>>>,
+    summarizers: LruCache<(u64, usize), Arc<Summarizer<'static>>>,
+    scratch: GroupTable,
+}
+
+/// The owned, thread-shareable exploration engine.
+///
+/// `Explorer` is `Send + Sync`: wrap it in an `Arc`, hand clones to any
+/// number of threads, and open an [`ExploreSession`] per analyst. All
+/// sessions share the three cache layers, so the second analyst asking
+/// the paper's Example 1.1 query pays `O(groups)` instead of a scan.
+///
+/// ```
+/// use qagview_interactive::{ExploreCommand, ExploreSession, Explorer};
+/// use qagview_storage::{Catalog, Cell, ColumnType, Schema, TableBuilder};
+/// use std::sync::Arc;
+///
+/// let schema = Schema::from_pairs(&[
+///     ("genre", ColumnType::Str),
+///     ("rating", ColumnType::Float),
+/// ]).unwrap();
+/// let mut b = TableBuilder::new(schema);
+/// for (g, r) in [("a", 4.0), ("a", 5.0), ("b", 2.0), ("b", 1.0)] {
+///     b.push_row(vec![g.into(), Cell::Float(r)]).unwrap();
+/// }
+/// let mut catalog = Catalog::new();
+/// catalog.register("r", b.finish());
+///
+/// let engine = Arc::new(Explorer::new(catalog));
+/// let mut session = ExploreSession::new(Arc::clone(&engine));
+/// let response = session.apply(ExploreCommand::SetQuery(
+///     "SELECT genre, AVG(rating) AS val FROM r GROUP BY genre \
+///      ORDER BY val DESC".into(),
+/// )).unwrap();
+/// assert_eq!(response.summary.total, 2);
+/// ```
+pub struct Explorer {
+    catalog: Arc<Catalog>,
+    cfg: ExplorerConfig,
+    caches: Mutex<Caches>,
+}
+
+impl std::fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("catalog_tables", &self.catalog.len())
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Fold two fingerprints into one composite key lane.
+#[inline]
+fn combine(a: u64, b: u64) -> u64 {
+    (a.rotate_left(5) ^ b).wrapping_mul(0x517c_c1b7_2722_0a95)
+}
+
+impl Explorer {
+    /// An engine owning `catalog`, with default configuration.
+    pub fn new(catalog: Catalog) -> Self {
+        Self::from_shared(Arc::new(catalog), ExplorerConfig::default())
+    }
+
+    /// An engine owning `catalog` with explicit configuration.
+    pub fn with_config(catalog: Catalog, cfg: ExplorerConfig) -> Self {
+        Self::from_shared(Arc::new(catalog), cfg)
+    }
+
+    /// An engine over an already-shared catalog (e.g. one catalog serving
+    /// several engines in tests).
+    pub fn from_shared(catalog: Arc<Catalog>, cfg: ExplorerConfig) -> Self {
+        Explorer {
+            catalog,
+            cfg,
+            caches: Mutex::new(Caches {
+                groups: LruCache::new(cfg.group_cache_entries),
+                answers: LruCache::new(cfg.answers_cache_entries),
+                planes: LruCache::new(cfg.plane_cache_entries),
+                summarizers: LruCache::new(cfg.summarizer_cache_entries),
+                scratch: GroupTable::new(0),
+            }),
+        }
+    }
+
+    /// The catalog this engine serves.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Caches> {
+        self.caches.lock().expect("explorer mutex poisoned")
+    }
+
+    /// Snapshot the cumulative cache counters of every layer.
+    pub fn stats(&self) -> ExplorerStats {
+        let caches = self.lock();
+        ExplorerStats {
+            group_phase: caches.groups.stats(),
+            answers: caches.answers.stats(),
+            planes: caches.planes.stats(),
+            summarizers: caches.summarizers.stats(),
+        }
+    }
+
+    /// Compute the full view for one exploration state — the stateless
+    /// engine entry point that [`ExploreSession::apply`] (and any future
+    /// network facade) routes through. Deterministic in `state`: cache
+    /// hits change only the [`CacheProvenance`], never the view.
+    pub fn view(&self, state: &ExploreState) -> Result<(SummaryView, GuidancePlot)> {
+        let (view, _) = self.view_internal(state)?;
+        Ok((view.summary, view.plot))
+    }
+
+    fn view_internal(&self, state: &ExploreState) -> Result<(EngineView, CacheProvenance)> {
+        if state.k == 0 {
+            return Err(QagError::param("size knob k must be at least 1"));
+        }
+        if state.l == 0 {
+            return Err(QagError::param("coverage knob L must be at least 1"));
+        }
+        let stmt = parse(&state.sql)?;
+        let (table_id, table) = self.catalog.require_shared(&stmt.from)?;
+        let mut bound = bind(&stmt, &table)?;
+        if let Some(t) = state.threshold {
+            match bound.output.having.first_mut() {
+                Some(h) => h.value = t,
+                None => {
+                    return Err(QagError::param(
+                        "SetThreshold requires a query with a HAVING clause",
+                    ))
+                }
+            }
+        }
+
+        // Layer 1: the finished group phase — the only stage that ever
+        // touches the base table. The scratch group table is borrowed out
+        // of the engine while the scan runs unlocked; a concurrent miss
+        // simply scans with a fresh scratch.
+        let group_fp = bound.group.fingerprint();
+        let gkey = (table_id, group_fp);
+        // Each probe is bound to its own statement so the mutex guard in
+        // the scrutinee drops before the miss arm re-locks to insert.
+        let probe = self.lock().groups.get_cloned(&gkey);
+        let (grouped, group_out) = match probe {
+            Some(g) => (g, CacheOutcome::Hit),
+            None => {
+                let mut scratch = std::mem::take(&mut self.lock().scratch);
+                let result = group_aggregate_with(&bound.group, &table, &mut scratch);
+                let mut caches = self.lock();
+                caches.scratch = scratch;
+                let g = Arc::new(result?);
+                caches.groups.insert(gkey, Arc::clone(&g));
+                (g, CacheOutcome::Miss)
+            }
+        };
+
+        // Layer 2: the dense-coded answer relation, derived O(groups) from
+        // the group phase via the direct (no string round-trip) path.
+        let akey = (table_id, combine(group_fp, bound.output.fingerprint()));
+        let probe = self.lock().answers.get_cloned(&akey);
+        let (entry, answers_out) = match probe {
+            Some(e) => (e, CacheOutcome::Hit),
+            None => {
+                let answers = Arc::new(grouped.apply_answers(&bound.output)?);
+                let fp = answers.fingerprint();
+                let e = Arc::new(AnswerEntry { answers, fp });
+                self.lock().answers.insert(akey, Arc::clone(&e));
+                (e, CacheOutcome::Miss)
+            }
+        };
+        let base = Arc::clone(&entry.answers);
+        let base_fp = entry.fp;
+        if base.is_empty() {
+            return Err(QagError::Execution(
+                "the query produced an empty answer relation; relax the threshold".to_string(),
+            ));
+        }
+        let m = base.arity();
+        let l_eff = state.l.min(base.len());
+        let d_eff = state.d.min(m);
+
+        // Layer 3: the (k, D) parameter plane — keyed by the answer set's
+        // *content* fingerprint, so a threshold tick that does not change
+        // the relation reuses the whole plane.
+        let k_max = self.cfg.default_k_max.max(state.k);
+        let pkey = (base_fp, l_eff, k_max);
+        let probe = self.lock().planes.get_cloned(&pkey);
+        let (plane, plane_out) = match probe {
+            Some(p) => (p, CacheOutcome::Hit),
+            None => {
+                let p: Arc<Precomputed<'static>> = Arc::new(Precomputed::build(
+                    Arc::clone(&base),
+                    l_eff,
+                    PrecomputeConfig {
+                        k_min: 1,
+                        k_max,
+                        d_min: 0,
+                        d_max: m,
+                        pool_factor: self.cfg.pool_factor,
+                        eval: qagview_core::EvalMode::Delta,
+                        parallel: self.cfg.parallel_planes,
+                    },
+                )?);
+                self.lock().planes.insert(pkey, Arc::clone(&p));
+                (p, CacheOutcome::Miss)
+            }
+        };
+        let plot = plane.guidance();
+
+        // Summary: the plane's §6.2 stored solution for the overview, or a
+        // cached owned summarizer run over the drill focus.
+        let (relation, relation_fp, l_used, solution, summarizer_out) = match &state.drill {
+            Some(p) if !p.slots().iter().all(|&s| s == STAR) => {
+                if p.arity() != m {
+                    return Err(QagError::param(format!(
+                        "drill pattern arity {} does not match the relation's m={m}",
+                        p.arity()
+                    )));
+                }
+                let sub = Arc::new(drill_relation(&base, p)?);
+                let sub_fp = sub.fingerprint();
+                let l_sub = state.l.min(sub.len());
+                let skey = (sub_fp, l_sub);
+                let probe = self.lock().summarizers.get_cloned(&skey);
+                let (summarizer, s_out) = match probe {
+                    Some(s) => (s, CacheOutcome::Hit),
+                    None => {
+                        let s: Arc<Summarizer<'static>> =
+                            Arc::new(Summarizer::new(Arc::clone(&sub), l_sub)?);
+                        self.lock().summarizers.insert(skey, Arc::clone(&s));
+                        (s, CacheOutcome::Miss)
+                    }
+                };
+                let solution = summarizer.hybrid(state.k, d_eff.min(sub.arity()))?;
+                (sub, sub_fp, l_sub, solution, Some(s_out))
+            }
+            _ => {
+                let solution = plane.solution(state.k, d_eff)?;
+                (Arc::clone(&base), base_fp, l_eff, solution, None)
+            }
+        };
+
+        let provenance = CacheProvenance {
+            group_phase: group_out,
+            answers: answers_out,
+            plane: plane_out,
+            summarizer: summarizer_out,
+            stats: self.stats(),
+        };
+        let summary = summary_view(&relation, &solution, state.k, l_used, d_eff);
+        Ok((
+            EngineView {
+                relation,
+                relation_fp,
+                l_eff: l_used,
+                solution,
+                summary,
+                plot,
+            },
+            provenance,
+        ))
+    }
+}
+
+/// Render a solution into a [`SummaryView`].
+fn summary_view(
+    relation: &AnswerSet,
+    solution: &Solution,
+    k: usize,
+    l: usize,
+    d: usize,
+) -> SummaryView {
+    let clusters = solution
+        .clusters
+        .iter()
+        .map(|c| ClusterView {
+            pattern: c.pattern.clone(),
+            label: relation.pattern_to_string(&c.pattern),
+            size: c.members.len(),
+            top_l: c.members.iter().filter(|&&t| (t as usize) < l).count(),
+            sum: c.sum,
+            avg: c.avg(),
+        })
+        .collect();
+    SummaryView {
+        attr_names: relation.attr_names().to_vec(),
+        clusters,
+        covered: solution.covered,
+        total: relation.len(),
+        avg: solution.avg(),
+        k,
+        l,
+        d,
+    }
+}
+
+/// The sub-relation covered by a drill pattern, re-encoded as its own
+/// answer set (rank order is inherited from the base relation).
+fn drill_relation(base: &AnswerSet, pattern: &Pattern) -> Result<AnswerSet> {
+    let (ids, _) = base.scan_coverage(pattern);
+    if ids.is_empty() {
+        return Err(QagError::Execution(format!(
+            "drill pattern {} covers no answers",
+            base.pattern_to_string(pattern)
+        )));
+    }
+    let mut builder = AnswerSetBuilder::new(base.attr_names().to_vec());
+    for t in ids {
+        let texts: Vec<&str> = base
+            .tuple(t)
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| base.code_text(i, c))
+            .collect();
+        builder.push(&texts, base.val(t))?;
+    }
+    builder.finish()
+}
+
+/// What the previous command of a session summarized, kept for transition
+/// rendering. The transition is only built when the current relation's
+/// content fingerprint matches `relation_fp`, so the previous solution's
+/// tuple ids are valid against the current relation by construction.
+#[derive(Debug)]
+struct LastView {
+    relation_fp: u64,
+    solution: Solution,
+}
+
+/// One analyst's exploration session over a shared [`Explorer`].
+///
+/// The session is a thin state machine: it owns the current
+/// [`ExploreState`], advances it via [`ExploreSession::apply`], and keeps
+/// the previous solution so consecutive summaries over the same relation
+/// come back with a band-diagram [`Transition`]. A command that errors
+/// (unknown column, empty relation, drill that covers nothing) leaves the
+/// state untouched.
+#[derive(Debug)]
+pub struct ExploreSession {
+    engine: Arc<Explorer>,
+    state: Option<ExploreState>,
+    last: Option<LastView>,
+}
+
+impl ExploreSession {
+    /// Open a session on a shared engine. The first command must be
+    /// [`ExploreCommand::SetQuery`].
+    pub fn new(engine: Arc<Explorer>) -> Self {
+        ExploreSession {
+            engine,
+            state: None,
+            last: None,
+        }
+    }
+
+    /// The engine this session runs on.
+    pub fn engine(&self) -> &Arc<Explorer> {
+        &self.engine
+    }
+
+    /// The current exploration state (`None` until the first successful
+    /// [`ExploreCommand::SetQuery`]).
+    pub fn state(&self) -> Option<&ExploreState> {
+        self.state.as_ref()
+    }
+
+    /// Advance the session by one command and return the refreshed view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/bind/execution errors and knob violations
+    /// (`k == 0`, `L == 0`, `SetThreshold` without a `HAVING`, a drill
+    /// pattern of the wrong arity or empty coverage, an empty answer
+    /// relation). The session state is unchanged on error.
+    pub fn apply(&mut self, command: ExploreCommand) -> Result<ExploreResponse> {
+        let next = match (&self.state, command) {
+            (None, ExploreCommand::SetQuery(sql)) => ExploreState {
+                sql,
+                k: DEFAULT_K,
+                l: DEFAULT_L,
+                d: DEFAULT_D,
+                threshold: None,
+                drill: None,
+            },
+            (None, other) => {
+                return Err(QagError::param(format!(
+                    "session has no query yet; start with SetQuery (got {other:?})"
+                )))
+            }
+            (Some(s), ExploreCommand::SetQuery(sql)) => ExploreState {
+                sql,
+                threshold: None,
+                drill: None,
+                ..s.clone()
+            },
+            (Some(s), ExploreCommand::SetThreshold(t)) => ExploreState {
+                threshold: Some(t),
+                ..s.clone()
+            },
+            (Some(s), ExploreCommand::SetK(k)) => ExploreState { k, ..s.clone() },
+            (Some(s), ExploreCommand::SetL(l)) => ExploreState { l, ..s.clone() },
+            (Some(s), ExploreCommand::SetD(d)) => ExploreState { d, ..s.clone() },
+            (Some(s), ExploreCommand::DrillDown(p)) => ExploreState {
+                drill: if p.slots().iter().all(|&c| c == STAR) {
+                    None
+                } else {
+                    Some(p)
+                },
+                ..s.clone()
+            },
+        };
+        let (view, provenance) = self.engine.view_internal(&next)?;
+        let transition = match &self.last {
+            Some(last) if last.relation_fp == view.relation_fp => Some(Transition::between(
+                &view.relation,
+                &last.solution,
+                &view.solution,
+                view.l_eff,
+            )),
+            _ => None,
+        };
+        self.state = Some(next.clone());
+        self.last = Some(LastView {
+            relation_fp: view.relation_fp,
+            solution: view.solution,
+        });
+        Ok(ExploreResponse {
+            state: next,
+            summary: view.summary,
+            plot: view.plot,
+            transition,
+            provenance,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_storage::{Cell, ColumnType, Schema, TableBuilder};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::from_pairs(&[
+            ("genre", ColumnType::Str),
+            ("who", ColumnType::Str),
+            ("rating", ColumnType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        let rows: &[(&str, &str, f64)] = &[
+            ("adventure", "student", 4.8),
+            ("adventure", "student", 4.4),
+            ("adventure", "coder", 4.3),
+            ("adventure", "coder", 4.1),
+            ("romance", "student", 2.0),
+            ("romance", "coder", 1.6),
+            ("romance", "coder", 1.2),
+            ("western", "student", 3.0),
+        ];
+        for &(g, w, r) in rows {
+            b.push_row(vec![g.into(), w.into(), Cell::Float(r)])
+                .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register("ratings", b.finish());
+        c
+    }
+
+    const SQL: &str = "SELECT genre, who, AVG(rating) AS val FROM ratings \
+                       GROUP BY genre, who HAVING count(*) > 0 ORDER BY val DESC";
+
+    fn session() -> ExploreSession {
+        ExploreSession::new(Arc::new(Explorer::new(catalog())))
+    }
+
+    #[test]
+    fn explorer_is_send_sync_and_sessions_are_send() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Explorer>();
+        assert_send::<ExploreSession>();
+    }
+
+    #[test]
+    fn first_command_must_be_set_query() {
+        let mut s = session();
+        assert!(s.apply(ExploreCommand::SetK(3)).is_err());
+        assert!(s.state().is_none());
+        assert!(s.apply(ExploreCommand::SetQuery(SQL.into())).is_ok());
+        assert!(s.state().is_some());
+    }
+
+    #[test]
+    fn full_loop_with_provenance() {
+        let mut s = session();
+        let r = s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(r.provenance.group_phase, CacheOutcome::Miss);
+        assert_eq!(r.provenance.plane, CacheOutcome::Miss);
+        assert_eq!(r.summary.total, 5);
+        assert!(r.transition.is_none());
+
+        // A knob move: everything upstream is cached.
+        let r = s.apply(ExploreCommand::SetK(3)).unwrap();
+        assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
+        assert_eq!(r.provenance.answers, CacheOutcome::Hit);
+        assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+        assert!(r.transition.is_some(), "same relation => transition");
+        assert_eq!(r.summary.clusters[0].label, "(adventure, *)");
+
+        // A threshold tick that keeps the relation identical still hits
+        // the plane (content-fingerprint keying).
+        let r = s.apply(ExploreCommand::SetThreshold(0.5)).unwrap();
+        assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
+        assert_eq!(r.provenance.answers, CacheOutcome::Miss);
+        assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+        assert!(r.transition.is_some());
+
+        // A threshold tick that changes the relation misses the plane.
+        let r = s.apply(ExploreCommand::SetThreshold(1.0)).unwrap();
+        assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
+        assert_eq!(r.provenance.plane, CacheOutcome::Miss);
+        assert_eq!(r.summary.total, 3, "only count-2 groups survive");
+        assert!(r.transition.is_none(), "relation changed");
+    }
+
+    #[test]
+    fn drill_down_focuses_and_all_star_returns() {
+        let mut s = session();
+        s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        let r = s.apply(ExploreCommand::SetK(3)).unwrap();
+        let m = r.summary.attr_names.len();
+        let adventure = r
+            .summary
+            .clusters
+            .iter()
+            .find(|c| c.label == "(adventure, *)")
+            .expect("an (adventure, *) cluster")
+            .pattern
+            .clone();
+        let r = s.apply(ExploreCommand::DrillDown(adventure)).unwrap();
+        assert_eq!(r.summary.total, 2, "two adventure groups");
+        assert_eq!(r.provenance.summarizer, Some(CacheOutcome::Miss));
+        assert!(r.transition.is_none(), "focus is a different relation");
+        // Same drill again: the summarizer layer answers.
+        let r = s
+            .apply(ExploreCommand::DrillDown(r.state.drill.clone().unwrap()))
+            .unwrap();
+        assert_eq!(r.provenance.summarizer, Some(CacheOutcome::Hit));
+        assert!(r.transition.is_some());
+        // All-star pattern returns to the overview.
+        let r = s
+            .apply(ExploreCommand::DrillDown(Pattern::all_star(m)))
+            .unwrap();
+        assert!(r.state.drill.is_none());
+        assert_eq!(r.summary.total, 5);
+        assert_eq!(r.provenance.summarizer, None);
+    }
+
+    #[test]
+    fn errors_leave_state_untouched() {
+        let mut s = session();
+        s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        let before = s.state().cloned();
+        assert!(s.apply(ExploreCommand::SetK(0)).is_err());
+        assert!(s.apply(ExploreCommand::SetL(0)).is_err());
+        // Threshold beyond every group: empty relation.
+        assert!(s.apply(ExploreCommand::SetThreshold(99.0)).is_err());
+        // Drill with the wrong arity.
+        assert!(s
+            .apply(ExploreCommand::DrillDown(Pattern::new(vec![0])))
+            .is_err());
+        // New query against a missing table.
+        assert!(s
+            .apply(ExploreCommand::SetQuery(
+                "SELECT x, AVG(y) AS val FROM nope GROUP BY x".into()
+            ))
+            .is_err());
+        assert_eq!(s.state().cloned(), before);
+        // And the session still works.
+        assert!(s.apply(ExploreCommand::SetK(2)).is_ok());
+    }
+
+    #[test]
+    fn set_threshold_requires_a_having_clause() {
+        let mut s = session();
+        s.apply(ExploreCommand::SetQuery(
+            "SELECT genre, AVG(rating) AS val FROM ratings GROUP BY genre \
+             ORDER BY val DESC"
+                .into(),
+        ))
+        .unwrap();
+        let err = s.apply(ExploreCommand::SetThreshold(1.0)).unwrap_err();
+        assert!(err.to_string().contains("HAVING"), "{err}");
+    }
+
+    #[test]
+    fn view_is_stateless_and_deterministic() {
+        let engine = Explorer::new(catalog());
+        let state = ExploreState {
+            sql: SQL.into(),
+            k: 3,
+            l: 5,
+            d: 1,
+            threshold: Some(0.0),
+            drill: None,
+        };
+        let (summary_a, plot_a) = engine.view(&state).unwrap();
+        let (summary_b, plot_b) = engine.view(&state).unwrap();
+        assert_eq!(summary_a, summary_b);
+        assert_eq!(plot_a, plot_b);
+    }
+
+    #[test]
+    fn group_cache_eviction_is_bounded_and_counted() {
+        let engine = Arc::new(Explorer::with_config(
+            catalog(),
+            ExplorerConfig {
+                group_cache_entries: 2,
+                ..Default::default()
+            },
+        ));
+        let mut s = ExploreSession::new(Arc::clone(&engine));
+        let sqls = [
+            "SELECT genre, AVG(rating) AS val FROM ratings GROUP BY genre ORDER BY val DESC",
+            "SELECT who, AVG(rating) AS val FROM ratings GROUP BY who ORDER BY val DESC",
+            "SELECT genre, who, AVG(rating) AS val FROM ratings GROUP BY genre, who \
+             ORDER BY val DESC",
+        ];
+        for sql in sqls {
+            s.apply(ExploreCommand::SetQuery(sql.to_string())).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.group_phase.evictions, 1);
+        assert_eq!(stats.group_phase.entries, 2);
+        // The first (least recently used) query is cold again.
+        let r = s
+            .apply(ExploreCommand::SetQuery(sqls[0].to_string()))
+            .unwrap();
+        assert_eq!(r.provenance.group_phase, CacheOutcome::Miss);
+    }
+}

@@ -26,15 +26,31 @@
 //! query it runs, so moving a `HAVING` threshold (or flipping `ORDER BY`
 //! / `LIMIT`) re-derives `S` in `O(groups)` from the cached group table
 //! instead of rescanning the base relation.
+//!
+//! All of it comes together in [`explore::Explorer`]: an owned,
+//! `Send + Sync` engine that stacks the three cache layers (group phases,
+//! answer relations, parameter planes + summarizers) behind typed
+//! fingerprint keys with LRU bounds ([`cache::LruCache`]), and
+//! [`explore::ExploreSession`], the command-driven state machine of the
+//! full interactive loop — every command answers with a refreshed
+//! summary, the Fig. 2 guidance plot, an App. A.7 transition, and cache
+//! provenance.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod explore;
 pub mod interval_tree;
 pub mod plot;
 pub mod precompute;
 pub mod session;
 
+pub use cache::{LayerStats, LruCache};
+pub use explore::{
+    CacheOutcome, CacheProvenance, ClusterView, ExploreCommand, ExploreResponse, ExploreSession,
+    ExploreState, Explorer, ExplorerConfig, ExplorerStats, SummaryView,
+};
 pub use interval_tree::IntervalTree;
 pub use plot::{DSeries, GuidancePlot};
 pub use precompute::{PrecomputeConfig, Precomputed};

@@ -15,7 +15,7 @@ use qagview_core::{
     fixed_order_phase, EvalMode, Evaluator, GreedyRule, MergeSpec, Params, Seeding, Solution,
     SolutionCluster, WorkingSet,
 };
-use qagview_lattice::{AnswerSet, CandId, CandidateIndex};
+use qagview_lattice::{AnswerSet, AnswersHandle, CandId, CandidateIndex};
 
 /// Precomputation configuration.
 #[derive(Debug, Clone, Copy)]
@@ -90,9 +90,14 @@ impl DPlane {
 
 /// Precomputed solutions for every `(k, D)` in the configured ranges at one
 /// fixed `L`.
+///
+/// Like [`qagview_core::Summarizer`], the answer relation is held through
+/// an [`AnswersHandle`]: built from `&AnswerSet` it borrows as before;
+/// built from `Arc<AnswerSet>` it is `'static` and can live inside the
+/// owned exploration engine's shared plane cache.
 #[derive(Debug)]
 pub struct Precomputed<'a> {
-    answers: &'a AnswerSet,
+    answers: AnswersHandle<'a>,
     index: CandidateIndex,
     cfg: PrecomputeConfig,
     planes: Vec<DPlane>,
@@ -100,64 +105,31 @@ pub struct Precomputed<'a> {
 
 impl<'a> Precomputed<'a> {
     /// Build the full plane set, constructing the candidate index
-    /// (initialization step) internally.
-    pub fn build(answers: &'a AnswerSet, l: usize, cfg: PrecomputeConfig) -> Result<Self> {
-        let index = CandidateIndex::build(answers, l)?;
+    /// (initialization step) internally. Accepts `&AnswerSet` or
+    /// `Arc<AnswerSet>`.
+    pub fn build(
+        answers: impl Into<AnswersHandle<'a>>,
+        l: usize,
+        cfg: PrecomputeConfig,
+    ) -> Result<Self> {
+        let answers = answers.into();
+        let index = CandidateIndex::build(&answers, l)?;
         Self::build_with_index(answers, index, cfg)
     }
 
     /// Build from a pre-constructed candidate index.
     pub fn build_with_index(
-        answers: &'a AnswerSet,
+        answers: impl Into<AnswersHandle<'a>>,
         index: CandidateIndex,
         cfg: PrecomputeConfig,
     ) -> Result<Self> {
-        if cfg.k_min == 0 || cfg.k_min > cfg.k_max {
-            return Err(QagError::param(format!(
-                "invalid k range [{}, {}]",
-                cfg.k_min, cfg.k_max
-            )));
-        }
-        if cfg.d_min > cfg.d_max || cfg.d_max > answers.arity() {
-            return Err(QagError::param(format!(
-                "invalid D range [{}, {}] for m={}",
-                cfg.d_min,
-                cfg.d_max,
-                answers.arity()
-            )));
-        }
-        // Shared Fixed-Order phase: distance-agnostic (D = 0), enlarged pool.
-        let params = Params::new(cfg.k_max, index.l(), 0);
-        params.validate(answers)?;
-        let pool = cfg.pool_factor.max(2) * cfg.k_max;
-        let w0 = fixed_order_phase(answers, &index, &params, pool, Seeding::None, cfg.eval)?;
-
-        let ds: Vec<usize> = (cfg.d_min..=cfg.d_max).collect();
-        let planes: Result<Vec<DPlane>> = if cfg.parallel && ds.len() > 1 {
-            std::thread::scope(|scope| {
-                let cfg = &cfg;
-                let handles: Vec<_> = ds
-                    .iter()
-                    .map(|&d| {
-                        let w = w0.clone();
-                        scope.spawn(move || build_plane(w, d, cfg))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("plane thread panicked"))
-                    .collect()
-            })
-        } else {
-            ds.iter()
-                .map(|&d| build_plane(w0.clone(), d, &cfg))
-                .collect()
-        };
+        let answers = answers.into();
+        let planes = build_planes(&answers, &index, &cfg)?;
         Ok(Precomputed {
             answers,
             index,
             cfg,
-            planes: planes?,
+            planes,
         })
     }
 
@@ -256,6 +228,55 @@ impl<'a> Precomputed<'a> {
     /// the §6.2 claim is `O(N_D)` trees instead of `O(N_k × N_D)` solutions).
     pub fn stored_intervals(&self) -> usize {
         self.planes.iter().map(|p| p.tree.len()).sum()
+    }
+}
+
+/// Validate the configured ranges, run the shared Fixed-Order phase, and
+/// replay one Bottom-Up descent per `D`.
+fn build_planes(
+    answers: &AnswerSet,
+    index: &CandidateIndex,
+    cfg: &PrecomputeConfig,
+) -> Result<Vec<DPlane>> {
+    if cfg.k_min == 0 || cfg.k_min > cfg.k_max {
+        return Err(QagError::param(format!(
+            "invalid k range [{}, {}]",
+            cfg.k_min, cfg.k_max
+        )));
+    }
+    if cfg.d_min > cfg.d_max || cfg.d_max > answers.arity() {
+        return Err(QagError::param(format!(
+            "invalid D range [{}, {}] for m={}",
+            cfg.d_min,
+            cfg.d_max,
+            answers.arity()
+        )));
+    }
+    // Shared Fixed-Order phase: distance-agnostic (D = 0), enlarged pool.
+    let params = Params::new(cfg.k_max, index.l(), 0);
+    params.validate(answers)?;
+    let pool = cfg.pool_factor.max(2) * cfg.k_max;
+    let w0 = fixed_order_phase(answers, index, &params, pool, Seeding::None, cfg.eval)?;
+
+    let ds: Vec<usize> = (cfg.d_min..=cfg.d_max).collect();
+    if cfg.parallel && ds.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ds
+                .iter()
+                .map(|&d| {
+                    let w = w0.clone();
+                    scope.spawn(move || build_plane(w, d, cfg))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("plane thread panicked"))
+                .collect()
+        })
+    } else {
+        ds.iter()
+            .map(|&d| build_plane(w0.clone(), d, cfg))
+            .collect()
     }
 }
 

@@ -5,14 +5,26 @@
 //! re-summarizes. A [`QuerySession`] makes that true at the query layer:
 //! it caches the finished group phase
 //! ([`qagview_query::GroupedResult`]) of every query it runs, keyed by
-//! the [`qagview_query::GroupSpec`] fingerprint, so a re-run that only
-//! changes the `HAVING` thresholds, `ORDER BY` direction, or `LIMIT` — a
-//! threshold-slider tick — is answered in `O(groups)` from the cache
-//! instead of rescanning the base table.
+//! the typed pair `(TableId, GroupSpec fingerprint)`, so a re-run that
+//! only changes the `HAVING` thresholds, `ORDER BY` direction, or `LIMIT`
+//! — a threshold-slider tick — is answered in `O(groups)` from the cache
+//! instead of rescanning the base table. The cache is a bounded LRU
+//! ([`crate::cache::LruCache`]), so a long-lived session over many
+//! distinct queries cannot grow without bound.
+//!
+//! `QuerySession` is the lightweight, borrow-based entry point for the
+//! query layer alone. The full end-to-end loop — query, summarize,
+//! precompute, drill — lives in the owned, thread-shareable
+//! [`crate::Explorer`].
 
-use qagview_common::{FxHashMap, Result};
+use crate::cache::LruCache;
+use qagview_common::Result;
 use qagview_query::{bind, group_aggregate_with, parse, GroupTable, GroupedResult, QueryOutput};
-use qagview_storage::Catalog;
+use qagview_storage::{Catalog, TableId};
+use std::sync::Arc;
+
+/// Default bound on the number of cached group phases.
+pub const DEFAULT_SESSION_CACHE_ENTRIES: usize = 64;
 
 /// An interactive query session over a catalog.
 ///
@@ -47,24 +59,27 @@ use qagview_storage::Catalog;
 pub struct QuerySession<'a> {
     catalog: &'a Catalog,
     /// Finished group phases keyed by `(table, GroupSpec fingerprint)`.
-    cache: FxHashMap<String, GroupedResult>,
+    cache: LruCache<(TableId, u64), Arc<GroupedResult>>,
     /// Reused across cache misses so the group hash table and key arena
     /// keep their allocations.
     scratch: GroupTable,
-    hits: usize,
-    misses: usize,
 }
 
 impl<'a> QuerySession<'a> {
-    /// Open a session over `catalog`. Tables are borrowed immutably for
-    /// the session's lifetime, so cached group phases can never go stale.
+    /// Open a session over `catalog` with the default cache bound. Tables
+    /// are borrowed immutably for the session's lifetime, so cached group
+    /// phases can never go stale.
     pub fn new(catalog: &'a Catalog) -> Self {
+        Self::with_cache_entries(catalog, DEFAULT_SESSION_CACHE_ENTRIES)
+    }
+
+    /// Open a session whose cache holds at most `entries` group phases
+    /// (least-recently-used phases are evicted beyond that).
+    pub fn with_cache_entries(catalog: &'a Catalog, entries: usize) -> Self {
         QuerySession {
             catalog,
-            cache: FxHashMap::default(),
+            cache: LruCache::new(entries),
             scratch: GroupTable::new(0),
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -75,30 +90,31 @@ impl<'a> QuerySession<'a> {
     /// [`qagview_query::run_query`]: only the cost changes.
     pub fn run(&mut self, sql: &str) -> Result<QueryOutput> {
         let stmt = parse(sql)?;
-        let table = self.catalog.require(&stmt.from)?;
-        let bound = bind(&stmt, table)?;
-        // `\u{1f}` (unit separator) cannot occur in an identifier, so the
-        // composite key is unambiguous.
-        let key = format!("{}\u{1f}{}", stmt.from, bound.group.fingerprint());
-        if let Some(grouped) = self.cache.get(&key) {
-            self.hits += 1;
+        let (table_id, table) = self.catalog.require_shared(&stmt.from)?;
+        let bound = bind(&stmt, &table)?;
+        let key = (table_id, bound.group.fingerprint());
+        if let Some(grouped) = self.cache.get_cloned(&key) {
             return grouped.apply(&bound.output);
         }
-        let grouped = group_aggregate_with(&bound.group, table, &mut self.scratch)?;
-        self.misses += 1;
+        let grouped = group_aggregate_with(&bound.group, &table, &mut self.scratch)?;
         let out = grouped.apply(&bound.output);
-        self.cache.insert(key, grouped);
+        self.cache.insert(key, Arc::new(grouped));
         out
     }
 
     /// How many queries were answered from a cached group phase.
     pub fn cache_hits(&self) -> usize {
-        self.hits
+        self.cache.stats().hits as usize
     }
 
     /// How many queries had to run their group phase cold.
     pub fn cache_misses(&self) -> usize {
-        self.misses
+        self.cache.stats().misses as usize
+    }
+
+    /// How many group phases were evicted to stay within the cache bound.
+    pub fn cache_evictions(&self) -> usize {
+        self.cache.stats().evictions as usize
     }
 
     /// Number of distinct group phases currently cached.
@@ -106,7 +122,7 @@ impl<'a> QuerySession<'a> {
         self.cache.len()
     }
 
-    /// Drop every cached group phase (e.g. to bound memory in a
+    /// Drop every cached group phase (e.g. to release memory in a
     /// long-running session).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
@@ -236,5 +252,27 @@ mod tests {
         assert_eq!(session.cached_group_phases(), 0);
         session.run(&sql).unwrap();
         assert_eq!(session.cache_misses(), 2, "cleared cache forces a cold run");
+    }
+
+    #[test]
+    fn cache_bound_evicts_least_recently_used_phase() {
+        let c = catalog();
+        let mut session = QuerySession::with_cache_entries(&c, 2);
+        let sql_a = "SELECT genre, AVG(rating) AS val FROM ratings GROUP BY genre";
+        let sql_b = "SELECT gender, AVG(rating) AS val FROM ratings GROUP BY gender";
+        let sql_c = "SELECT genre, gender, AVG(rating) AS val FROM ratings \
+                     GROUP BY genre, gender";
+        session.run(sql_a).unwrap();
+        session.run(sql_b).unwrap();
+        session.run(sql_a).unwrap(); // refresh A; B becomes LRU
+        session.run(sql_c).unwrap(); // evicts B
+        assert_eq!(session.cache_evictions(), 1);
+        assert_eq!(session.cached_group_phases(), 2);
+        session.run(sql_a).unwrap();
+        assert_eq!(session.cache_hits(), 2, "A survived the eviction");
+        session.run(sql_b).unwrap();
+        assert_eq!(session.cache_misses(), 4, "B was evicted and re-ran cold");
+        // Outputs stay correct throughout.
+        assert_eq!(session.run(sql_b).unwrap(), run_query(&c, sql_b).unwrap());
     }
 }

@@ -7,14 +7,17 @@
 //! by descending value with a deterministic tie-break.
 
 use crate::pattern::Pattern;
-use qagview_common::{FxHashMap, QagError, Result};
+use qagview_common::{FxHashMap, FxHashSet, FxHasher, QagError, Result};
+use std::hash::Hasher as _;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Dense identifier of an original answer tuple; equals its 0-based rank
 /// (tuple 0 is the highest-valued answer).
 pub type TupleId = u32;
 
 /// The answer relation: `n` scored tuples over `m` categorical attributes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnswerSet {
     attr_names: Vec<String>,
     /// Per-attribute active domain, display text per dense code.
@@ -123,6 +126,162 @@ impl AnswerSet {
         }
         (ids, sum)
     }
+
+    /// Assemble an answer set from pre-encoded rows: per-attribute display
+    /// domains plus `(codes, val)` tuples. This is the allocation-lean path
+    /// used by the query layer to convert a cached group phase straight
+    /// into an answer relation without re-interning display strings; it
+    /// applies the exact same ordering, uniqueness, and NaN rules as
+    /// [`AnswerSetBuilder::finish`], so both construction paths are
+    /// byte-identical for the same logical input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QagError::SchemaMismatch`] on an arity mismatch, a code
+    /// outside its domain, a NaN score, or a duplicate group-by tuple.
+    pub fn from_rows(
+        attr_names: Vec<String>,
+        domains: Vec<Vec<String>>,
+        mut rows: Vec<(Vec<u32>, f64)>,
+    ) -> Result<AnswerSet> {
+        let m = attr_names.len();
+        if domains.len() != m {
+            return Err(QagError::SchemaMismatch(format!(
+                "{} domains for {m} attributes",
+                domains.len()
+            )));
+        }
+        for (codes, val) in &rows {
+            if codes.len() != m {
+                return Err(QagError::SchemaMismatch(format!(
+                    "answer tuple arity {} != {m}",
+                    codes.len()
+                )));
+            }
+            for (i, &c) in codes.iter().enumerate() {
+                if c as usize >= domains[i].len() {
+                    return Err(QagError::SchemaMismatch(format!(
+                        "code {c} outside attribute {i}'s domain of {}",
+                        domains[i].len()
+                    )));
+                }
+            }
+            if val.is_nan() {
+                return Err(QagError::SchemaMismatch(
+                    "NaN aggregate score cannot be ranked".to_string(),
+                ));
+            }
+        }
+        // Uniqueness must be checked against *all* rows, not just
+        // value-sort neighbors: two rows with equal codes but different
+        // scores sort apart, so an adjacency check would miss them.
+        {
+            let mut seen: FxHashSet<&[u32]> = FxHashSet::default();
+            for (codes, _) in &rows {
+                if !seen.insert(codes.as_slice()) {
+                    return Err(QagError::SchemaMismatch(format!(
+                        "duplicate group-by tuple {codes:?}: the answer relation must come from \
+                         GROUP BY"
+                    )));
+                }
+            }
+        }
+        rows.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("NaN scores rejected above")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut codes = Vec::with_capacity(rows.len() * m);
+        let mut vals = Vec::with_capacity(rows.len());
+        for (c, v) in rows {
+            codes.extend_from_slice(&c);
+            vals.push(v);
+        }
+        Ok(AnswerSet {
+            attr_names,
+            domains,
+            codes,
+            vals,
+            m,
+        })
+    }
+
+    /// A deterministic content fingerprint: two answer sets with equal
+    /// fingerprints are (collisions aside) byte-identical — same attribute
+    /// names, domains, codes, and score bits — so every summarization
+    /// artifact derived from them (candidate index, solutions, guidance
+    /// plot) is identical too. The interactive engine keys its summarizer
+    /// and precompute caches by this value, which is what lets a `HAVING`
+    /// tick that happens not to change the answer relation reuse a whole
+    /// precomputed parameter plane.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(self.m);
+        h.write_usize(self.vals.len());
+        for name in &self.attr_names {
+            h.write_usize(name.len());
+            h.write(name.as_bytes());
+        }
+        for domain in &self.domains {
+            h.write_usize(domain.len());
+            for text in domain {
+                h.write_usize(text.len());
+                h.write(text.as_bytes());
+            }
+        }
+        for &c in &self.codes {
+            h.write_u32(c);
+        }
+        for &v in &self.vals {
+            h.write_u64(v.to_bits());
+        }
+        h.finish()
+    }
+}
+
+/// Borrowed-or-shared access to an [`AnswerSet`].
+///
+/// The summarization stack historically borrowed the answer relation
+/// (`Summarizer<'a>`, `Precomputed<'a>`), which ties every derived cache to
+/// the borrow's lifetime. The owned exploration engine instead shares the
+/// relation behind an [`Arc`]. This handle unifies both: APIs accept
+/// `impl Into<AnswersHandle<'a>>`, so `&AnswerSet` keeps working verbatim
+/// while `Arc<AnswerSet>` produces a `'static`, thread-shareable value.
+#[derive(Debug, Clone)]
+pub enum AnswersHandle<'a> {
+    /// Borrowed for `'a` — the classic lifetime-bound path.
+    Borrowed(&'a AnswerSet),
+    /// Shared ownership — the handle itself can be `'static`.
+    Shared(Arc<AnswerSet>),
+}
+
+impl Deref for AnswersHandle<'_> {
+    type Target = AnswerSet;
+
+    fn deref(&self) -> &AnswerSet {
+        match self {
+            AnswersHandle::Borrowed(a) => a,
+            AnswersHandle::Shared(a) => a,
+        }
+    }
+}
+
+impl AsRef<AnswerSet> for AnswersHandle<'_> {
+    fn as_ref(&self) -> &AnswerSet {
+        self
+    }
+}
+
+impl<'a> From<&'a AnswerSet> for AnswersHandle<'a> {
+    fn from(a: &'a AnswerSet) -> Self {
+        AnswersHandle::Borrowed(a)
+    }
+}
+
+impl From<Arc<AnswerSet>> for AnswersHandle<'_> {
+    fn from(a: Arc<AnswerSet>) -> Self {
+        AnswersHandle::Shared(a)
+    }
 }
 
 /// Builder that accepts display-valued rows and produces a rank-sorted,
@@ -183,35 +342,10 @@ impl AnswerSetBuilder {
     /// # Errors
     ///
     /// Returns [`QagError::SchemaMismatch`] if two tuples share identical
-    /// attribute values — impossible for a well-formed `GROUP BY` output.
-    pub fn finish(mut self) -> Result<AnswerSet> {
-        self.rows.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("aggregate scores must not be NaN")
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        for w in self.rows.windows(2) {
-            if w[0].0 == w[1].0 {
-                return Err(QagError::SchemaMismatch(format!(
-                    "duplicate group-by tuple {:?}: the answer relation must come from GROUP BY",
-                    w[0].0
-                )));
-            }
-        }
-        let m = self.attr_names.len();
-        let mut codes = Vec::with_capacity(self.rows.len() * m);
-        let mut vals = Vec::with_capacity(self.rows.len());
-        for (c, v) in self.rows {
-            codes.extend_from_slice(&c);
-            vals.push(v);
-        }
-        Ok(AnswerSet {
-            attr_names: self.attr_names,
-            domains: self.domains,
-            codes,
-            vals,
-            m,
-        })
+    /// attribute values — impossible for a well-formed `GROUP BY` output —
+    /// or if any score is NaN (unrankable).
+    pub fn finish(self) -> Result<AnswerSet> {
+        AnswerSet::from_rows(self.attr_names, self.domains, self.rows)
     }
 }
 
@@ -321,5 +455,102 @@ mod tests {
         let s = AnswerSetBuilder::new(vec!["a".into()]).finish().unwrap();
         assert!(s.is_empty());
         assert_eq!(s.mean_val(), 0.0);
+    }
+
+    #[test]
+    fn from_rows_matches_builder_byte_for_byte() {
+        let built = movie_sample();
+        let rebuilt = AnswerSet::from_rows(
+            built.attr_names.clone(),
+            built.domains.clone(),
+            built
+                .iter()
+                .map(|(_, codes, v)| (codes.to_vec(), v))
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(built, rebuilt);
+        assert_eq!(built.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn from_rows_validates_input() {
+        let names = vec!["a".into()];
+        let domains = vec![vec!["x".into()]];
+        // Arity mismatch.
+        assert!(
+            AnswerSet::from_rows(names.clone(), domains.clone(), vec![(vec![0, 0], 1.0)]).is_err()
+        );
+        // Code outside the domain.
+        assert!(
+            AnswerSet::from_rows(names.clone(), domains.clone(), vec![(vec![7], 1.0)]).is_err()
+        );
+        // NaN score.
+        assert!(
+            AnswerSet::from_rows(names.clone(), domains.clone(), vec![(vec![0], f64::NAN)])
+                .is_err()
+        );
+        // Duplicate tuple.
+        assert!(
+            AnswerSet::from_rows(names, domains, vec![(vec![0], 1.0), (vec![0], 2.0)]).is_err()
+        );
+    }
+
+    #[test]
+    fn duplicate_tuples_detected_even_when_not_value_adjacent() {
+        // Regression: the rows sort by value, so equal-code rows separated
+        // by a third row are not neighbors — uniqueness must still fail.
+        let err = AnswerSet::from_rows(
+            vec!["a".into()],
+            vec![vec!["x".into(), "y".into()]],
+            vec![(vec![0], 3.0), (vec![1], 2.0), (vec![0], 1.0)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // Same through the builder.
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["x"], 3.0).unwrap();
+        b.push(&["y"], 2.0).unwrap();
+        b.push(&["x"], 1.0).unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn nan_scores_error_instead_of_panicking() {
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["x"], f64::NAN).unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_content_but_not_derivation() {
+        let s = movie_sample();
+        assert_eq!(s.fingerprint(), s.clone().fingerprint());
+        // A changed score changes the fingerprint.
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["x"], 1.0).unwrap();
+        let one = b.finish().unwrap();
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["x"], 2.0).unwrap();
+        let two = b.finish().unwrap();
+        assert_ne!(one.fingerprint(), two.fingerprint());
+        // -0.0 and +0.0 differ at the byte level, so they must differ here.
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["x"], 0.0).unwrap();
+        let pos = b.finish().unwrap();
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["x"], -0.0).unwrap();
+        let neg = b.finish().unwrap();
+        assert_ne!(pos.fingerprint(), neg.fingerprint());
+    }
+
+    #[test]
+    fn handle_derefs_from_both_ownership_modes() {
+        let s = movie_sample();
+        let borrowed: AnswersHandle<'_> = (&s).into();
+        assert_eq!(borrowed.len(), 5);
+        let shared: AnswersHandle<'static> = Arc::new(s.clone()).into();
+        assert_eq!(shared.len(), 5);
+        assert_eq!(borrowed.fingerprint(), shared.fingerprint());
     }
 }

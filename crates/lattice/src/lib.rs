@@ -26,7 +26,7 @@ pub mod candidates;
 pub mod pattern;
 pub mod semilattice;
 
-pub use answers::{AnswerSet, AnswerSetBuilder, TupleId};
+pub use answers::{AnswerSet, AnswerSetBuilder, AnswersHandle, TupleId};
 pub use candidates::{CandId, CandidateIndex, CandidateInfo};
 pub use pattern::{Pattern, STAR};
 pub use semilattice::{is_antichain, min_pairwise_distance};

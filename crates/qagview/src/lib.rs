@@ -4,13 +4,22 @@
 //! A from-scratch Rust implementation of Wen, Zhu, Roy & Yang,
 //! *"Interactive Summarization and Exploration of Top Aggregate Query
 //! Answers"* (arXiv 1807.11634; demo: QagView, SIGMOD 2018). The facade
-//! re-exports the workspace crates and provides the end-to-end glue from a
-//! SQL query to an answer relation ready for summarization.
+//! re-exports the workspace crates and the end-to-end entry points.
 //!
-//! # End-to-end example
+//! The primary API is the owned, command-driven exploration engine:
+//! [`Explorer`](interactive::Explorer) owns a shared catalog plus every
+//! cache layer of the paper's §6 interactive loop, and an
+//! [`ExploreSession`](interactive::ExploreSession) advances the state
+//! `(sql, k, L, D, threshold, drill)` one typed command at a time. Each
+//! command returns the refreshed summary, the Fig. 2 guidance plot, a
+//! band-diagram transition from the previous summary, and cache
+//! provenance saying which layer answered.
+//!
+//! # The interactive loop, end to end
 //!
 //! ```
 //! use qagview::prelude::*;
+//! use std::sync::Arc;
 //!
 //! // 1. A tiny ratings relation.
 //! let schema = Schema::from_pairs(&[
@@ -29,17 +38,28 @@
 //! let mut catalog = Catalog::new();
 //! catalog.register("ratings", b.finish());
 //!
-//! // 2. The paper-shaped aggregate query.
-//! let output = run_query(&catalog,
-//!     "SELECT genre, who, AVG(rating) AS val FROM ratings \
-//!      GROUP BY genre, who ORDER BY val DESC").unwrap();
+//! // 2. An owned, Send + Sync engine; sessions share its caches.
+//! let engine = Arc::new(Explorer::new(catalog));
+//! let mut session = ExploreSession::new(Arc::clone(&engine));
 //!
-//! // 3. Summarize the top answers.
-//! let answers = answers_from_query(&output).unwrap();
-//! let summarizer = Summarizer::new(&answers, 2).unwrap();
-//! let solution = summarizer.hybrid(1, 0).unwrap();
-//! assert_eq!(answers.pattern_to_string(&solution.clusters[0].pattern),
-//!            "(adventure, *)");
+//! // 3. The paper-shaped aggregate query opens the loop.
+//! let r = session.apply(ExploreCommand::SetQuery(
+//!     "SELECT genre, who, AVG(rating) AS val FROM ratings \
+//!      GROUP BY genre, who HAVING count(*) > 0 ORDER BY val DESC".into(),
+//! )).unwrap();
+//! assert_eq!(r.summary.clusters[0].label, "(adventure, *)");
+//!
+//! // 4. A HAVING slider tick: the group phase is reused, and because the
+//! //    answer relation happens not to change, so is the whole plane.
+//! let r = session.apply(ExploreCommand::SetThreshold(0.5)).unwrap();
+//! assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
+//! assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+//!
+//! // 5. A k knob move: answered by a plane lookup, with a transition
+//! //    diagram back to the previous summary.
+//! let r = session.apply(ExploreCommand::SetK(1)).unwrap();
+//! assert_eq!(r.summary.clusters[0].label, "(*, *)");
+//! assert!(r.transition.is_some());
 //! ```
 
 #![warn(missing_docs)]
@@ -63,6 +83,13 @@ use qagview_query::QueryOutput;
 
 /// Convert an executed query's output into the answer relation consumed by
 /// the summarization algorithms.
+///
+/// This is the legacy free-function path, kept as the readable reference
+/// (and differential oracle) for the conversion: it renders every group to
+/// display strings and re-interns them. The engine path —
+/// [`GroupedResult::apply_answers`](qagview_query::GroupedResult::apply_answers),
+/// which `Explorer` uses — skips that round trip and is byte-identical
+/// (see `crates/query/tests/answers_direct.rs`).
 pub fn answers_from_query(output: &QueryOutput) -> Result<AnswerSet> {
     let mut builder = AnswerSetBuilder::new(output.attr_names.clone());
     for row in &output.rows {
@@ -76,10 +103,16 @@ pub fn answers_from_query(output: &QueryOutput) -> Result<AnswerSet> {
 pub mod prelude {
     pub use crate::answers_from_query;
     pub use qagview_core::{BottomUpOptions, EvalMode, Params, Seeding, Solution, Summarizer};
-    pub use qagview_interactive::{GuidancePlot, PrecomputeConfig, Precomputed, QuerySession};
-    pub use qagview_lattice::{AnswerSet, AnswerSetBuilder, CandidateIndex, Pattern, STAR};
+    pub use qagview_interactive::{
+        CacheOutcome, CacheProvenance, ClusterView, ExploreCommand, ExploreResponse,
+        ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats, GuidancePlot,
+        PrecomputeConfig, Precomputed, QuerySession, SummaryView,
+    };
+    pub use qagview_lattice::{
+        AnswerSet, AnswerSetBuilder, AnswersHandle, CandidateIndex, Pattern, STAR,
+    };
     pub use qagview_query::run_query;
-    pub use qagview_storage::{Catalog, Cell, ColumnType, Schema, Table, TableBuilder};
+    pub use qagview_storage::{Catalog, Cell, ColumnType, Schema, Table, TableBuilder, TableId};
     pub use qagview_viz::{optimal_placement, render_transition, Placement, Transition};
 }
 

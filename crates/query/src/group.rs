@@ -14,6 +14,7 @@ use crate::ast::{AggFunc, CmpOp, OrderDir};
 use crate::exec::{QueryOutput, QueryRow};
 use crate::plan::{BoundAgg, OutputSpec};
 use qagview_common::{FxHashMap, QagError, Result, Symbol};
+use qagview_lattice::AnswerSet;
 use qagview_storage::{Column, Table};
 use std::cmp::Ordering;
 
@@ -41,7 +42,7 @@ pub(crate) fn fold_hash(h: u64, lane: u64) -> u64 {
 /// Final high-bit fold so the low bits used for slot indexing depend on
 /// every lane.
 #[inline]
-fn finish_hash(h: u64) -> u64 {
+pub(crate) fn finish_hash(h: u64) -> u64 {
     h ^ (h >> 32)
 }
 
@@ -435,11 +436,11 @@ impl GroupedResult {
         self.finished.len()
     }
 
-    /// Derive the answer relation for one output spec in `O(groups)`:
-    /// evaluate `HAVING` over every group, then walk the precomputed
-    /// permutation (or insertion order), stopping the expensive rendering
-    /// walk at `LIMIT`.
-    pub fn apply(&self, spec: &OutputSpec) -> Result<QueryOutput> {
+    /// Evaluate every `HAVING` conjunct for every group — conjuncts
+    /// short-circuit per group exactly like the reference engine, so a
+    /// NaN aggregate reached by the conjunct chain errors here even when
+    /// `LIMIT` would have cut the output walk short of that group.
+    fn having_passes(&self, spec: &OutputSpec) -> Result<Vec<bool>> {
         for h in &spec.having {
             if h.agg_idx >= self.finished.len() {
                 return Err(QagError::internal(format!(
@@ -449,10 +450,6 @@ impl GroupedResult {
                 )));
             }
         }
-        // HAVING is evaluated for all groups up front — conjuncts
-        // short-circuit per group exactly like the reference engine, so a
-        // NaN aggregate reached by the conjunct chain errors here even
-        // when LIMIT would have cut the walk short of that group.
         let mut passes = vec![true; self.num_groups];
         'group: for (gid, pass) in passes.iter_mut().enumerate() {
             for h in &spec.having {
@@ -466,6 +463,15 @@ impl GroupedResult {
                 }
             }
         }
+        Ok(passes)
+    }
+
+    /// Derive the answer relation for one output spec in `O(groups)`:
+    /// evaluate `HAVING` over every group, then walk the precomputed
+    /// permutation (or insertion order), stopping the expensive rendering
+    /// walk at `LIMIT`.
+    pub fn apply(&self, spec: &OutputSpec) -> Result<QueryOutput> {
+        let passes = self.having_passes(spec)?;
         let mut rows = Vec::new();
         match spec.order {
             None => self.emit_rows(spec, 0..self.num_groups, &passes, &mut rows),
@@ -487,6 +493,58 @@ impl GroupedResult {
             val_name: spec.agg_alias.clone(),
             rows,
         })
+    }
+
+    /// Derive the answer relation for one output spec directly as a
+    /// dense-coded [`AnswerSet`], skipping the display-string round trip of
+    /// [`GroupedResult::apply`] + re-interning: group attributes are
+    /// re-coded straight from the interned pool codes, and each pool string
+    /// is cloned at most once (when it first enters a domain) instead of
+    /// once per row.
+    ///
+    /// Byte-for-byte identical to feeding [`GroupedResult::apply`]'s rows
+    /// through `qagview_lattice::AnswerSetBuilder`: domain codes are
+    /// assigned in the same first-occurrence-in-output order, and the final
+    /// ordering/uniqueness rules are shared via [`AnswerSet::from_rows`].
+    pub fn apply_answers(&self, spec: &OutputSpec) -> Result<AnswerSet> {
+        let passes = self.having_passes(spec)?;
+        let limit = spec.limit.unwrap_or(usize::MAX);
+        let picked: Vec<usize> = match spec.order {
+            None => collect_passing(0..self.num_groups, &passes, limit),
+            Some(OrderDir::Asc) => {
+                collect_passing(self.order_asc.iter().map(|&g| g as usize), &passes, limit)
+            }
+            Some(OrderDir::Desc) => {
+                collect_passing(self.order_desc.iter().map(|&g| g as usize), &passes, limit)
+            }
+        };
+        // Re-code each lane's pool indices densely in first-occurrence
+        // order over the emitted groups — the same order in which the
+        // string path would have interned the rendered values.
+        let mut domains: Vec<Vec<String>> = vec![Vec::new(); self.width];
+        let mut remap: Vec<Vec<u32>> = self
+            .attr_pool
+            .iter()
+            .map(|pool| vec![u32::MAX; pool.len()])
+            .collect();
+        let vals: &[f64] = self.finished.first().map_or(&[], |v| v.as_slice());
+        let mut rows: Vec<(Vec<u32>, f64)> = Vec::with_capacity(picked.len());
+        for &gid in &picked {
+            let mut codes = Vec::with_capacity(self.width);
+            for (j, &pool_code) in self.attr_codes[gid * self.width..(gid + 1) * self.width]
+                .iter()
+                .enumerate()
+            {
+                let slot = &mut remap[j][pool_code as usize];
+                if *slot == u32::MAX {
+                    *slot = domains[j].len() as u32;
+                    domains[j].push(self.attr_pool[j][pool_code as usize].clone());
+                }
+                codes.push(*slot);
+            }
+            rows.push((codes, if vals.is_empty() { 0.0 } else { vals[gid] }));
+        }
+        AnswerSet::from_rows(self.attr_names.clone(), domains, rows)
     }
 
     /// Walk `gids` in order, rendering the groups that passed `HAVING`,
@@ -517,6 +575,21 @@ impl GroupedResult {
             });
         }
     }
+}
+
+/// Walk `gids` in order, collecting the groups that passed `HAVING` until
+/// the limit is reached.
+fn collect_passing(gids: impl Iterator<Item = usize>, passes: &[bool], limit: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for gid in gids {
+        if out.len() >= limit {
+            break;
+        }
+        if passes[gid] {
+            out.push(gid);
+        }
+    }
+    out
 }
 
 /// Render one encoded group-key lane back to display text, matching the

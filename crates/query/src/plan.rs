@@ -1,6 +1,7 @@
 //! Name and type binding: AST → executable plan against a concrete table.
 
 use crate::ast::*;
+use crate::group::{finish_hash, fold_hash};
 use qagview_common::{QagError, Result, Value};
 use qagview_storage::{ColumnType, Table};
 
@@ -56,23 +57,44 @@ pub struct GroupSpec {
 }
 
 impl GroupSpec {
-    /// A deterministic key identifying this group phase, used to cache and
-    /// reuse grouped results across queries within a session. Two specs
-    /// with the same fingerprint (against the same table) group and
-    /// aggregate identically, whatever their `HAVING`/`ORDER BY`/`LIMIT`.
-    pub fn fingerprint(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = write!(s, "cols:{:?};aggs:[", self.group_cols);
+    /// A deterministic typed key identifying this group phase, used to
+    /// cache and reuse grouped results across queries. Two specs with the
+    /// same fingerprint (against the same table) group and aggregate
+    /// identically, whatever their `HAVING`/`ORDER BY`/`LIMIT`. Cache keys
+    /// pair it with a [`qagview_storage::TableId`], so the composite key is
+    /// a plain `(TableId, u64)` instead of a concatenated string.
+    ///
+    /// The fingerprint folds every bound field (column indices, aggregate
+    /// functions, predicate operators and literal bits) through the same
+    /// FxHash-style mix the group table uses; a collision between two
+    /// *distinct* specs run against the same table within one cache's
+    /// lifetime is a 2⁻⁶⁴-scale event and is accepted.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fold_hash(0, self.group_cols.len() as u64);
+        for &c in &self.group_cols {
+            h = fold_hash(h, c as u64);
+        }
+        h = fold_hash(h, self.aggs.len() as u64);
         for a in &self.aggs {
-            let _ = write!(s, "{:?}({:?}),", a.func, a.col);
+            h = fold_hash(h, a.func as u64);
+            h = fold_hash(h, a.col.map_or(u64::MAX, |c| c as u64));
         }
-        let _ = write!(s, "];preds:[");
+        h = fold_hash(h, self.predicates.len() as u64);
         for p in &self.predicates {
-            let _ = write!(s, "{}{:?}{:?},", p.col, p.op, p.value);
+            h = fold_hash(h, p.col as u64);
+            h = fold_hash(h, p.op as u64);
+            let (tag, payload) = match &p.value {
+                None => (0u64, 0u64),
+                Some(Value::Int(x)) => (1, *x as u64),
+                Some(Value::Float(x)) => (2, x.to_bits()),
+                Some(Value::Str(s)) => (3, u64::from(s.0)),
+                Some(Value::Bool(b)) => (4, u64::from(*b)),
+                Some(Value::Null) => (5, 0),
+            };
+            h = fold_hash(h, tag);
+            h = fold_hash(h, payload);
         }
-        s.push(']');
-        s
+        finish_hash(h)
     }
 }
 
@@ -88,6 +110,33 @@ pub struct OutputSpec {
     pub order: Option<OrderDir>,
     /// Row limit.
     pub limit: Option<usize>,
+}
+
+impl OutputSpec {
+    /// A deterministic typed key identifying the *answer relation* this
+    /// spec derives from a given group phase: `HAVING` thresholds, sort
+    /// direction, and `LIMIT` all select and order the emitted groups (and
+    /// therefore the dense re-encoding of the answer set), so they all
+    /// participate. The aggregate alias only names the score column and is
+    /// deliberately excluded.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fold_hash(0, self.having.len() as u64);
+        for hv in &self.having {
+            h = fold_hash(h, hv.agg_idx as u64);
+            h = fold_hash(h, hv.op as u64);
+            h = fold_hash(h, hv.value.to_bits());
+        }
+        h = fold_hash(
+            h,
+            match self.order {
+                None => 0,
+                Some(OrderDir::Asc) => 1,
+                Some(OrderDir::Desc) => 2,
+            },
+        );
+        h = fold_hash(h, self.limit.map_or(u64::MAX, |l| l as u64));
+        finish_hash(h)
+    }
 }
 
 /// A fully bound query, ready for execution: the expensive group phase and

@@ -1,0 +1,106 @@
+//! `GroupedResult::apply_answers` must be byte-identical to the legacy
+//! path that renders `QueryOutput` rows to display strings and re-interns
+//! them through `AnswerSetBuilder`.
+
+use qagview_lattice::{AnswerSet, AnswerSetBuilder};
+use qagview_query::{bind, group_aggregate, parse, QueryOutput};
+use qagview_storage::{Cell, ColumnType, Schema, Table, TableBuilder};
+
+/// The old conversion: exactly what `qagview::answers_from_query` does.
+fn answers_via_strings(output: &QueryOutput) -> AnswerSet {
+    let mut builder = AnswerSetBuilder::new(output.attr_names.clone());
+    for row in &output.rows {
+        let refs: Vec<&str> = row.attrs.iter().map(|s| s.as_str()).collect();
+        builder.push(&refs, row.val).unwrap();
+    }
+    builder.finish().unwrap()
+}
+
+fn ratings() -> Table {
+    let schema = Schema::from_pairs(&[
+        ("gender", ColumnType::Str),
+        ("occ", ColumnType::Str),
+        ("hdec", ColumnType::Int),
+        ("adventure", ColumnType::Bool),
+        ("rating", ColumnType::Float),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    let rows: &[(&str, &str, i64, bool, f64)] = &[
+        ("M", "Student", 1975, true, 5.0),
+        ("M", "Student", 1975, true, 4.0),
+        ("M", "Student", 1980, false, 1.0),
+        ("M", "Programmer", 1980, true, 4.0),
+        ("F", "Student", 1975, true, 3.0),
+        ("F", "Student", 1980, true, 2.0),
+        ("F", "Educator", -5, true, 5.0),
+        ("F", "Educator", -5, false, 5.0),
+    ];
+    for &(g, o, h, a, r) in rows {
+        b.push_row(vec![
+            g.into(),
+            o.into(),
+            Cell::Int(h),
+            a.into(),
+            Cell::Float(r),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+#[test]
+fn direct_answers_match_the_string_round_trip() {
+    let t = ratings();
+    // Ties, every order direction, limits mid-tie, HAVING variants, int and
+    // bool group keys — everything that shapes interning order.
+    let queries = [
+        "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ ORDER BY val DESC",
+        "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ ORDER BY val ASC",
+        "SELECT gender, occ, AVG(rating) AS val FROM r GROUP BY gender, occ",
+        "SELECT gender, occ, MAX(rating) AS val FROM r GROUP BY gender, occ ORDER BY val DESC",
+        "SELECT gender, occ, MAX(rating) AS val FROM r GROUP BY gender, occ \
+         ORDER BY val DESC LIMIT 2",
+        "SELECT gender, occ, MAX(rating) AS val FROM r GROUP BY gender, occ \
+         ORDER BY val ASC LIMIT 3",
+        "SELECT hdec, adventure, AVG(rating) AS val FROM r GROUP BY hdec, adventure \
+         ORDER BY val DESC",
+        "SELECT gender, occ, AVG(rating) AS val FROM r WHERE adventure = 1 \
+         GROUP BY gender, occ HAVING count(*) > 1 ORDER BY val DESC",
+        "SELECT gender, occ, COUNT(*) AS val FROM r GROUP BY gender, occ \
+         HAVING avg(rating) >= 3 AND count(*) > 0 ORDER BY val DESC",
+        "SELECT gender, AVG(rating) AS val FROM r WHERE rating > 100 GROUP BY gender \
+         ORDER BY val DESC",
+    ];
+    for sql in queries {
+        let bound = bind(&parse(sql).unwrap(), &t).unwrap();
+        let grouped = group_aggregate(&bound.group, &t).unwrap();
+        let direct = grouped.apply_answers(&bound.output).unwrap();
+        let via_strings = answers_via_strings(&grouped.apply(&bound.output).unwrap());
+        assert_eq!(direct, via_strings, "{sql}");
+        assert_eq!(direct.fingerprint(), via_strings.fingerprint(), "{sql}");
+        // Scores must match at the bit level, not merely under `==`.
+        assert!(
+            direct
+                .vals()
+                .iter()
+                .zip(via_strings.vals())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "score bits diverge for {sql}"
+        );
+    }
+}
+
+#[test]
+fn direct_answers_error_on_nan_scores() {
+    let schema = Schema::from_pairs(&[("g", ColumnType::Int), ("x", ColumnType::Float)]).unwrap();
+    let mut b = TableBuilder::new(schema);
+    b.push_row(vec![Cell::Int(1), Cell::Float(f64::NAN)])
+        .unwrap();
+    let t = b.finish();
+    let sql = "SELECT g, AVG(x) AS val FROM t GROUP BY g ORDER BY val DESC";
+    let bound = bind(&parse(sql).unwrap(), &t).unwrap();
+    let grouped = group_aggregate(&bound.group, &t).unwrap();
+    let err = grouped.apply_answers(&bound.output).unwrap_err();
+    assert!(err.to_string().contains("NaN"), "{err}");
+}

@@ -2,12 +2,28 @@
 
 use crate::table::Table;
 use qagview_common::{FxHashMap, QagError, Result};
+use std::sync::Arc;
+
+/// Stable identity of one registered table.
+///
+/// Every [`Catalog::register`] call mints a fresh id — including when a
+/// name is re-registered — so an id never aliases two different contents.
+/// Caches keyed by `(TableId, …)` therefore stay trivially correct across
+/// catalog updates: entries for a replaced table simply become unreachable
+/// instead of serving stale data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u64);
 
 /// The query engine's `FROM`-clause resolver: a case-insensitive mapping
-/// from table names to tables.
+/// from table names to shared, immutable tables.
+///
+/// Tables are handed out as [`Arc<Table>`], so a long-lived engine (or a
+/// serving thread) can keep a table alive independently of later catalog
+/// mutations.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: FxHashMap<String, Table>,
+    tables: FxHashMap<String, (TableId, Arc<Table>)>,
+    next_id: u64,
 }
 
 impl Catalog {
@@ -17,19 +33,55 @@ impl Catalog {
     }
 
     /// Register `table` under `name` (case-insensitive). Replaces any
-    /// existing table of the same name and returns it.
-    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Option<Table> {
-        self.tables.insert(name.into().to_ascii_lowercase(), table)
+    /// existing table of the same name and returns it. The new entry gets
+    /// a fresh [`TableId`] even when replacing.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Option<Arc<Table>> {
+        self.register_shared(name, Arc::new(table))
+    }
+
+    /// [`Catalog::register`] for a table that is already shared.
+    pub fn register_shared(
+        &mut self,
+        name: impl Into<String>,
+        table: Arc<Table>,
+    ) -> Option<Arc<Table>> {
+        let id = TableId(self.next_id);
+        self.next_id += 1;
+        self.tables
+            .insert(name.into().to_ascii_lowercase(), (id, table))
+            .map(|(_, t)| t)
     }
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&name.to_ascii_lowercase())
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|(_, t)| &**t)
+    }
+
+    /// Look up a table together with its stable id, sharing ownership.
+    pub fn get_shared(&self, name: &str) -> Option<(TableId, Arc<Table>)> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|(id, t)| (*id, Arc::clone(t)))
+    }
+
+    /// The stable id of a registered table, if any.
+    pub fn id_of(&self, name: &str) -> Option<TableId> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .map(|(id, _)| *id)
     }
 
     /// Look up a table, or produce a binding error naming it.
     pub fn require(&self, name: &str) -> Result<&Table> {
         self.get(name)
+            .ok_or_else(|| QagError::Binding(format!("unknown table `{name}`")))
+    }
+
+    /// [`Catalog::get_shared`], or a binding error naming the table.
+    pub fn require_shared(&self, name: &str) -> Result<(TableId, Arc<Table>)> {
+        self.get_shared(name)
             .ok_or_else(|| QagError::Binding(format!("unknown table `{name}`")))
     }
 
@@ -86,5 +138,32 @@ mod tests {
         c.register("alpha", tiny_table());
         assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn ids_are_stable_and_never_reused() {
+        let mut c = Catalog::new();
+        c.register("a", tiny_table());
+        c.register("b", tiny_table());
+        let a = c.id_of("a").unwrap();
+        let b = c.id_of("B").unwrap();
+        assert_ne!(a, b);
+        // Replacing a name mints a fresh id; the old one never comes back.
+        c.register("A", tiny_table());
+        let a2 = c.id_of("a").unwrap();
+        assert_ne!(a, a2);
+        assert_ne!(b, a2);
+        assert_eq!(c.id_of("b"), Some(b), "unrelated entries keep their id");
+    }
+
+    #[test]
+    fn shared_lookup_outlives_replacement() {
+        let mut c = Catalog::new();
+        c.register("t", tiny_table());
+        let (id, table) = c.require_shared("t").unwrap();
+        c.register("t", tiny_table());
+        // The old Arc is still alive and its id no longer resolves.
+        assert_eq!(table.num_rows(), 0);
+        assert_ne!(c.id_of("t"), Some(id));
     }
 }

@@ -57,6 +57,16 @@ pub fn render_transition(t: &Transition, placement: &Placement) -> String {
     out
 }
 
+impl Transition {
+    /// Render this transition with the band-distance-optimal placement
+    /// (Def. A.3) already solved — the one-call path for session consumers
+    /// showing consecutive summaries.
+    pub fn render_optimal(&self) -> String {
+        let (placement, _) = crate::layout::optimal_placement(self);
+        render_transition(self, &placement)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +92,14 @@ mod tests {
         assert!(text.contains("(*, *)"));
         assert!(text.contains("==(4)==>"));
         assert!(text.contains("==(3)==>"));
+    }
+
+    #[test]
+    fn render_optimal_solves_placement_itself() {
+        let t = transition();
+        let direct = t.render_optimal();
+        let (placement, _) = crate::layout::optimal_placement(&t);
+        assert_eq!(direct, render_transition(&t, &placement));
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Session-command semantics of the owned exploration engine: cache
+//! provenance across command sequences, cross-table cache independence,
+//! and concurrent sessions sharing one `Explorer`.
+
+use qagview::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Catalog {
+    let schema = Schema::from_pairs(&[
+        ("genre", ColumnType::Str),
+        ("gender", ColumnType::Str),
+        ("occupation", ColumnType::Str),
+        ("rating", ColumnType::Float),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    let rows: &[(&str, &str, &str, f64)] = &[
+        ("action", "M", "Student", 5.0),
+        ("action", "M", "Student", 4.5),
+        ("action", "M", "Coder", 4.5),
+        ("action", "M", "Coder", 4.0),
+        ("action", "F", "Student", 4.0),
+        ("action", "F", "Student", 4.4),
+        ("drama", "M", "Student", 2.0),
+        ("drama", "M", "Student", 2.4),
+        ("drama", "F", "Coder", 3.0),
+        ("drama", "F", "Coder", 2.8),
+        ("drama", "F", "Student", 3.2),
+        ("drama", "F", "Student", 3.4),
+    ];
+    for &(g, s, o, r) in rows {
+        b.push_row(vec![g.into(), s.into(), o.into(), Cell::Float(r)])
+            .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register("ratings", b.finish());
+
+    let schema =
+        Schema::from_pairs(&[("store", ColumnType::Str), ("profit", ColumnType::Float)]).unwrap();
+    let mut b = TableBuilder::new(schema);
+    for (s, p) in [("a", 10.0), ("a", 12.0), ("b", 3.0), ("b", 5.0)] {
+        b.push_row(vec![s.into(), Cell::Float(p)]).unwrap();
+    }
+    c.register("stores", b.finish());
+    c
+}
+
+const RATINGS_SQL: &str = "SELECT genre, gender, occupation, AVG(rating) AS val FROM ratings \
+                           GROUP BY genre, gender, occupation HAVING count(*) > 0 \
+                           ORDER BY val DESC";
+const STORES_SQL: &str = "SELECT store, SUM(profit) AS val FROM stores GROUP BY store \
+                          HAVING count(*) > 0 ORDER BY val DESC";
+
+/// The satellite scenario: a `SetThreshold` tick issued after a `SetK`
+/// knob move must be answered by the group-phase cache AND the precomputed
+/// plane (the tick's answer relation is unchanged, so the content
+/// fingerprint routes it to the already-built plane).
+#[test]
+fn threshold_tick_after_set_k_hits_group_cache_and_plane() {
+    let engine = Arc::new(Explorer::new(catalog()));
+    let mut session = ExploreSession::new(Arc::clone(&engine));
+
+    let r = session
+        .apply(ExploreCommand::SetQuery(RATINGS_SQL.into()))
+        .unwrap();
+    assert_eq!(r.provenance.group_phase, CacheOutcome::Miss);
+    assert_eq!(r.provenance.plane, CacheOutcome::Miss);
+
+    let r = session.apply(ExploreCommand::SetK(3)).unwrap();
+    assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
+    assert_eq!(r.provenance.answers, CacheOutcome::Hit);
+    assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+
+    // Every group has exactly 2 supporting rows, so sliding the threshold
+    // from 0 to 0.5 keeps the relation identical: the answers layer
+    // recomputes in O(groups), and the plane is reused outright.
+    let r = session.apply(ExploreCommand::SetThreshold(0.5)).unwrap();
+    assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
+    assert_eq!(r.provenance.answers, CacheOutcome::Miss);
+    assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+    assert!(
+        r.transition.is_some(),
+        "unchanged relation keeps the transition diagram alive"
+    );
+    // Counter snapshot: one cold scan, one cold plane, across 3 commands.
+    assert_eq!(r.provenance.stats.group_phase.misses, 1);
+    assert_eq!(r.provenance.stats.planes.misses, 1);
+    assert_eq!(r.provenance.stats.group_phase.hits, 2);
+}
+
+/// Switching the session to a different table must not evict the previous
+/// table's cached layers.
+#[test]
+fn set_query_to_a_new_table_keeps_other_tables_entries() {
+    let engine = Arc::new(Explorer::new(catalog()));
+    let mut session = ExploreSession::new(Arc::clone(&engine));
+
+    session
+        .apply(ExploreCommand::SetQuery(RATINGS_SQL.into()))
+        .unwrap();
+    let r = session
+        .apply(ExploreCommand::SetQuery(STORES_SQL.into()))
+        .unwrap();
+    assert_eq!(r.provenance.group_phase, CacheOutcome::Miss);
+    assert_eq!(r.provenance.stats.group_phase.evictions, 0);
+
+    // Coming back to the first table answers from every layer.
+    let r = session
+        .apply(ExploreCommand::SetQuery(RATINGS_SQL.into()))
+        .unwrap();
+    assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
+    assert_eq!(r.provenance.answers, CacheOutcome::Hit);
+    assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+    assert_eq!(r.provenance.stats.group_phase.evictions, 0);
+    assert_eq!(r.provenance.stats.group_phase.entries, 2);
+}
+
+/// Concurrent sessions on one shared engine return views byte-identical
+/// to a sequential run of the same commands on a fresh engine.
+#[test]
+fn concurrent_sessions_match_sequential_runs() {
+    let shared = Arc::new(catalog());
+    let commands = || {
+        vec![
+            ExploreCommand::SetQuery(RATINGS_SQL.into()),
+            ExploreCommand::SetK(3),
+            ExploreCommand::SetThreshold(1.0),
+            ExploreCommand::SetD(1),
+            ExploreCommand::SetL(5),
+            ExploreCommand::SetQuery(STORES_SQL.into()),
+            ExploreCommand::SetK(2),
+        ]
+    };
+
+    // Sequential reference on its own engine.
+    let reference_engine = Arc::new(Explorer::from_shared(
+        Arc::clone(&shared),
+        ExplorerConfig::default(),
+    ));
+    let mut reference_session = ExploreSession::new(reference_engine);
+    let reference: Vec<ExploreResponse> = commands()
+        .into_iter()
+        .map(|c| reference_session.apply(c).unwrap())
+        .collect();
+
+    // Several sessions race on one shared engine.
+    let engine = Arc::new(Explorer::from_shared(
+        Arc::clone(&shared),
+        ExplorerConfig::default(),
+    ));
+    let all: Vec<Vec<ExploreResponse>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let mut session = ExploreSession::new(engine);
+                    commands()
+                        .into_iter()
+                        .map(|c| session.apply(c).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+
+    for (t, responses) in all.iter().enumerate() {
+        assert_eq!(responses.len(), reference.len());
+        for (i, (got, want)) in responses.iter().zip(&reference).enumerate() {
+            assert!(
+                got.same_view(want),
+                "thread {t} command {i} diverged from the sequential run"
+            );
+            // Scores bit-identical, not merely equal.
+            for (a, b) in got.summary.clusters.iter().zip(&want.summary.clusters) {
+                assert_eq!(a.avg.to_bits(), b.avg.to_bits());
+            }
+        }
+    }
+    // The engine shared artifacts across sessions. Cold construction runs
+    // unlocked, so threads racing on the same missing key may each scan
+    // once — but never more than once per (thread, table), and all later
+    // lookups hit.
+    let stats = engine.stats();
+    assert_eq!(stats.group_phase.entries, 2);
+    assert!(
+        (2..=8).contains(&stats.group_phase.misses),
+        "between one scan per table and one per (thread, table), got {}",
+        stats.group_phase.misses
+    );
+    // 4 threads x 7 commands = 28 group-layer lookups in total.
+    assert_eq!(stats.group_phase.hits + stats.group_phase.misses, 28);
+}
+
+/// Transitions chain across knob moves and stay consistent with the
+/// summaries they connect.
+#[test]
+fn transitions_connect_consecutive_summaries() {
+    let engine = Arc::new(Explorer::new(catalog()));
+    let mut session = ExploreSession::new(Arc::clone(&engine));
+    session
+        .apply(ExploreCommand::SetQuery(RATINGS_SQL.into()))
+        .unwrap();
+    let before = session.apply(ExploreCommand::SetK(4)).unwrap();
+    let after = session.apply(ExploreCommand::SetK(2)).unwrap();
+    let t = after.transition.as_ref().expect("same relation");
+    assert_eq!(t.left_len(), before.summary.clusters.len());
+    assert_eq!(t.right_len(), after.summary.clusters.len());
+    // The rendered band diagram mentions every cluster label.
+    let rendered = t.render_optimal();
+    for c in &after.summary.clusters {
+        assert!(rendered.contains(&c.label), "{} missing", c.label);
+    }
+}
