@@ -17,6 +17,15 @@
 //!   Algorithm 2 leaves fused recomputation as the dominant cost;
 //! * **delta greedy** — a full Hybrid run with `EvalMode::Naive` vs
 //!   `EvalMode::Delta` (Algorithm 2);
+//! * **plane build** — a cold `(k, D)`-plane precomputation (§6.2) over an
+//!   `Arc`-shared candidate index: the legacy per-round re-evaluation
+//!   engine (`DescentEngine::PerRoundReEval`: O(p²) merge evaluations every
+//!   round, O(p²) lifetime diffing) vs the merge-frontier engine
+//!   (`DescentEngine::Frontier`: pair LCAs resolved once into a warmed
+//!   prototype shared by every `D`-descent, lazy bound-pruned Max-Avg
+//!   selection, event-driven lifetimes, D ∈ {0, 1} built once). Every
+//!   stored solution across the whole `(k, D)` grid is asserted
+//!   byte-identical before timing;
 //! * **query exec** — the paper-shaped aggregate query on an N = 50k
 //!   MovieLens-like RatingTable: row-at-a-time reference engine vs the
 //!   vectorized batched engine (cold), and cold re-execution vs `O(groups)`
@@ -32,9 +41,15 @@
 //! reported speedups.
 
 use qagview_bench::synthetic_answers;
-use qagview_core::{hybrid_with, EvalMode, Params, WorkingSet};
+use qagview_core::{
+    fixed_order_phase, hybrid_with, run_phases, run_phases_reeval, EvalMode, Evaluator, GreedyRule,
+    Params, Seeding, WorkingSet,
+};
 use qagview_datagen::movielens::{self, MovieLensConfig};
-use qagview_interactive::{ExploreCommand, ExploreSession, Explorer, ExplorerConfig};
+use qagview_interactive::{
+    DescentEngine, ExploreCommand, ExploreSession, Explorer, ExplorerConfig, PrecomputeConfig,
+    Precomputed,
+};
 use qagview_lattice::{AnswerSet, CandidateIndex};
 use qagview_query::{bind, execute, execute_rows, group_aggregate, parse};
 use qagview_storage::Catalog;
@@ -112,6 +127,141 @@ fn working_set_at_coverage<'a>(
         }
     }
     w
+}
+
+/// The `k` range a `plane_build` arm materializes: the paper's Fig. 6
+/// sweeps `k` up to 50, so a cold plane build serving that interactive
+/// range descends from a pool of `2 · 50` clusters.
+const PLANE_K_MAX: usize = 50;
+
+/// One `plane_build` entry: a cold `(k, D)`-plane build over the workload's
+/// answer relation (`k ∈ [1, 50]`, every `D` from 0 to m, pool = 2·k_max),
+/// built by `Precomputed::build_with_index` with the per-round
+/// re-evaluation engine vs the merge-frontier engine. The candidate index
+/// is `Arc`-shared so neither arm pays for cloning it; every stored
+/// solution across the whole `(k, D)` grid is asserted byte-identical
+/// (patterns, member lists, f64 sum bits — the workload's values are
+/// dyadic, so the comparison is exact) before anything is timed. The
+/// descent-level marginal-evaluation counts are reported alongside from
+/// one instrumented D = 0 descent per engine.
+fn bench_plane_build_for(
+    answers: &AnswerSet,
+    index: &CandidateIndex,
+    wl: &Workload,
+) -> (String, f64) {
+    let arc_answers = Arc::new(answers.clone());
+    let arc_index = Arc::new(index.clone());
+    let d_max = wl.m;
+    let cfg_frontier = PrecomputeConfig {
+        k_min: 1,
+        k_max: PLANE_K_MAX,
+        d_min: 0,
+        d_max,
+        pool_factor: 2,
+        eval: EvalMode::Delta,
+        parallel: false,
+        engine: DescentEngine::Frontier,
+    };
+    let cfg_reeval = PrecomputeConfig {
+        engine: DescentEngine::PerRoundReEval,
+        ..cfg_frontier
+    };
+
+    // Byte-equality across the whole (k, D) grid before timing anything.
+    let frontier = Precomputed::build_with_index(
+        Arc::clone(&arc_answers),
+        Arc::clone(&arc_index),
+        cfg_frontier,
+    )
+    .expect("frontier build");
+    let reeval =
+        Precomputed::build_with_index(Arc::clone(&arc_answers), Arc::clone(&arc_index), cfg_reeval)
+            .expect("re-eval build");
+    for d in 0..=d_max {
+        for k in 1..=PLANE_K_MAX {
+            let a = frontier.solution(k, d).expect("frontier solution");
+            let b = reeval.solution(k, d).expect("re-eval solution");
+            assert_eq!(a.patterns(), b.patterns(), "engines diverge at k={k} d={d}");
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "sum bits k={k} d={d}");
+            for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+                assert_eq!(ca.members, cb.members, "members k={k} d={d}");
+            }
+        }
+    }
+    drop((frontier, reeval));
+
+    let reeval_ms = time_best_ms(3, || {
+        Precomputed::build_with_index(Arc::clone(&arc_answers), Arc::clone(&arc_index), cfg_reeval)
+            .unwrap()
+    });
+    let frontier_ms = time_best_ms(3, || {
+        Precomputed::build_with_index(
+            Arc::clone(&arc_answers),
+            Arc::clone(&arc_index),
+            cfg_frontier,
+        )
+        .unwrap()
+    });
+    let speedup = reeval_ms / frontier_ms;
+
+    // Context: marginal evaluations of one D = 0 descent per engine.
+    let params = Params::new(PLANE_K_MAX, wl.l, 0);
+    let w0 = fixed_order_phase(
+        answers,
+        index,
+        &params,
+        2 * PLANE_K_MAX,
+        Seeding::None,
+        EvalMode::Delta,
+    )
+    .expect("fixed-order phase");
+    let mut w = w0.clone();
+    let mut ev_reeval = Evaluator::new(EvalMode::Delta);
+    run_phases_reeval(
+        &mut w,
+        0,
+        1,
+        &mut ev_reeval,
+        GreedyRule::SolutionAvg,
+        |_| {},
+    )
+    .expect("re-eval descent");
+    let mut w = w0.clone();
+    let mut ev_frontier = Evaluator::new(EvalMode::Delta);
+    run_phases(
+        &mut w,
+        0,
+        1,
+        &mut ev_frontier,
+        GreedyRule::SolutionAvg,
+        |_| {},
+    )
+    .expect("frontier descent");
+
+    eprintln!(
+        "  plane build (k<=50, {} planes, pool {}): re-eval {reeval_ms:.2} ms, \
+         frontier {frontier_ms:.2} ms ({speedup:.1}x); d=0 descent evals {} -> {}",
+        d_max + 1,
+        2 * PLANE_K_MAX,
+        ev_reeval.eval_calls(),
+        ev_frontier.eval_calls(),
+    );
+    let json = format!(
+        r#"      {{
+        "m": {m}, "k_max": {PLANE_K_MAX}, "pool": {pool}, "d_planes": {planes},
+        "reeval_ms": {reeval_ms:.3},
+        "frontier_ms": {frontier_ms:.3},
+        "speedup": {speedup:.2},
+        "d0_descent_marginal_evals_reeval": {er},
+        "d0_descent_marginal_evals_frontier": {ef}
+      }}"#,
+        m = wl.m,
+        pool = 2 * PLANE_K_MAX,
+        planes = d_max + 1,
+        er = ev_reeval.eval_calls(),
+        ef = ev_frontier.eval_calls(),
+    );
+    (json, speedup)
 }
 
 /// The `query_exec` section: vectorized vs row-at-a-time execution and
@@ -318,6 +468,7 @@ fn main() {
         .map(|t| t.get())
         .unwrap_or(1);
     let mut sections = Vec::new();
+    let mut plane_sections = Vec::new();
     let mut all_ok = true;
 
     for wl in &WORKLOADS {
@@ -407,6 +558,14 @@ fn main() {
             acc
         });
 
+        // --- plane build: per-round re-eval vs merge-frontier descents ---
+        let (plane_json, plane_speedup) = bench_plane_build_for(&answers, &index, wl);
+        plane_sections.push(plane_json);
+        if wl.m == 6 && plane_speedup < 5.0 {
+            all_ok = false;
+            eprintln!("  WARNING: frontier plane build below the 5x acceptance bar");
+        }
+
         // --- full greedy run: naive vs delta evaluation ---
         let params = Params::new(wl.k, wl.l, 2);
         let run_naive_ms = time_best_ms(2, || {
@@ -465,9 +624,13 @@ fn main() {
 
     let query_exec = bench_query_exec(&mut all_ok);
     let session_tick = bench_session_tick(&mut all_ok);
+    let plane_build = format!(
+        "  \"plane_build\": {{\n    \"what\": \"cold (k,D)-plane precomputation (k in [1,50], D in [0,m], pool=2*k_max, Arc-shared index): per-round re-eval engine vs merge-frontier engine, all stored solutions asserted byte-identical first\",\n    \"workloads\": [\n{}\n    ]\n  }}",
+        plane_sections.join(",\n")
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n{session_tick},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n{session_tick},\n{plane_build},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         sections.join(",\n")
     );
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");

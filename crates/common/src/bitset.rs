@@ -142,6 +142,31 @@ impl FixedBitSet {
         self.ones = 0;
     }
 
+    /// Overwrite word `wi` wholesale, maintaining the ones count.
+    ///
+    /// This is the mask-building primitive of the working set's
+    /// coverage-diff extraction: the word-level absorb loop already
+    /// computes each diff word as `cov & !covered`, and stores it here
+    /// without re-touching individual bits. The caller must not set
+    /// padding bits past `len` (debug-asserted); words derived by masking
+    /// existing valid bitsets satisfy this by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi` is out of range.
+    #[inline]
+    pub fn set_word(&mut self, wi: usize, word: u64) {
+        debug_assert!(
+            wi + 1 < self.words.len()
+                || self.len.is_multiple_of(64)
+                || word >> (self.len % 64) == 0,
+            "set_word would set padding bits"
+        );
+        let old = self.words[wi];
+        self.words[wi] = word;
+        self.ones = self.ones + word.count_ones() as usize - old.count_ones() as usize;
+    }
+
     /// In-place union with `other`, one `u64` word at a time.
     ///
     /// # Panics

@@ -18,9 +18,10 @@
 //! `avg(LCA)` greedy rule — both reported by the paper as "comparable or
 //! worse" and benchmarked here for the same conclusion.
 
+use crate::merge_table::{frontier_round, FrontierPhase, MergeFrontier};
 use crate::params::Params;
 use crate::solution::Solution;
-use crate::working::{greedy_apply, EvalMode, Evaluator, GreedyRule, WorkingSet};
+use crate::working::{greedy_apply, EvalMode, Evaluator, GreedyRule, MergeEvent, WorkingSet};
 use qagview_common::{QagError, Result};
 use qagview_lattice::{AnswerSet, CandidateIndex, Pattern, STAR};
 
@@ -114,7 +115,83 @@ fn seed<'a>(
 /// The two merge phases of Algorithm 1, exposed for reuse by the Hybrid
 /// algorithm and the incremental precomputation (§6.2). `on_merge` observes
 /// the working set after every applied merge.
+///
+/// Runs on the incremental [`MergeFrontier`] engine: pair LCAs are resolved
+/// once, scoring dedupes to distinct LCA ids, and coverage-neutral rounds
+/// re-evaluate nothing. Byte-identical to [`run_phases_reeval`], the
+/// per-round re-evaluation oracle.
 pub fn run_phases<F>(
+    w: &mut WorkingSet<'_>,
+    d: usize,
+    k: usize,
+    evaluator: &mut Evaluator,
+    rule: GreedyRule,
+    mut on_merge: F,
+) -> Result<()>
+where
+    F: FnMut(&WorkingSet<'_>),
+{
+    run_phases_with_events(w, d, k, evaluator, rule, |w, _| on_merge(w))
+}
+
+/// [`run_phases`] with the per-merge [`MergeEvent`] exposed, for callers
+/// that track cluster lifetimes or coverage changes without re-diffing
+/// the member list every round. (The `(k, D)`-plane precomputation uses
+/// the same building block, [`frontier_round`], directly, because it
+/// records per-phase state this driver does not expose.)
+pub fn run_phases_with_events<F>(
+    w: &mut WorkingSet<'_>,
+    d: usize,
+    k: usize,
+    evaluator: &mut Evaluator,
+    rule: GreedyRule,
+    on_event: F,
+) -> Result<()>
+where
+    F: FnMut(&WorkingSet<'_>, &MergeEvent),
+{
+    let mut frontier: MergeFrontier<f64> = MergeFrontier::new(w, d)?;
+    run_phases_frontier(w, &mut frontier, k, evaluator, rule, on_event)
+}
+
+/// The two merge phases over a caller-supplied frontier — e.g. a reseeded
+/// clone of a shared, already-warmed prototype, the pattern a cold
+/// `(k, D)`-plane build uses (with its own recording loop) to amortize
+/// the O(p²) pair resolution and initial scoring across every
+/// `D`-descent.
+pub fn run_phases_frontier<F>(
+    w: &mut WorkingSet<'_>,
+    frontier: &mut MergeFrontier<f64>,
+    k: usize,
+    evaluator: &mut Evaluator,
+    rule: GreedyRule,
+    mut on_event: F,
+) -> Result<()>
+where
+    F: FnMut(&WorkingSet<'_>, &MergeEvent),
+{
+    // Phase 1: enforce the distance constraint.
+    while frontier.violating_count() > 0 {
+        match frontier_round(frontier, w, FrontierPhase::Violating, evaluator, rule)? {
+            Some(event) => on_event(w, &event),
+            None => break,
+        }
+    }
+    // Phase 2: enforce the size constraint.
+    while w.len() > k {
+        match frontier_round(frontier, w, FrontierPhase::All, evaluator, rule)? {
+            Some(event) => on_event(w, &event),
+            None => break,
+        }
+    }
+    Ok(())
+}
+
+/// The pre-frontier implementation of [`run_phases`]: rebuild the pair set
+/// and re-evaluate every pair's merge each round via [`greedy_apply`].
+/// Kept verbatim as the differential oracle for the frontier engine (and
+/// as the baseline arm of the `plane_build` perf section).
+pub fn run_phases_reeval<F>(
     w: &mut WorkingSet<'_>,
     d: usize,
     k: usize,

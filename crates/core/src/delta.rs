@@ -17,21 +17,32 @@
 //! its lines 6–7 and 10–11; this implementation follows the evident intent.)
 
 use crate::working::WorkingSet;
-use qagview_common::FxHashMap;
 use qagview_lattice::CandId;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
-    /// The working-set round this entry is valid for.
+    /// The working-set round this entry is valid for; [`VACANT`] marks an
+    /// empty slot.
     round: u32,
     dsum: f64,
     dcnt: u32,
 }
 
-/// Cache of per-candidate marginal benefits with round-stamped staleness.
-#[derive(Debug, Default)]
+/// Slot sentinel: candidate ids are dense, so the cache is a flat table
+/// indexed by [`CandId`] — a marginal request costs an array read, never a
+/// hash — and vacancy is encoded in the round stamp.
+const VACANT: u32 = u32::MAX;
+
+/// Cache of per-candidate marginal benefits with round-stamped staleness,
+/// stored as a dense [`CandId`]-indexed table.
+///
+/// `Clone` is cheap relative to the work it saves: the `(k, D)`-plane
+/// precomputation warms one cache at the shared Fixed-Order state and
+/// clones it into every `D`-descent.
+#[derive(Debug, Default, Clone)]
 pub struct DeltaCache {
-    entries: FxHashMap<CandId, Entry>,
+    entries: Vec<Entry>,
+    occupied: usize,
 }
 
 impl DeltaCache {
@@ -42,84 +53,138 @@ impl DeltaCache {
 
     /// Number of cached candidates (diagnostics).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.occupied
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.occupied == 0
     }
 
     /// Drop all entries (e.g. when reusing the cache across restarts).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.occupied = 0;
     }
 
     /// Marginal `(Σ val, count)` of `cov(id) \ T` for working set `w`,
     /// served from the cache when possible.
     pub fn marginal(&mut self, w: &WorkingSet<'_>, id: CandId) -> (f64, u32) {
         let now = w.round();
-        if let Some(e) = self.entries.get_mut(&id) {
+        debug_assert!(now < VACANT, "round clock reached the vacancy sentinel");
+        if self.entries.len() < w.index().len() {
+            self.entries.resize(
+                w.index().len(),
+                Entry {
+                    round: VACANT,
+                    dsum: 0.0,
+                    dcnt: 0,
+                },
+            );
+        }
+        let e = &mut self.entries[id as usize];
+        if e.round != VACANT {
             if e.round == now {
                 return (e.dsum, e.dcnt);
             }
-            if e.round + 1 == now {
-                // Refresh against last round's coverage diff: tuples that
-                // became covered no longer contribute to the marginal.
-                // Subtraction visits common tuples in ascending order on
-                // every strategy, matching the per-tuple probe loop exactly.
-                let info = w.index().info(id);
-                let vals = w.answers().vals();
-                let diff = w.last_added();
-                if let Some(bits) = &info.cov_bits {
-                    // Dense candidate: O(1) bitset probe per diff tuple.
+            if e.dcnt == 0 {
+                // An empty marginal can never refill: cov(id) ⊆ T, and T
+                // only grows, so every future refresh subtracts nothing.
+                // Stamp and answer in O(1) regardless of staleness —
+                // clearing any float residue the incremental subtractions
+                // left behind (an empty set's sum is exactly 0).
+                e.dsum = 0.0;
+                e.round = now;
+                return (0.0, 0);
+            }
+            // Refresh against the coverage diff accumulated since the
+            // entry's version: tuples that became covered no longer
+            // contribute to the marginal. One version behind, the diff is
+            // the last round's (sorted) `last_added`, with its word mask
+            // available; staler entries use the append-only diff history
+            // (sorted per segment only). The merge-frontier's lazy
+            // selection leaves low-scoring candidates stale for many
+            // rounds, so the multi-version path is the common one there.
+            let one_stale = e.round + 1 == now;
+            let diff = if one_stale {
+                w.last_added()
+            } else {
+                w.added_since(e.round)
+            };
+            let info = w.index().info(id);
+            let vals = w.answers().vals();
+            if let Some(bits) = &info.cov_bits {
+                if one_stale && diff.len() > bits.as_words().len() {
+                    // Large single-round diff: intersect the coverage
+                    // words against the round's diff mask — O(n/64) no
+                    // matter how many tuples the merge absorbed.
+                    // Extraction is ascending, matching the probe loop's
+                    // subtraction order bit for bit.
+                    let mask = w.last_added_mask();
+                    for (wi, (&c, &dm)) in bits.as_words().iter().zip(mask.as_words()).enumerate() {
+                        let mut x = c & dm;
+                        while x != 0 {
+                            let t = wi * 64 + x.trailing_zeros() as usize;
+                            e.dsum -= vals[t];
+                            e.dcnt -= 1;
+                            x &= x - 1;
+                        }
+                    }
+                } else if diff.len() > bits.as_words().len() {
+                    // Multi-version diff big enough that a probe per diff
+                    // tuple loses to one recomputation pass.
+                    let (dsum, dcnt) = w.marginal_complement(id);
+                    *e = Entry {
+                        round: now,
+                        dsum,
+                        dcnt,
+                    };
+                    return (dsum, dcnt);
+                } else {
+                    // Dense candidate, small diff: O(1) bitset probe per
+                    // diff tuple.
                     for &t in diff {
                         if bits.contains(t as usize) {
                             e.dsum -= vals[t as usize];
                             e.dcnt -= 1;
                         }
                     }
-                } else if diff.len() * 8 >= info.cov.len() {
-                    // Comparable sizes: two-pointer sorted merge over the
-                    // candidate's coverage list and the round diff (both
-                    // ascending).
-                    let (mut i, mut j) = (0usize, 0usize);
-                    while i < info.cov.len() && j < diff.len() {
-                        match info.cov[i].cmp(&diff[j]) {
-                            std::cmp::Ordering::Less => i += 1,
-                            std::cmp::Ordering::Greater => j += 1,
-                            std::cmp::Ordering::Equal => {
-                                e.dsum -= vals[info.cov[i] as usize];
-                                e.dcnt -= 1;
-                                i += 1;
-                                j += 1;
-                            }
-                        }
-                    }
-                } else {
-                    // Small diff against a long list: binary probes win.
-                    for &t in diff {
-                        if info.cov.binary_search(&t).is_ok() {
-                            e.dsum -= vals[t as usize];
-                            e.dcnt -= 1;
-                        }
+                }
+            } else if diff.len() * 8 > info.cov.len() {
+                // A binary probe costs ~log |cov| of a list-walk step, so
+                // once the diff passes a fraction of the list, walking the
+                // whole list once against the coverage bitset wins.
+                let (dsum, dcnt) = w.marginal_complement(id);
+                *e = Entry {
+                    round: now,
+                    dsum,
+                    dcnt,
+                };
+                return (dsum, dcnt);
+            } else {
+                // Small diff against a long list: binary probes win.
+                for &t in diff {
+                    if info.cov.binary_search(&t).is_ok() {
+                        e.dsum -= vals[t as usize];
+                        e.dcnt -= 1;
                     }
                 }
-                e.round = now;
-                return (e.dsum, e.dcnt);
             }
+            e.round = now;
+            return (e.dsum, e.dcnt);
         }
-        // Cache miss or entry too stale: full recomputation on the fused
-        // word-level path.
-        let (dsum, dcnt) = w.marginal_fused(id);
-        self.entries.insert(
-            id,
-            Entry {
-                round: now,
-                dsum,
-                dcnt,
-            },
-        );
+        // Cache miss: full computation, reading whichever coverage side is
+        // smaller.
+        let (dsum, dcnt) = w.marginal_complement(id);
+        let e = &mut self.entries[id as usize];
+        if e.round == VACANT {
+            self.occupied += 1;
+        }
+        *e = Entry {
+            round: now,
+            dsum,
+            dcnt,
+        };
         (dsum, dcnt)
     }
 }

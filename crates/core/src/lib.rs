@@ -28,6 +28,14 @@
 //! [`delta`] and can be toggled per run ([`EvalMode`]) so the Fig. 8(b)
 //! ablation can quantify it.
 //!
+//! All merge phases run on the incremental **merge-frontier engine**
+//! ([`merge_table`]): the pair table persists across descent rounds, each
+//! pair's LCA is resolved once, scoring dedupes to distinct LCA ids with
+//! epoch-scoped caching, and a coverage-neutral merge re-evaluates nothing.
+//! The per-round re-evaluation path survives as [`run_phases_reeval`] /
+//! [`min_size_greedy_reeval`] — the differential oracles the frontier is
+//! property-tested byte-identical against.
+//!
 //! # Quick start
 //!
 //! ```
@@ -58,20 +66,27 @@ pub mod delta;
 pub mod fixed_order;
 pub mod hybrid;
 pub mod kmodes;
+pub mod merge_table;
 pub mod minsize;
 pub mod params;
 pub mod solution;
 pub mod summarizer;
 pub mod working;
 
-pub use bottom_up::{bottom_up, run_phases, BottomUpOptions, BottomUpStart};
+pub use bottom_up::{
+    bottom_up, run_phases, run_phases_frontier, run_phases_reeval, run_phases_with_events,
+    BottomUpOptions, BottomUpStart,
+};
 pub use brute_force::{brute_force, BruteForceOptions};
 pub use delta::DeltaCache;
 pub use fixed_order::{fixed_order, fixed_order_phase, Seeding};
 pub use hybrid::{hybrid, hybrid_with, DEFAULT_POOL_FACTOR};
 pub use kmodes::{covering_pattern, kmodes, KModesResult};
-pub use minsize::min_size_greedy;
+pub use merge_table::{frontier_round, FrontierPhase, MergeFrontier};
+pub use minsize::{min_size_greedy, min_size_greedy_reeval};
 pub use params::Params;
 pub use solution::{Solution, SolutionCluster};
 pub use summarizer::Summarizer;
-pub use working::{greedy_apply, EvalMode, Evaluator, GreedyRule, MergeSpec, WorkingSet};
+pub use working::{
+    greedy_apply, EvalMode, Evaluator, GreedyRule, MergeEvent, MergeSpec, WorkingSet,
+};

@@ -7,6 +7,7 @@
 //! useful for summarization"); it is provided here as an extension so the
 //! comparison can be reproduced.
 
+use crate::merge_table::{FrontierPhase, MergeFrontier};
 use crate::params::Params;
 use crate::solution::Solution;
 use crate::working::{MergeSpec, WorkingSet};
@@ -22,6 +23,29 @@ fn marginal_redundant(w: &WorkingSet<'_>, id: CandId, l: usize) -> usize {
         .iter()
         .filter(|&&t| (t as usize) >= l && !w.is_tuple_covered(t))
         .count()
+}
+
+/// Min-Size merge score: fewest added redundant tuples, then highest
+/// resulting average. Both components depend only on the LCA id and the
+/// current coverage, so the merge-frontier's epoch-scoped score cache and
+/// distinct-LCA dedup apply unchanged.
+#[derive(Debug, Clone, Copy)]
+struct MinSizeScore {
+    redundant: usize,
+    avg: f64,
+}
+
+fn min_size_better(a: &MinSizeScore, b: &MinSizeScore) -> bool {
+    a.redundant < b.redundant || (a.redundant == b.redundant && a.avg > b.avg)
+}
+
+fn min_size_score(w: &WorkingSet<'_>, lca: CandId, l: usize) -> MinSizeScore {
+    let redundant = marginal_redundant(w, lca, l);
+    let (dsum, dcnt) = w.marginal_fused(lca);
+    MinSizeScore {
+        redundant,
+        avg: w.avg_after(dsum, dcnt),
+    }
 }
 
 /// Pick and apply the pair merge minimizing added redundancy (ties: higher
@@ -62,8 +86,54 @@ fn greedy_min_size_step(
 }
 
 /// Greedy Min-Size summarization: Bottom-Up's phase structure with the
-/// redundancy-minimizing greedy rule.
+/// redundancy-minimizing greedy rule, driven by the incremental
+/// [`MergeFrontier`] engine. Byte-identical to
+/// [`min_size_greedy_reeval`], the per-round re-evaluation oracle.
 pub fn min_size_greedy(
+    answers: &AnswerSet,
+    index: &CandidateIndex,
+    params: &Params,
+) -> Result<Solution> {
+    params.validate(answers)?;
+    crate::bottom_up::check_index(index, params)?;
+    let mut w = WorkingSet::with_top_l_singletons(answers, index)?;
+    let l = params.l;
+    let mut frontier: MergeFrontier<MinSizeScore> = MergeFrontier::new(&w, params.d)?;
+    let round = |frontier: &mut MergeFrontier<MinSizeScore>,
+                 w: &mut WorkingSet<'_>,
+                 phase: FrontierPhase|
+     -> Result<bool> {
+        let selected = frontier.select(
+            w,
+            phase,
+            &mut |w, lca| Ok(min_size_score(w, lca, l)),
+            min_size_better,
+        )?;
+        match selected {
+            Some(lca) => {
+                frontier.apply(w, lca)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    };
+    while frontier.violating_count() > 0 {
+        if !round(&mut frontier, &mut w, FrontierPhase::Violating)? {
+            break;
+        }
+    }
+    while w.len() > params.k {
+        if !round(&mut frontier, &mut w, FrontierPhase::All)? {
+            break;
+        }
+    }
+    Ok(w.to_solution())
+}
+
+/// The pre-frontier Min-Size implementation: rebuild the pair set and
+/// re-score every pair each round. Kept as the differential oracle for the
+/// frontier-driven [`min_size_greedy`].
+pub fn min_size_greedy_reeval(
     answers: &AnswerSet,
     index: &CandidateIndex,
     params: &Params,
@@ -136,6 +206,20 @@ mod tests {
             ms.redundant(4),
             ma.redundant(4)
         );
+    }
+
+    #[test]
+    fn frontier_matches_reeval_oracle() {
+        let (s, idx) = setup(4);
+        for d in 0..=3 {
+            for k in 1..=4 {
+                let params = Params::new(k, 4, d);
+                let frontier = min_size_greedy(&s, &idx, &params).unwrap();
+                let oracle = min_size_greedy_reeval(&s, &idx, &params).unwrap();
+                assert_eq!(frontier.patterns(), oracle.patterns(), "k={k} d={d}");
+                assert_eq!(frontier.sum.to_bits(), oracle.sum.to_bits());
+            }
+        }
     }
 
     #[test]

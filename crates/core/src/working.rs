@@ -52,10 +52,15 @@ pub enum GreedyRule {
 }
 
 /// Evaluator bundling the [`EvalMode`] with its Delta-Judgment cache.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the cache state — the plane precomputation warms
+/// one evaluator at the shared Fixed-Order state and clones it per
+/// `D`-descent.
+#[derive(Debug, Clone)]
 pub struct Evaluator {
     mode: EvalMode,
     cache: DeltaCache,
+    calls: u64,
 }
 
 impl Evaluator {
@@ -64,16 +69,43 @@ impl Evaluator {
         Evaluator {
             mode,
             cache: DeltaCache::new(),
+            calls: 0,
         }
     }
 
     /// Marginal `(Σ val, count)` of `cov(id) \ T` for the working set `w`.
     pub fn marginal(&mut self, w: &WorkingSet<'_>, id: CandId) -> (f64, u32) {
+        self.calls += 1;
         match self.mode {
             EvalMode::Naive => w.marginal_naive(id),
             EvalMode::Delta => self.cache.marginal(w, id),
         }
     }
+
+    /// Number of marginal evaluations requested so far (Delta-cache hits
+    /// included). The merge-frontier engine's score dedup/caching is
+    /// measured by how few requests it makes: a zero-new-coverage round
+    /// whose pairs all map to already-scored LCAs makes none at all.
+    pub fn eval_calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// What one applied merge did to the working set — produced by
+/// [`WorkingSet::merge_by_lca`], consumed by the merge-frontier engine
+/// ([`crate::merge_table`]) for incremental pair maintenance and by the
+/// `(k, D)`-plane precomputation for cluster-lifetime bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// The merged cluster (the pair's LCA), now a member.
+    pub lca: CandId,
+    /// Members evicted by the merge (everything the LCA covers, including
+    /// the merge endpoints), in pre-merge member order.
+    pub removed: Vec<CandId>,
+    /// Whether the merge absorbed tuples not previously covered. When
+    /// `false`, no marginal in the system changed: the round is pure pair
+    /// bookkeeping.
+    pub new_coverage: bool,
 }
 
 /// The working solution `O` with Max-Avg bookkeeping.
@@ -86,6 +118,16 @@ pub struct WorkingSet<'a> {
     sum: f64,
     round: u32,
     last_added: Vec<TupleId>,
+    last_added_mask: FixedBitSet,
+    scratch_added: Vec<TupleId>,
+    scratch_mask: FixedBitSet,
+    /// Concatenation of every version's diff, in version order (each
+    /// version's segment ascending by tuple id). Bounded by the relation
+    /// size — coverage only grows.
+    diff_history: Vec<TupleId>,
+    /// `diff_offsets[v]` = length of `diff_history` at version `v`, so the
+    /// tuples added after version `v` are `diff_history[diff_offsets[v]..]`.
+    diff_offsets: Vec<u32>,
 }
 
 impl<'a> WorkingSet<'a> {
@@ -99,6 +141,11 @@ impl<'a> WorkingSet<'a> {
             sum: 0.0,
             round: 0,
             last_added: Vec::new(),
+            last_added_mask: FixedBitSet::new(answers.len()),
+            scratch_added: Vec::new(),
+            scratch_mask: FixedBitSet::new(answers.len()),
+            diff_history: Vec::new(),
+            diff_offsets: vec![0],
         }
     }
 
@@ -146,14 +193,44 @@ impl<'a> WorkingSet<'a> {
         &self.index.info(self.members[position]).pattern
     }
 
-    /// Completed coverage-mutation rounds (Delta-Judgment clock).
+    /// The coverage version: how many rounds actually *grew* the coverage
+    /// (the Delta-Judgment clock). A merge that absorbs nothing new leaves
+    /// the version unchanged, so cached marginals stay exactly valid across
+    /// it — this is what lets the merge-frontier engine skip whole rounds
+    /// of re-evaluation.
     pub fn round(&self) -> u32 {
         self.round
     }
 
-    /// Tuples newly covered by the most recent round (`T_i \ T_{i-1}`).
+    /// Tuples newly covered by the most recent coverage-growing round
+    /// (`T_i \ T_{i-1}` for the current version `i`). Unchanged across
+    /// merges that absorb nothing.
     pub fn last_added(&self) -> &[TupleId] {
         &self.last_added
+    }
+
+    /// [`WorkingSet::last_added`] as a bitset over tuple ids, maintained
+    /// word-parallel during absorption. The Delta-Judgment refresh
+    /// intersects a dense candidate's coverage words against this mask —
+    /// O(n/64) regardless of how large the round diff was.
+    pub fn last_added_mask(&self) -> &FixedBitSet {
+        &self.last_added_mask
+    }
+
+    /// Every tuple that entered the coverage after version `round`, in
+    /// version order (each version's segment ascending by tuple id; the
+    /// concatenation is *not* globally sorted). This is what lets the
+    /// Delta-Judgment cache refresh an arbitrarily stale entry against
+    /// exactly the tuples it is missing, instead of recomputing the whole
+    /// marginal — the enabler for the merge-frontier's lazy selection,
+    /// which deliberately leaves low-scoring candidates stale for many
+    /// rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` exceeds the current version.
+    pub fn added_since(&self, round: u32) -> &[TupleId] {
+        &self.diff_history[self.diff_offsets[round as usize] as usize..]
     }
 
     /// Whether tuple `t` is covered by the union of current members.
@@ -218,6 +295,48 @@ impl<'a> WorkingSet<'a> {
         }
     }
 
+    /// Marginal via the cheaper side: when most of a dense candidate's
+    /// coverage is still uncovered, summing the (small) covered
+    /// intersection and subtracting it from the candidate's stored total
+    /// reads far fewer values than summing the (large) marginal directly.
+    /// A word-level popcount pass picks the side first; the sparse path
+    /// and the direct side fall through to [`WorkingSet::marginal_fused`].
+    ///
+    /// Results agree with the direct path up to float rounding of the
+    /// subtraction (exact for dyadic values); the Delta-Judgment cache
+    /// uses this for its full recomputations, where the value is about to
+    /// be refreshed incrementally anyway.
+    pub fn marginal_complement(&self, id: CandId) -> (f64, u32) {
+        let info = self.index.info(id);
+        let Some(bits) = &info.cov_bits else {
+            return self.marginal_naive(id);
+        };
+        let mut inter = 0u32;
+        for (&c, &t) in bits.as_words().iter().zip(self.covered.as_words()) {
+            inter += (c & t).count_ones();
+        }
+        if (inter as usize) * 2 > info.cov.len() {
+            // Covered side is the big one: sum the marginal directly.
+            return bits.difference_count_sum(&self.covered, self.answers.vals());
+        }
+        let vals = self.answers.vals();
+        let mut covered_sum = 0.0;
+        for (wi, (&c, &t)) in bits
+            .as_words()
+            .iter()
+            .zip(self.covered.as_words())
+            .enumerate()
+        {
+            let mut x = c & t;
+            while x != 0 {
+                let i = wi * 64 + x.trailing_zeros() as usize;
+                covered_sum += vals[i];
+                x &= x - 1;
+            }
+        }
+        (info.sum - covered_sum, info.cov.len() as u32 - inter)
+    }
+
     /// Objective value after hypothetically absorbing a marginal.
     pub fn avg_after(&self, dsum: f64, dcnt: u32) -> f64 {
         let n = self.covered_count() + dcnt as usize;
@@ -268,15 +387,40 @@ impl<'a> WorkingSet<'a> {
         };
         let lca = pat_a.lca(&pat_b);
         let lca_id = self.index.require(&lca)?;
+        self.merge_by_lca(lca_id).map(|event| event.lca)
+    }
+
+    /// Apply a merge directly by its LCA candidate id: evict every member
+    /// the LCA covers, absorb the LCA's coverage, push the LCA as a member.
+    /// This is [`WorkingSet::apply_merge`] with the LCA already resolved —
+    /// the merge-frontier engine resolves each pair's LCA exactly once and
+    /// drives all merges through here — and it reports what happened as a
+    /// [`MergeEvent`].
+    pub fn merge_by_lca(&mut self, lca_id: CandId) -> Result<MergeEvent> {
+        if (lca_id as usize) >= self.index.len() {
+            return Err(QagError::internal("merge LCA id out of candidate range"));
+        }
+        let index = self.index;
+        let lca = &index.info(lca_id).pattern;
         // Evict every member covered by the LCA (this includes the merge
         // endpoints). Eviction cannot shrink coverage: cov(M) ⊆ cov(LCA)
         // for every evicted M.
-        let index = self.index;
-        self.members
-            .retain(|&m| !lca.covers(&index.info(m).pattern));
-        self.absorb_coverage(lca_id);
+        let mut removed = Vec::with_capacity(2);
+        self.members.retain(|&m| {
+            if lca.covers(&index.info(m).pattern) {
+                removed.push(m);
+                false
+            } else {
+                true
+            }
+        });
+        let grew = self.absorb_coverage(lca_id);
         self.members.push(lca_id);
-        Ok(lca_id)
+        Ok(MergeEvent {
+            lca: lca_id,
+            removed,
+            new_coverage: grew,
+        })
     }
 
     /// The LCA candidate of a pending merge, plus its evaluated objective.
@@ -357,13 +501,19 @@ impl<'a> WorkingSet<'a> {
         }
     }
 
-    fn absorb_coverage(&mut self, id: CandId) {
-        self.last_added.clear();
+    /// Absorb `cov(id)` into the coverage, returning whether anything new
+    /// was covered. The coverage version (`round`) and the version diff
+    /// (`last_added`) advance only when coverage actually grew, so a no-op
+    /// absorption keeps every round-stamped marginal cache entry valid.
+    fn absorb_coverage(&mut self, id: CandId) -> bool {
+        self.scratch_added.clear();
+        self.scratch_mask.clear();
         let info = self.index.info(id);
         if let Some(bits) = &info.cov_bits {
             // Fused path: extract the round diff `cov \ T` word-by-word
             // (ascending, so sum accumulation order matches the per-tuple
             // loop), then fold the coverage in with a word-level union.
+            // Each diff word doubles as a word of the diff mask.
             let vals = self.answers.vals();
             for (wi, (&c, &t)) in bits
                 .as_words()
@@ -372,10 +522,14 @@ impl<'a> WorkingSet<'a> {
                 .enumerate()
             {
                 let mut w = c & !t;
+                if w == 0 {
+                    continue;
+                }
+                self.scratch_mask.set_word(wi, w);
                 while w != 0 {
                     let i = wi * 64 + w.trailing_zeros() as usize;
                     self.sum += vals[i];
-                    self.last_added.push(i as TupleId);
+                    self.scratch_added.push(i as TupleId);
                     w &= w - 1;
                 }
             }
@@ -384,11 +538,20 @@ impl<'a> WorkingSet<'a> {
             for &t in &info.cov {
                 if self.covered.insert(t as usize) {
                     self.sum += self.answers.val(t);
-                    self.last_added.push(t);
+                    self.scratch_added.push(t);
+                    self.scratch_mask.insert(t as usize);
                 }
             }
         }
+        if self.scratch_added.is_empty() {
+            return false;
+        }
+        std::mem::swap(&mut self.last_added, &mut self.scratch_added);
+        std::mem::swap(&mut self.last_added_mask, &mut self.scratch_mask);
+        self.diff_history.extend_from_slice(&self.last_added);
+        self.diff_offsets.push(self.diff_history.len() as u32);
         self.round += 1;
+        true
     }
 }
 
@@ -468,8 +631,37 @@ mod tests {
         assert_eq!(w.len(), 1);
         assert_eq!(s.pattern_to_string(&idx.info(lca).pattern), "(x, *, 1)");
         assert_eq!(w.covered_count(), 2);
-        assert_eq!(w.round(), 3); // two adds + one merge
-        assert!(w.last_added().is_empty(), "no new coverage absorbed");
+        // Two coverage-growing adds; the merge absorbed nothing, so the
+        // coverage version and its diff are unchanged.
+        assert_eq!(w.round(), 2);
+        assert_eq!(w.last_added(), &[1], "diff still the last growing round");
+    }
+
+    #[test]
+    fn merge_by_lca_reports_event() {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, 3).unwrap();
+        let mut w = WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let members = w.members().to_vec();
+        // LCA of positions 0 and 2 is (*, p, *), which newly covers tuple 4.
+        let lca = w.pattern(0).lca(w.pattern(2));
+        let lca_id = idx.require(&lca).unwrap();
+        let event = w.merge_by_lca(lca_id).unwrap();
+        assert_eq!(event.lca, lca_id);
+        assert_eq!(event.removed, vec![members[0], members[2]]);
+        assert!(event.new_coverage);
+        assert_eq!(w.members().last(), Some(&lca_id));
+        // A second, coverage-neutral merge reports no new coverage.
+        let star = idx.require(&Pattern::all_star(3));
+        if let Ok(star_id) = star {
+            let before = w.covered_count();
+            let event = w.merge_by_lca(star_id).unwrap();
+            assert_eq!(w.covered_count() == before, !event.new_coverage);
+        }
+        assert!(
+            w.merge_by_lca(u32::MAX).is_err(),
+            "out-of-range id rejected"
+        );
     }
 
     #[test]

