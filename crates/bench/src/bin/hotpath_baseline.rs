@@ -40,15 +40,15 @@
 //! wall clock), so scheduler noise only ever inflates, never deflates, the
 //! reported speedups.
 
-use qagview_bench::synthetic_answers;
+use qagview_bench::{repo_root, synthetic_answers};
 use qagview_core::{
     fixed_order_phase, hybrid_with, run_phases, run_phases_reeval, EvalMode, Evaluator, GreedyRule,
     Params, Seeding, WorkingSet,
 };
 use qagview_datagen::movielens::{self, MovieLensConfig};
 use qagview_interactive::{
-    DescentEngine, ExploreCommand, ExploreSession, Explorer, ExplorerConfig, PrecomputeConfig,
-    Precomputed,
+    store, DescentEngine, ExploreCommand, ExploreSession, Explorer, ExplorerConfig,
+    PrecomputeConfig, Precomputed,
 };
 use qagview_lattice::{AnswerSet, CandidateIndex};
 use qagview_query::{bind, execute, execute_rows, group_aggregate, parse};
@@ -334,9 +334,15 @@ fn bench_query_exec(all_ok: &mut bool) -> String {
         grouped.num_groups(),
         thresholds.len()
     );
-    if exec_speedup < 3.0 {
+    // Static bars are coarse sanity floors; the precise guard is the CI
+    // trajectory gate (`perf_trajectory`), which compares every enforced
+    // metric against the committed baseline with a 25% tolerance. The
+    // vectorized floor sits at 2x because the *row* engine's absolute time
+    // swings with the host (the ratio's denominator), while the vectorized
+    // time itself is stable.
+    if exec_speedup < 2.0 {
         *all_ok = false;
-        eprintln!("  WARNING: vectorized execution below the 3x acceptance bar");
+        eprintln!("  WARNING: vectorized execution below the 2x acceptance floor");
     }
     if reuse_speedup < 20.0 {
         *all_ok = false;
@@ -362,6 +368,109 @@ fn bench_query_exec(all_ok: &mut bool) -> String {
         groups = grouped.num_groups(),
         aggs = grouped.num_aggs(),
         positions = thresholds.len(),
+    )
+}
+
+/// The `store_warm_start` section: what a *fresh process* pays to serve
+/// its first summary from a persisted `.qag` plane store versus building
+/// the same plane set cold from the answer relation.
+///
+/// The cold arm is the full §6.2 initialization a process without a store
+/// must run: candidate-index construction plus every `(k ≤ 50, D ≤ m)`
+/// descent ([`Precomputed::build`]). The warm arm opens the store file
+/// (read + checksum + header/interval/state decode; coverage sections stay
+/// zero-copy in the buffer) and serves `solution(k, d)` — exactly the path
+/// a restarted serving process takes. Before timing anything, every stored
+/// solution across the whole grid is asserted byte-identical (patterns,
+/// member lists, f64 sum/value bits, guidance plot) between the built and
+/// the loaded plane set.
+fn bench_store_warm_start(all_ok: &mut bool) -> String {
+    let wl = &WORKLOADS[1]; // m = 6 — the heavier plane workload
+    let answers = synthetic_answers(N, wl.m, 7).expect("synthetic workload");
+    let cfg = PrecomputeConfig {
+        k_min: 1,
+        k_max: PLANE_K_MAX,
+        d_min: 0,
+        d_max: wl.m,
+        pool_factor: 2,
+        eval: EvalMode::Delta,
+        parallel: false,
+        engine: DescentEngine::Frontier,
+    };
+    let (first_k, first_d) = (20usize, 2usize);
+
+    // Build once, persist, and hold the byte-identity bar before timing.
+    let built = Precomputed::build(&answers, wl.l, cfg).expect("cold build");
+    // Keyed by process id: the fingerprint is deterministic (fixed seed),
+    // so two concurrent baseline runs on one host must not share a file —
+    // one run's cleanup would yank it out from under the other's timing
+    // loop.
+    let path = std::env::temp_dir().join(format!(
+        "qag-bench-{}-{}",
+        std::process::id(),
+        store::plane_file_name(answers.fingerprint(), wl.l, PLANE_K_MAX, 2)
+    ));
+    store::save(&built, &path).expect("save plane store");
+    let file_bytes = std::fs::metadata(&path).expect("stat store").len();
+    let loaded = store::load(&path, &answers).expect("load plane store");
+    for d in 0..=wl.m {
+        for k in 1..=PLANE_K_MAX {
+            let a = built.solution(k, d).expect("built solution");
+            let b = loaded.solution(k, d).expect("loaded solution");
+            assert_eq!(a.patterns(), b.patterns(), "store diverges at k={k} d={d}");
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "sum bits k={k} d={d}");
+            for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+                assert_eq!(ca.members, cb.members, "members k={k} d={d}");
+            }
+            assert_eq!(
+                built.value(k, d).expect("value").to_bits(),
+                loaded.value(k, d).expect("value").to_bits(),
+                "value bits k={k} d={d}"
+            );
+        }
+    }
+    assert_eq!(built.guidance(), loaded.guidance(), "guidance plots differ");
+    let clusters_stored = loaded.stored_intervals();
+    drop((built, loaded));
+
+    let cold_ms = time_best_ms(3, || {
+        let pre = Precomputed::build(&answers, wl.l, cfg).expect("cold build");
+        pre.solution(first_k, first_d).expect("first summary")
+    });
+    let warm_ms = time_best_ms(5, || {
+        let pre = store::load(&path, &answers).expect("warm load");
+        pre.solution(first_k, first_d).expect("first summary")
+    });
+    let speedup = cold_ms / warm_ms;
+    let _ = std::fs::remove_file(&path);
+
+    eprintln!(
+        "store warm start (m={}, {} planes, {} intervals, {file_bytes} bytes): \
+         cold build+first-summary {cold_ms:.2} ms, open-from-store {warm_ms:.3} ms ({speedup:.0}x)",
+        wl.m,
+        wl.m + 1,
+        clusters_stored,
+    );
+    if speedup < 50.0 {
+        *all_ok = false;
+        eprintln!("  WARNING: store warm start below the 50x acceptance bar");
+    }
+
+    format!(
+        r#"  "store_warm_start": {{
+    "what": "fresh-process first summary: open a persisted .qag plane store (read + checksum + lazy-coverage decode) vs rebuilding the plane set cold (candidate index + all (k,D) descents); loaded plane asserted byte-identical across the whole grid first",
+    "m": {m}, "n": {n}, "l": {l}, "k_max": {PLANE_K_MAX}, "d_planes": {planes},
+    "file_bytes": {file_bytes},
+    "stored_intervals": {clusters_stored},
+    "first_summary": {{ "k": {first_k}, "d": {first_d} }},
+    "cold_build_ms": {cold_ms:.3},
+    "open_from_store_ms": {warm_ms:.4},
+    "speedup": {speedup:.2}
+  }}"#,
+        m = wl.m,
+        n = answers.len(),
+        l = wl.l,
+        planes = wl.m + 1,
     )
 }
 
@@ -561,9 +670,12 @@ fn main() {
         // --- plane build: per-round re-eval vs merge-frontier descents ---
         let (plane_json, plane_speedup) = bench_plane_build_for(&answers, &index, wl);
         plane_sections.push(plane_json);
-        if wl.m == 6 && plane_speedup < 5.0 {
+        // Floor at 4x (the committed m=6 ratio is ~5.5x): the re-eval
+        // arm's absolute time wobbles with the host; the trajectory gate
+        // owns the tight relative bound.
+        if wl.m == 6 && plane_speedup < 4.0 {
             all_ok = false;
-            eprintln!("  WARNING: frontier plane build below the 5x acceptance bar");
+            eprintln!("  WARNING: frontier plane build below the 4x acceptance floor");
         }
 
         // --- full greedy run: naive vs delta evaluation ---
@@ -624,17 +736,23 @@ fn main() {
 
     let query_exec = bench_query_exec(&mut all_ok);
     let session_tick = bench_session_tick(&mut all_ok);
+    let store_warm_start = bench_store_warm_start(&mut all_ok);
     let plane_build = format!(
         "  \"plane_build\": {{\n    \"what\": \"cold (k,D)-plane precomputation (k in [1,50], D in [0,m], pool=2*k_max, Arc-shared index): per-round re-eval engine vs merge-frontier engine, all stored solutions asserted byte-identical first\",\n    \"workloads\": [\n{}\n    ]\n  }}",
         plane_sections.join(",\n")
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n{session_tick},\n{plane_build},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n{session_tick},\n{store_warm_start},\n{plane_build},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         sections.join(",\n")
     );
-    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    // Always resolve against the repository root — running from a crate
+    // directory must not scatter stray baseline files (the trajectory
+    // gate would then diff against nothing).
+    let out = repo_root().join("BENCH_hotpath.json");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
     println!("{json}");
+    eprintln!("wrote {}", out.display());
     if !all_ok {
         eprintln!("hotpath_baseline: speedup bar missed (see warnings above)");
         std::process::exit(1);

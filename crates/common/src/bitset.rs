@@ -47,6 +47,43 @@ impl FixedBitSet {
         b
     }
 
+    /// Reassemble a bitset from its capacity and backing words — the
+    /// deserialization inverse of [`FixedBitSet::as_words`]. Validates the
+    /// word count and the padding-bits-zero invariant the fused kernels
+    /// depend on; a malformed input is a typed error, never a panic,
+    /// because the words may come from an untrusted store file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QagError::Store`](crate::error::QagError::Store) with
+    /// [`StoreErrorKind::Corrupt`](crate::error::StoreErrorKind::Corrupt)
+    /// if the word count does not match `len` or a bit past `len` is set.
+    pub fn from_words(len: usize, words: Vec<u64>) -> crate::Result<Self> {
+        use crate::error::{QagError, StoreErrorKind};
+        if words.len() != len.div_ceil(64) {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!(
+                    "bitset of capacity {len} needs {} words, got {}",
+                    len.div_ceil(64),
+                    words.len()
+                ),
+            ));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(QagError::store(
+                        StoreErrorKind::Corrupt,
+                        format!("bitset of capacity {len} has padding bits set"),
+                    ));
+                }
+            }
+        }
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(FixedBitSet { words, len, ones })
+    }
+
     /// Capacity (number of addressable bits).
     #[inline]
     pub fn len(&self) -> usize {
@@ -321,6 +358,21 @@ mod tests {
     fn remove_out_of_range_panics_even_in_release() {
         let mut b = FixedBitSet::new(10);
         let _ = b.remove(10);
+    }
+
+    #[test]
+    fn from_words_validates_shape_and_padding() {
+        // Round trip through the raw words.
+        let bits = FixedBitSet::from_ids(130, [0usize, 63, 64, 129]);
+        let back = FixedBitSet::from_words(130, bits.as_words().to_vec()).unwrap();
+        assert_eq!(back, bits);
+        assert_eq!(back.count_ones(), 4);
+        // Wrong word count.
+        assert!(FixedBitSet::from_words(130, vec![0; 2]).is_err());
+        // Padding bit set past len.
+        assert!(FixedBitSet::from_words(10, vec![1 << 11]).is_err());
+        // Exactly at a word boundary: no padding to validate.
+        assert!(FixedBitSet::from_words(64, vec![u64::MAX]).is_ok());
     }
 
     #[test]

@@ -33,6 +33,55 @@ pub enum QagError {
     SchemaMismatch(String),
     /// An internal invariant was violated; indicates a bug in this library.
     Internal(String),
+    /// A persistent store (`.qag`) operation failed; [`StoreErrorKind`]
+    /// says how, so callers can distinguish a stale cache file
+    /// ([`StoreErrorKind::FingerprintMismatch`]) from corruption.
+    Store {
+        /// Machine-checkable failure class.
+        kind: StoreErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Failure classes of the persistent precompute store.
+///
+/// Every way a `.qag` file can be unusable maps to exactly one kind, and
+/// all of them surface as [`QagError::Store`] — never a panic — so a
+/// serving process can treat any of them as a cache miss and rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreErrorKind {
+    /// The file ended before a section was fully read.
+    Truncated,
+    /// The magic bytes do not identify a store file.
+    BadMagic,
+    /// The format version is newer (or older) than this build understands.
+    UnsupportedVersion,
+    /// The payload checksum does not match the stored one.
+    ChecksumMismatch,
+    /// The sections decode but violate a format invariant (out-of-range
+    /// code, inverted interval, absurd count, …).
+    Corrupt,
+    /// The file is internally valid but was built over a different answer
+    /// set than the one it is being loaded against.
+    FingerprintMismatch,
+    /// The underlying filesystem operation failed.
+    Io,
+}
+
+impl fmt::Display for StoreErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StoreErrorKind::Truncated => "truncated",
+            StoreErrorKind::BadMagic => "bad magic",
+            StoreErrorKind::UnsupportedVersion => "unsupported version",
+            StoreErrorKind::ChecksumMismatch => "checksum mismatch",
+            StoreErrorKind::Corrupt => "corrupt",
+            StoreErrorKind::FingerprintMismatch => "fingerprint mismatch",
+            StoreErrorKind::Io => "io",
+        };
+        f.write_str(s)
+    }
 }
 
 impl QagError {
@@ -53,6 +102,22 @@ impl QagError {
     pub fn internal(message: impl Into<String>) -> Self {
         QagError::Internal(message.into())
     }
+
+    /// Shorthand constructor for [`QagError::Store`].
+    pub fn store(kind: StoreErrorKind, message: impl Into<String>) -> Self {
+        QagError::Store {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// The store failure class, if this is a [`QagError::Store`].
+    pub fn store_kind(&self) -> Option<StoreErrorKind> {
+        match self {
+            QagError::Store { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for QagError {
@@ -66,6 +131,9 @@ impl fmt::Display for QagError {
             QagError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             QagError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             QagError::Internal(m) => write!(f, "internal error: {m}"),
+            QagError::Store { kind, message } => {
+                write!(f, "store error ({kind}): {message}")
+            }
         }
     }
 }

@@ -17,6 +17,8 @@
 //!   layers.
 //! * [`rng`] — deterministic seeded random number helpers so every dataset
 //!   and randomized algorithm in the workspace is reproducible.
+//! * [`wire`] — little-endian section (de)serialization primitives and the
+//!   payload checksum used by the persistent precompute store.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,9 +29,10 @@ pub mod hash;
 pub mod intern;
 pub mod rng;
 pub mod value;
+pub mod wire;
 
 pub use bitset::FixedBitSet;
-pub use error::{QagError, Result};
+pub use error::{QagError, Result, StoreErrorKind};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
 pub use value::Value;

@@ -50,8 +50,9 @@ pub const DEFAULT_L: usize = 8;
 /// Default `D` of a fresh session.
 pub const DEFAULT_D: usize = 2;
 
-/// Tuning knobs of an [`Explorer`] — cache bounds and plane shape.
-#[derive(Debug, Clone, Copy)]
+/// Tuning knobs of an [`Explorer`] — cache bounds, plane shape, and the
+/// optional persistent plane store.
+#[derive(Debug, Clone)]
 pub struct ExplorerConfig {
     /// Max cached group phases (layer 1).
     pub group_cache_entries: usize,
@@ -69,6 +70,12 @@ pub struct ExplorerConfig {
     /// Build the per-`D` planes on parallel threads (byte-identical to
     /// serial; see the `parallel_and_serial_builds_agree` property).
     pub parallel_planes: bool,
+    /// Directory of the persistent plane store. When set, a plane-cache
+    /// miss probes `<dir>/plane-<fp>-l<L>-k<kmax>-p<pool>.qag` before building,
+    /// and a cold build writes its plane set back (atomically), so the
+    /// next *process* warm-starts in roughly the cost of reading the
+    /// file. `None` (the default) keeps planes process-scoped.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExplorerConfig {
@@ -81,6 +88,7 @@ impl Default for ExplorerConfig {
             default_k_max: 20,
             pool_factor: DEFAULT_POOL_FACTOR,
             parallel_planes: true,
+            store_dir: None,
         }
     }
 }
@@ -94,6 +102,21 @@ pub enum CacheOutcome {
     Miss,
 }
 
+/// Cumulative counters of the persistent plane-store tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreLayerStats {
+    /// Plane sets loaded from a `.qag` file after a memory-cache miss.
+    pub loads: u64,
+    /// Probes that found no usable file (absent, corrupt, or keyed to a
+    /// different answer set) and fell through to a cold build.
+    pub probe_misses: u64,
+    /// Plane sets written back after a cold build.
+    pub writes: u64,
+    /// Write-backs that failed (e.g. a full disk). Serving is unaffected —
+    /// a failed write-back only costs the next process its warm start.
+    pub write_errors: u64,
+}
+
 /// Cumulative counters of every [`Explorer`] cache layer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExplorerStats {
@@ -105,6 +128,8 @@ pub struct ExplorerStats {
     pub planes: LayerStats,
     /// Drill-down summarizer cache.
     pub summarizers: LayerStats,
+    /// Persistent plane-store tier (layer 3's disk backing).
+    pub store: StoreLayerStats,
 }
 
 /// Which cache layer answered each stage of one command, plus a cumulative
@@ -118,7 +143,15 @@ pub struct CacheProvenance {
     /// Layer 2: dense-coded answer relation.
     pub answers: CacheOutcome,
     /// Layer 3: the `(k, D)` parameter plane serving summary and plot.
+    /// [`CacheOutcome::Miss`] means the in-memory cache had to be filled —
+    /// `plane_store` says whether the fill came from disk or a cold build.
     pub plane: CacheOutcome,
+    /// The persistent store tier, probed only on a plane-cache miss with a
+    /// configured [`ExplorerConfig::store_dir`]: `Some(Hit)` — the plane
+    /// set was loaded from a `.qag` file; `Some(Miss)` — no usable file,
+    /// the plane was built cold (and written back); `None` — the store was
+    /// not consulted (memory hit, or no store configured).
+    pub plane_store: Option<CacheOutcome>,
     /// Drill-down summarizer (only consulted while a drill is active).
     pub summarizer: Option<CacheOutcome>,
     /// Cumulative hits/misses/evictions per layer, after this command.
@@ -305,6 +338,7 @@ pub struct Explorer {
     answers: Mutex<LruCache<(TableId, u64), Arc<AnswerEntry>>>,
     planes: Mutex<LruCache<(u64, usize, usize), Arc<Precomputed<'static>>>>,
     summarizers: Mutex<LruCache<(u64, usize), Arc<Summarizer<'static>>>>,
+    store_stats: Mutex<StoreLayerStats>,
 }
 
 impl std::fmt::Debug for Explorer {
@@ -339,7 +373,6 @@ impl Explorer {
     pub fn from_shared(catalog: Arc<Catalog>, cfg: ExplorerConfig) -> Self {
         Explorer {
             catalog,
-            cfg,
             groups: Mutex::new(GroupLayer {
                 cache: LruCache::new(cfg.group_cache_entries),
                 scratch: GroupTable::new(0),
@@ -347,6 +380,8 @@ impl Explorer {
             answers: Mutex::new(LruCache::new(cfg.answers_cache_entries)),
             planes: Mutex::new(LruCache::new(cfg.plane_cache_entries)),
             summarizers: Mutex::new(LruCache::new(cfg.summarizer_cache_entries)),
+            store_stats: Mutex::new(StoreLayerStats::default()),
+            cfg,
         }
     }
 
@@ -372,7 +407,56 @@ impl Explorer {
             answers: self.lock(&self.answers).stats(),
             planes: self.lock(&self.planes).stats(),
             summarizers: self.lock(&self.summarizers).stats(),
+            store: *self.lock(&self.store_stats),
         }
+    }
+
+    /// The `.qag` path a plane keyed `(fp, l_eff, k_max)` persists at, when
+    /// a store directory is configured.
+    fn store_path(&self, fp: u64, l_eff: usize, k_max: usize) -> Option<std::path::PathBuf> {
+        self.cfg.store_dir.as_ref().map(|dir| {
+            dir.join(crate::store::plane_file_name(
+                fp,
+                l_eff,
+                k_max,
+                self.cfg.pool_factor,
+            ))
+        })
+    }
+
+    /// Probe the persistent store for a compatible plane set. Any failure —
+    /// absent file, corruption, foreign fingerprint, stale shape — is a
+    /// probe miss: the caller rebuilds cold and overwrites the file.
+    fn store_probe(
+        &self,
+        path: &std::path::Path,
+        base: &Arc<AnswerSet>,
+        fp: u64,
+        l_eff: usize,
+        k_max: usize,
+    ) -> Option<Precomputed<'static>> {
+        if !path.exists() {
+            return None;
+        }
+        let reader = crate::store::StoreReader::open(path).ok()?;
+        let cfg = reader.config();
+        // The file must serve exactly what the in-memory key promises:
+        // same relation, same L, a grid covering the full knob ranges, and
+        // the same pool factor — pool size changes which clusters the
+        // Fixed-Order phase keeps, so a plane built under a different
+        // pool_factor would serve different (valid but non-reproducible)
+        // summaries, breaking the warm-equals-cold invariant.
+        if reader.fingerprint() != fp
+            || reader.l() != l_eff
+            || cfg.k_min != 1
+            || cfg.k_max != k_max
+            || cfg.d_min != 0
+            || cfg.d_max != base.arity()
+            || cfg.pool_factor != self.cfg.pool_factor
+        {
+            return None;
+        }
+        reader.into_precomputed(Arc::clone(base)).ok()
     }
 
     /// Compute the full view for one exploration state — the stateless
@@ -454,29 +538,62 @@ impl Explorer {
 
         // Layer 3: the (k, D) parameter plane — keyed by the answer set's
         // *content* fingerprint, so a threshold tick that does not change
-        // the relation reuses the whole plane.
+        // the relation reuses the whole plane. On a memory miss the
+        // persistent store (when configured) is probed before building:
+        // a usable `.qag` file turns a cold build into a file read, and a
+        // cold build writes its plane set back for the next process. All
+        // store traffic runs with no layer lock held.
         let k_max = self.cfg.default_k_max.max(state.k);
         let pkey = (base_fp, l_eff, k_max);
         let probe = self.lock(&self.planes).get_cloned(&pkey);
-        let (plane, plane_out) = match probe {
-            Some(p) => (p, CacheOutcome::Hit),
+        let (plane, plane_out, store_out) = match probe {
+            Some(p) => (p, CacheOutcome::Hit, None),
             None => {
-                let p: Arc<Precomputed<'static>> = Arc::new(Precomputed::build(
-                    Arc::clone(&base),
-                    l_eff,
-                    PrecomputeConfig {
-                        k_min: 1,
-                        k_max,
-                        d_min: 0,
-                        d_max: m,
-                        pool_factor: self.cfg.pool_factor,
-                        eval: qagview_core::EvalMode::Delta,
-                        parallel: self.cfg.parallel_planes,
-                        ..Default::default()
-                    },
-                )?);
+                let store_path = self.store_path(base_fp, l_eff, k_max);
+                let loaded = store_path
+                    .as_ref()
+                    .and_then(|path| self.store_probe(path, &base, base_fp, l_eff, k_max));
+                let (p, store_out, write_back) = match loaded {
+                    Some(p) => {
+                        self.lock(&self.store_stats).loads += 1;
+                        (Arc::new(p), Some(CacheOutcome::Hit), false)
+                    }
+                    None => {
+                        let built: Arc<Precomputed<'static>> = Arc::new(Precomputed::build(
+                            Arc::clone(&base),
+                            l_eff,
+                            PrecomputeConfig {
+                                k_min: 1,
+                                k_max,
+                                d_min: 0,
+                                d_max: m,
+                                pool_factor: self.cfg.pool_factor,
+                                eval: qagview_core::EvalMode::Delta,
+                                parallel: self.cfg.parallel_planes,
+                                ..Default::default()
+                            },
+                        )?);
+                        if store_path.is_some() {
+                            self.lock(&self.store_stats).probe_misses += 1;
+                            (built, Some(CacheOutcome::Miss), true)
+                        } else {
+                            (built, None, false)
+                        }
+                    }
+                };
+                // Publish to the memory cache *before* the disk write-back:
+                // concurrent sessions racing the same key stop duplicating
+                // the cold build as soon as the plane exists, and the
+                // serialize + write cost never sits between them and a hit.
                 self.lock(&self.planes).insert(pkey, Arc::clone(&p));
-                (p, CacheOutcome::Miss)
+                if write_back {
+                    let path = store_path.as_ref().expect("write_back implies a path");
+                    match crate::store::save(&p, path) {
+                        Ok(()) => self.lock(&self.store_stats).writes += 1,
+                        Err(_) => self.lock(&self.store_stats).write_errors += 1,
+                    }
+                }
+                (p, CacheOutcome::Miss, store_out)
             }
         };
         let plot = plane.guidance();
@@ -518,6 +635,7 @@ impl Explorer {
             group_phase: group_out,
             answers: answers_out,
             plane: plane_out,
+            plane_store: store_out,
             summarizer: summarizer_out,
             stats: self.stats(),
         };
@@ -933,6 +1051,79 @@ mod tests {
         assert_eq!(stats.group_phase.entries, 2);
         assert_eq!(stats.answers.entries, 2);
         assert_eq!(stats.planes.entries, 2);
+    }
+
+    #[test]
+    fn store_tier_write_back_and_process_warm_start() {
+        let dir = std::env::temp_dir().join(format!(
+            "qag-explorer-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ExplorerConfig {
+            store_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+
+        // "Process 1": cold build, written back to disk.
+        let shared = Arc::new(catalog());
+        let engine = Arc::new(Explorer::from_shared(Arc::clone(&shared), cfg.clone()));
+        let mut s = ExploreSession::new(Arc::clone(&engine));
+        let cold = s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(cold.provenance.plane, CacheOutcome::Miss);
+        assert_eq!(cold.provenance.plane_store, Some(CacheOutcome::Miss));
+        let stats = engine.stats().store;
+        assert_eq!((stats.loads, stats.probe_misses, stats.writes), (0, 1, 1));
+        assert_eq!(stats.write_errors, 0);
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1, "exactly one .qag written");
+
+        // Same engine, warm tick: memory hit, store not consulted.
+        let warm = s.apply(ExploreCommand::SetK(3)).unwrap();
+        assert_eq!(warm.provenance.plane, CacheOutcome::Hit);
+        assert_eq!(warm.provenance.plane_store, None);
+
+        // "Process 2": a fresh engine over the same catalog warm-starts
+        // from the store and shows the user the exact same thing.
+        let engine2 = Arc::new(Explorer::from_shared(Arc::clone(&shared), cfg));
+        let mut s2 = ExploreSession::new(Arc::clone(&engine2));
+        let restored = s2.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(restored.provenance.plane, CacheOutcome::Miss);
+        assert_eq!(restored.provenance.plane_store, Some(CacheOutcome::Hit));
+        assert_eq!(engine2.stats().store.loads, 1);
+        assert!(cold.same_view(&restored), "store-served view must match");
+
+        // A corrupt file is a probe miss, not an error: flip one byte.
+        let path = files[0].as_ref().unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let engine3 = Arc::new(Explorer::from_shared(
+            Arc::clone(&shared),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        ));
+        let mut s3 = ExploreSession::new(Arc::clone(&engine3));
+        let rebuilt = s3.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(rebuilt.provenance.plane_store, Some(CacheOutcome::Miss));
+        assert!(cold.same_view(&rebuilt));
+        // ... and the rebuild overwrote the corrupt file with a good one.
+        let engine4 = Arc::new(Explorer::from_shared(
+            Arc::clone(&shared),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        ));
+        let mut s4 = ExploreSession::new(engine4);
+        let reread = s4.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(reread.provenance.plane_store, Some(CacheOutcome::Hit));
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -91,6 +91,16 @@ impl<T> IntervalTree<T> {
         self.nodes.is_empty()
     }
 
+    /// Iterate over every stored interval as `(lo, hi, &payload)`, in
+    /// internal node order (not sorted). This is the serialization
+    /// extraction point of the persistent precompute store: the store
+    /// re-sorts the items canonically, and rebuilding via
+    /// [`IntervalTree::build`] from a canonically sorted item list yields
+    /// a structurally identical tree.
+    pub fn items(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        self.nodes.iter().map(|n| (n.lo, n.hi, &n.value))
+    }
+
     /// All payloads whose interval contains `point`, in lo-sorted order.
     pub fn stab(&self, point: usize) -> Vec<&T> {
         let mut out = Vec::new();

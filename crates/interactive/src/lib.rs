@@ -45,13 +45,15 @@ pub mod interval_tree;
 pub mod plot;
 pub mod precompute;
 pub mod session;
+pub mod store;
 
 pub use cache::{LayerStats, LruCache};
 pub use explore::{
     CacheOutcome, CacheProvenance, ClusterView, ExploreCommand, ExploreResponse, ExploreSession,
-    ExploreState, Explorer, ExplorerConfig, ExplorerStats, SummaryView,
+    ExploreState, Explorer, ExplorerConfig, ExplorerStats, StoreLayerStats, SummaryView,
 };
 pub use interval_tree::IntervalTree;
 pub use plot::{DSeries, GuidancePlot};
 pub use precompute::{DescentEngine, PrecomputeConfig, Precomputed};
 pub use session::QuerySession;
+pub use store::StoreReader;

@@ -15,7 +15,9 @@ use qagview_core::{
     fixed_order_phase, frontier_round, run_phases_reeval, EvalMode, Evaluator, FrontierPhase,
     GreedyRule, MergeFrontier, MergeSpec, Params, Seeding, Solution, SolutionCluster, WorkingSet,
 };
-use qagview_lattice::{AnswerSet, AnswersHandle, CandId, CandidateIndex};
+use qagview_lattice::{
+    AnswerSet, AnswersHandle, CandId, CandidateIndex, ClusterDirectory, Pattern, TupleId,
+};
 use std::sync::Arc;
 
 /// Which merge engine drives the per-`D` descents.
@@ -71,10 +73,10 @@ impl Default for PrecomputeConfig {
 
 /// Solution metadata for one recorded state along a `D`-descent.
 #[derive(Debug, Clone, Copy)]
-struct StateMeta {
-    size: usize,
-    covered: usize,
-    sum: f64,
+pub(crate) struct StateMeta {
+    pub(crate) size: usize,
+    pub(crate) covered: usize,
+    pub(crate) sum: f64,
 }
 
 impl StateMeta {
@@ -89,11 +91,11 @@ impl StateMeta {
 
 /// One `D`-plane: cluster lifetimes over `k` plus per-state objective values.
 #[derive(Debug, Clone)]
-struct DPlane {
-    d: usize,
-    tree: IntervalTree<CandId>,
+pub(crate) struct DPlane {
+    pub(crate) d: usize,
+    pub(crate) tree: IntervalTree<CandId>,
     /// Recorded states in descent order (strictly decreasing `size`).
-    states: Vec<StateMeta>,
+    pub(crate) states: Vec<StateMeta>,
 }
 
 impl DPlane {
@@ -130,6 +132,22 @@ impl DPlane {
     }
 }
 
+/// Where a plane set resolves candidate ids to patterns and coverage.
+///
+/// A plane built in-process serves straight from the live
+/// [`CandidateIndex`]. A plane loaded from a `.qag` store serves from a
+/// [`ClusterDirectory`] — the compact directory of exactly the clusters
+/// the planes reference, with coverage sections materialized on demand —
+/// so a warm-started process never rebuilds (or even fully decodes) the
+/// candidate index. Both sources yield byte-identical solutions.
+#[derive(Debug)]
+pub(crate) enum ClusterSource {
+    /// Backed by the live candidate index of an in-process build.
+    Index(Arc<CandidateIndex>),
+    /// Backed by a loaded store's cluster directory.
+    Stored(ClusterDirectory),
+}
+
 /// Precomputed solutions for every `(k, D)` in the configured ranges at one
 /// fixed `L`.
 ///
@@ -137,10 +155,16 @@ impl DPlane {
 /// an [`AnswersHandle`]: built from `&AnswerSet` it borrows as before;
 /// built from `Arc<AnswerSet>` it is `'static` and can live inside the
 /// owned exploration engine's shared plane cache.
+///
+/// A `Precomputed` is also the unit of persistence: [`crate::store::save`]
+/// writes it to a versioned, checksummed `.qag` file, and
+/// [`crate::store::load`] reconstructs one (over a [`ClusterDirectory`]
+/// instead of a live index) that serves byte-identical solutions.
 #[derive(Debug)]
 pub struct Precomputed<'a> {
     answers: AnswersHandle<'a>,
-    index: Arc<CandidateIndex>,
+    source: ClusterSource,
+    l: usize,
     cfg: PrecomputeConfig,
     planes: Vec<DPlane>,
 }
@@ -171,17 +195,38 @@ impl<'a> Precomputed<'a> {
         let answers = answers.into();
         let index = index.into();
         let planes = build_planes(&answers, &index, &cfg)?;
+        let l = index.l();
         Ok(Precomputed {
             answers,
-            index,
+            source: ClusterSource::Index(index),
+            l,
             cfg,
             planes,
         })
     }
 
+    /// Reassemble a plane set from decoded store sections — the
+    /// [`crate::store`] loading path. The caller (the store decoder) has
+    /// already validated that every interval id resolves in `directory`.
+    pub(crate) fn from_stored(
+        answers: AnswersHandle<'a>,
+        directory: ClusterDirectory,
+        l: usize,
+        cfg: PrecomputeConfig,
+        planes: Vec<DPlane>,
+    ) -> Self {
+        Precomputed {
+            answers,
+            source: ClusterSource::Stored(directory),
+            l,
+            cfg,
+            planes,
+        }
+    }
+
     /// The `L` this precomputation serves.
     pub fn l(&self) -> usize {
-        self.index.l()
+        self.l
     }
 
     /// The configuration used.
@@ -189,9 +234,92 @@ impl<'a> Precomputed<'a> {
         &self.cfg
     }
 
-    /// The candidate index (shared with direct algorithm runs).
-    pub fn index(&self) -> &CandidateIndex {
-        &self.index
+    /// The answer relation the planes summarize.
+    pub fn answers(&self) -> &AnswerSet {
+        &self.answers
+    }
+
+    /// The live candidate index, when this plane set was built in-process
+    /// (`None` for a plane set loaded from a store, which serves from its
+    /// compact cluster directory instead).
+    pub fn index(&self) -> Option<&CandidateIndex> {
+        match &self.source {
+            ClusterSource::Index(ix) => Some(ix),
+            ClusterSource::Stored(_) => None,
+        }
+    }
+
+    /// Whether this plane set was loaded from a persistent store.
+    pub fn is_stored(&self) -> bool {
+        matches!(self.source, ClusterSource::Stored(_))
+    }
+
+    /// The planes, for store serialization.
+    pub(crate) fn planes(&self) -> &[DPlane] {
+        &self.planes
+    }
+
+    /// Every candidate id any plane references, ascending and deduplicated
+    /// — the cluster set a store file must carry.
+    pub(crate) fn referenced_ids(&self) -> Vec<CandId> {
+        let mut ids: Vec<CandId> = self
+            .planes
+            .iter()
+            .flat_map(|p| p.tree.items().map(|(_, _, &id)| id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Visit one candidate id's `(pattern, members, sum)` by reference —
+    /// the allocation-free flavor of [`Precomputed::cluster`], used by
+    /// store serialization so a write-back never clones coverage lists
+    /// just to copy their bytes out. The stored arm still has to decode
+    /// its lazy section into a scratch vector first.
+    pub(crate) fn with_cluster<R>(
+        &self,
+        id: CandId,
+        f: impl FnOnce(&Pattern, &[TupleId], f64) -> R,
+    ) -> Result<R> {
+        match &self.source {
+            ClusterSource::Index(ix) => {
+                let info = ix.info(id);
+                Ok(f(&info.pattern, &info.cov, info.sum))
+            }
+            ClusterSource::Stored(dir) => {
+                let sc = dir.get(id).ok_or_else(|| {
+                    QagError::store(
+                        qagview_common::StoreErrorKind::Corrupt,
+                        format!("plane references cluster {id} missing from the store directory"),
+                    )
+                })?;
+                let members = sc.materialize()?;
+                Ok(f(sc.pattern(), &members, sc.sum()))
+            }
+        }
+    }
+
+    /// Resolve one candidate id to `(pattern, members, sum)` through
+    /// whichever cluster source backs this plane set. Members come back
+    /// ascending in both cases, so float accumulation downstream is
+    /// byte-identical between a built and a loaded plane set.
+    pub(crate) fn cluster(&self, id: CandId) -> Result<(Pattern, Vec<TupleId>, f64)> {
+        match &self.source {
+            ClusterSource::Index(ix) => {
+                let info = ix.info(id);
+                Ok((info.pattern.clone(), info.cov.clone(), info.sum))
+            }
+            ClusterSource::Stored(dir) => {
+                let sc = dir.get(id).ok_or_else(|| {
+                    QagError::store(
+                        qagview_common::StoreErrorKind::Corrupt,
+                        format!("plane references cluster {id} missing from the store directory"),
+                    )
+                })?;
+                Ok((sc.pattern().clone(), sc.materialize()?, sc.sum()))
+            }
+        }
     }
 
     fn plane(&self, d: usize) -> Result<&DPlane> {
@@ -220,16 +348,16 @@ impl<'a> Precomputed<'a> {
         let mut covered = FixedBitSet::new(self.answers.len());
         let mut sum = 0.0;
         for &&id in &ids {
-            let info = self.index.info(id);
-            for &t in &info.cov {
+            let (pattern, members, cluster_sum) = self.cluster(id)?;
+            for &t in &members {
                 if covered.insert(t as usize) {
                     sum += self.answers.val(t);
                 }
             }
             clusters.push(SolutionCluster {
-                pattern: info.pattern.clone(),
-                members: info.cov.clone(),
-                sum: info.sum,
+                pattern,
+                members,
+                sum: cluster_sum,
             });
         }
         clusters.sort_by(|a, b| {
@@ -266,7 +394,7 @@ impl<'a> Precomputed<'a> {
             })
             .collect();
         GuidancePlot {
-            l: self.index.l(),
+            l: self.l,
             k_values,
             series,
         }
@@ -399,6 +527,14 @@ fn finish_plane(
             items.push((k_lo, k_hi, id));
         }
     }
+    // Canonical (lo, hi, id) order before tree construction. The lifetimes
+    // arrive in descent bookkeeping order (partly hash-map iteration
+    // order); sorting here makes the tree — and therefore every stab
+    // order, every float accumulation over stabbed clusters, and the
+    // store's serialized interval section — a pure function of the
+    // interval *set*. A plane loaded from a store rebuilds the identical
+    // tree from the same sorted items.
+    items.sort_unstable();
     DPlane {
         d,
         tree: IntervalTree::build(items),

@@ -1,0 +1,718 @@
+//! The persistent precompute store: versioned, checksummed `.qag` files
+//! holding a full [`Precomputed`] `(k, D)` plane set.
+//!
+//! The paper's interactivity guarantee (§6.2, §7) rests on precomputing
+//! every `(k, D)` solution plane so a slider or knob tick is a lookup.
+//! Since the owned engine landed, those planes are shared across sessions
+//! in memory — but they still died with the process. This module inverts
+//! that lifetime: a built plane set serializes to one `.qag` file, and a
+//! fresh process [`load`]s it back in roughly the cost of reading the file,
+//! then serves summaries **byte-identical** to the ones the building
+//! process served.
+//!
+//! # File layout (format version 1)
+//!
+//! All integers are little-endian; floats are stored as raw `u64` bit
+//! patterns (the engine's byte-identity discipline extends to disk).
+//!
+//! ```text
+//! [ 0.. 8)  magic            b"QAGPLANE"
+//! [ 8..12)  format version   u32 (currently 1)
+//! [12..20)  payload checksum u64 — qagview_common::wire::checksum64 of
+//!                            every byte after this field
+//! [20..  )  payload:
+//!   header   answer-set content fingerprint u64, n u64, m u32, L u32,
+//!            PrecomputeConfig (k_min/k_max/d_min/d_max/pool_factor u32,
+//!            eval/engine/parallel u8, reserved u8)
+//!   clusters count u32, then per referenced candidate id:
+//!            id u32 · pattern (m × u32) · coverage sum f64-bits ·
+//!            coverage section (ascending u32 id run, or raw u64 bitset
+//!            words when that is smaller — see qagview_lattice::wire)
+//!   planes   count u32, then per D:
+//!            d u32 · state count u32 · states (size u64, covered u64,
+//!            sum f64-bits) · interval count u32 · intervals
+//!            (k_lo u32, k_hi u32, cluster id u32), canonically sorted
+//! ```
+//!
+//! The **cluster section is shared across all `D` planes**: the Fixed-Order
+//! pool (and every merge LCA any descent produced) is written exactly once,
+//! and the per-`D` sections reference it by candidate id — mirroring how
+//! the build shares one Fixed-Order prefix across all `D` descents.
+//!
+//! # Warm start cost
+//!
+//! [`StoreReader::open`] reads the file once, verifies the checksum (one
+//! linear pass), and decodes only the small sections: header, patterns,
+//! states, intervals. Coverage — the bulky part — stays as undecoded byte
+//! ranges of the single shared buffer and is materialized per cluster
+//! each time a solution touches it ([`qagview_lattice::StoredCluster`];
+//! cost-comparable to the live-index path, which clones its cached
+//! coverage list per access).
+//! A stabbing query at `(k, d)` touches at most `k` clusters, so the
+//! first summary after a process start costs file-read + checksum + a few
+//! coverage decodes, not a candidate-index rebuild — the `store_warm_start`
+//! section of `BENCH_hotpath.json` holds this at ≥ 50× faster than the
+//! cold build.
+//!
+//! # Failure model
+//!
+//! Every way a file can be unusable — truncation, wrong magic, unknown
+//! version, checksum mismatch, semantic corruption, or a fingerprint that
+//! does not match the answer set being loaded against — returns a typed
+//! [`QagError::Store`] with a [`StoreErrorKind`]; nothing in the decode or
+//! serve path panics on file content. [`crate::Explorer`] treats any load
+//! failure as a cache miss and rebuilds (then overwrites the bad file).
+
+use crate::interval_tree::IntervalTree;
+use crate::precompute::{DPlane, PrecomputeConfig, Precomputed, StateMeta};
+use crate::DescentEngine;
+use qagview_common::wire::{checksum64, Reader, Writer};
+use qagview_common::{QagError, Result, StoreErrorKind};
+use qagview_core::EvalMode;
+use qagview_lattice::{wire as lwire, AnswersHandle, CandId, ClusterDirectory};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes identifying a `.qag` plane-store file.
+pub const STORE_MAGIC: [u8; 8] = *b"QAGPLANE";
+/// Current store format version.
+pub const STORE_VERSION: u32 = 1;
+/// Bytes before the payload: magic (8) + version (4) + checksum (8).
+const HEADER_BYTES: usize = 20;
+
+/// The canonical file name for a plane store: the engine's in-memory
+/// plane-cache key (answer-set content fingerprint, `L`, `k_max`) plus
+/// the pool factor — pool size changes which clusters the Fixed-Order
+/// phase keeps, so engines configured with different pool factors must
+/// not shadow each other's files in a shared store directory.
+pub fn plane_file_name(fingerprint: u64, l: usize, k_max: usize, pool_factor: usize) -> String {
+    format!("plane-{fingerprint:016x}-l{l}-k{k_max}-p{pool_factor}.qag")
+}
+
+fn eval_code(eval: EvalMode) -> u8 {
+    match eval {
+        EvalMode::Naive => 0,
+        EvalMode::Delta => 1,
+    }
+}
+
+fn eval_from(code: u8) -> Result<EvalMode> {
+    match code {
+        0 => Ok(EvalMode::Naive),
+        1 => Ok(EvalMode::Delta),
+        other => Err(QagError::store(
+            StoreErrorKind::Corrupt,
+            format!("unknown eval-mode code {other}"),
+        )),
+    }
+}
+
+fn engine_code(engine: DescentEngine) -> u8 {
+    match engine {
+        DescentEngine::Frontier => 0,
+        DescentEngine::PerRoundReEval => 1,
+    }
+}
+
+fn engine_from(code: u8) -> Result<DescentEngine> {
+    match code {
+        0 => Ok(DescentEngine::Frontier),
+        1 => Ok(DescentEngine::PerRoundReEval),
+        other => Err(QagError::store(
+            StoreErrorKind::Corrupt,
+            format!("unknown descent-engine code {other}"),
+        )),
+    }
+}
+
+/// Serialize a plane set to the format-1 byte image.
+///
+/// # Errors
+///
+/// Propagates coverage materialization failures when re-saving a plane set
+/// that was itself loaded from a (corrupt) store; a freshly built plane
+/// set cannot fail.
+pub fn to_bytes(pre: &Precomputed<'_>) -> Result<Vec<u8>> {
+    let answers = pre.answers();
+    let cfg = pre.config();
+    let mut w = Writer::with_capacity(1 << 16);
+    w.put_bytes(&STORE_MAGIC);
+    w.put_u32(STORE_VERSION);
+    let checksum_at = w.len();
+    w.put_u64(0); // back-patched below
+
+    // Header section.
+    w.put_u64(answers.fingerprint());
+    w.put_u64(answers.len() as u64);
+    w.put_u32(answers.arity() as u32);
+    w.put_u32(pre.l() as u32);
+    w.put_u32(cfg.k_min as u32);
+    w.put_u32(cfg.k_max as u32);
+    w.put_u32(cfg.d_min as u32);
+    w.put_u32(cfg.d_max as u32);
+    w.put_u32(cfg.pool_factor as u32);
+    w.put_u8(eval_code(cfg.eval));
+    w.put_u8(engine_code(cfg.engine));
+    w.put_u8(u8::from(cfg.parallel));
+    w.put_u8(0); // reserved
+
+    // Shared cluster section: every id any plane references, once.
+    // Borrow-visited — a write-back streams each cluster's pattern and
+    // coverage straight into the buffer without cloning them first.
+    let ids = pre.referenced_ids();
+    w.put_u32(ids.len() as u32);
+    for &id in &ids {
+        pre.with_cluster(id, |pattern, members, sum| {
+            lwire::put_cluster(&mut w, id, pattern, sum, answers.len(), members);
+        })?;
+    }
+
+    // Per-D plane sections.
+    w.put_u32(pre.planes().len() as u32);
+    for plane in pre.planes() {
+        w.put_u32(plane.d as u32);
+        w.put_u32(plane.states.len() as u32);
+        for s in &plane.states {
+            w.put_u64(s.size as u64);
+            w.put_u64(s.covered as u64);
+            w.put_f64_bits(s.sum);
+        }
+        let mut items: Vec<(usize, usize, CandId)> = plane
+            .tree
+            .items()
+            .map(|(lo, hi, &id)| (lo, hi, id))
+            .collect();
+        // `finish_plane` built the tree from canonically sorted items;
+        // re-sorting the extraction recovers exactly that order, so the
+        // loader rebuilds a structurally identical tree.
+        items.sort_unstable();
+        w.put_u32(items.len() as u32);
+        for (lo, hi, id) in items {
+            w.put_u32(lo as u32);
+            w.put_u32(hi as u32);
+            w.put_u32(id);
+        }
+    }
+
+    let sum = checksum64(&w.as_bytes()[HEADER_BYTES..]);
+    w.patch_u64(checksum_at, sum);
+    Ok(w.into_bytes())
+}
+
+/// Write a plane set to `path` atomically (temp file + rename), so a
+/// concurrent reader — or a crash mid-write — never observes a torn file.
+pub fn save(pre: &Precomputed<'_>, path: impl AsRef<Path>) -> Result<()> {
+    // The temp name must be unique per *writer*, not just per process:
+    // two sessions of one engine racing the same cold build both write
+    // back to the same final path, and a shared temp file would reopen
+    // the torn-write window the rename exists to close.
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let path = path.as_ref();
+    let bytes = to_bytes(pre)?;
+    let io_err = |op: &str, e: std::io::Error| {
+        QagError::store(StoreErrorKind::Io, format!("{op} {}: {e}", path.display()))
+    };
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Err(e) = std::fs::write(&tmp, &bytes) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(io_err("write", e));
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(io_err("rename into", e))
+        }
+    }
+}
+
+/// The parsed fixed-size header of a store file.
+#[derive(Debug, Clone, Copy)]
+struct StoreHeader {
+    fingerprint: u64,
+    n: usize,
+    m: usize,
+    l: usize,
+    cfg: PrecomputeConfig,
+}
+
+/// An opened store file: checksum-verified bytes plus the parsed header,
+/// with the bulky sections still undecoded.
+///
+/// `open` answers "is this the plane set for my answer relation?"
+/// (via [`StoreReader::fingerprint`]) without decoding any plane;
+/// [`StoreReader::into_precomputed`] finishes the decode against the
+/// answer set, keeping coverage sections zero-copy inside the shared
+/// buffer.
+#[derive(Debug)]
+pub struct StoreReader {
+    bytes: Arc<Vec<u8>>,
+    header: StoreHeader,
+}
+
+impl StoreReader {
+    /// Open and verify a store file: magic, version, checksum, header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| {
+            QagError::store(StoreErrorKind::Io, format!("read {}: {e}", path.display()))
+        })?;
+        Self::from_bytes(bytes)
+    }
+
+    /// Verify an in-memory store image (magic, version, checksum, header).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(QagError::store(
+                StoreErrorKind::Truncated,
+                format!(
+                    "file is {} bytes, the fixed header alone needs {HEADER_BYTES}",
+                    bytes.len()
+                ),
+            ));
+        }
+        if bytes[..8] != STORE_MAGIC {
+            return Err(QagError::store(
+                StoreErrorKind::BadMagic,
+                "missing QAGPLANE magic; not a plane-store file",
+            ));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != STORE_VERSION {
+            return Err(QagError::store(
+                StoreErrorKind::UnsupportedVersion,
+                format!("format version {version}, this build reads {STORE_VERSION}"),
+            ));
+        }
+        let stored = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let actual = checksum64(&bytes[HEADER_BYTES..]);
+        if stored != actual {
+            return Err(QagError::store(
+                StoreErrorKind::ChecksumMismatch,
+                format!("stored {stored:#018x}, computed {actual:#018x}"),
+            ));
+        }
+        let mut r = Reader::new(&bytes[HEADER_BYTES..]);
+        let header = Self::read_header(&mut r)?;
+        Ok(StoreReader {
+            bytes: Arc::new(bytes),
+            header,
+        })
+    }
+
+    fn read_header(r: &mut Reader<'_>) -> Result<StoreHeader> {
+        let fingerprint = r.read_u64()?;
+        let n = r.read_u64()? as usize;
+        if n > u32::MAX as usize {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!("tuple count {n} exceeds the u32 tuple-id space"),
+            ));
+        }
+        let m = r.read_u32()? as usize;
+        let l = r.read_u32()? as usize;
+        let k_min = r.read_u32()? as usize;
+        let k_max = r.read_u32()? as usize;
+        let d_min = r.read_u32()? as usize;
+        let d_max = r.read_u32()? as usize;
+        let pool_factor = r.read_u32()? as usize;
+        let eval = eval_from(r.read_u8()?)?;
+        let engine = engine_from(r.read_u8()?)?;
+        let parallel = r.read_u8()? != 0;
+        let _reserved = r.read_u8()?;
+        if m == 0 || m > 24 {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!("implausible arity m={m}"),
+            ));
+        }
+        if l == 0 || l > n {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!("L={l} outside 1..=n={n}"),
+            ));
+        }
+        if k_min == 0 || k_min > k_max || d_min > d_max || d_max > m {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!("invalid parameter ranges k=[{k_min},{k_max}] d=[{d_min},{d_max}] m={m}"),
+            ));
+        }
+        Ok(StoreHeader {
+            fingerprint,
+            n,
+            m,
+            l,
+            cfg: PrecomputeConfig {
+                k_min,
+                k_max,
+                d_min,
+                d_max,
+                pool_factor,
+                eval,
+                parallel,
+                engine,
+            },
+        })
+    }
+
+    /// The answer-set content fingerprint the planes were built over.
+    pub fn fingerprint(&self) -> u64 {
+        self.header.fingerprint
+    }
+
+    /// Tuple count of the answer relation.
+    pub fn n(&self) -> usize {
+        self.header.n
+    }
+
+    /// Arity of the answer relation.
+    pub fn m(&self) -> usize {
+        self.header.m
+    }
+
+    /// The `L` the planes serve.
+    pub fn l(&self) -> usize {
+        self.header.l
+    }
+
+    /// The build configuration stored in the file.
+    pub fn config(&self) -> PrecomputeConfig {
+        self.header.cfg
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Finish the decode against the answer relation the file claims to
+    /// describe, producing a [`Precomputed`] that serves byte-identical
+    /// solutions to the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreErrorKind::FingerprintMismatch`] when `answers` is not the
+    /// relation the file was built over; [`StoreErrorKind::Truncated`] /
+    /// [`StoreErrorKind::Corrupt`] on malformed sections.
+    pub fn into_precomputed<'a>(
+        self,
+        answers: impl Into<AnswersHandle<'a>>,
+    ) -> Result<Precomputed<'a>> {
+        let answers = answers.into();
+        let h = &self.header;
+        let fp = answers.fingerprint();
+        if fp != h.fingerprint {
+            return Err(QagError::store(
+                StoreErrorKind::FingerprintMismatch,
+                format!(
+                    "store was built over answer set {:#018x}, loading against {fp:#018x}",
+                    h.fingerprint
+                ),
+            ));
+        }
+        if answers.len() != h.n || answers.arity() != h.m {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!(
+                    "fingerprint matches but shape differs: file says n={} m={}, relation has \
+                     n={} m={}",
+                    h.n,
+                    h.m,
+                    answers.len(),
+                    answers.arity()
+                ),
+            ));
+        }
+        let domain_sizes: Vec<usize> = (0..h.m).map(|i| answers.domain_size(i)).collect();
+
+        // One cursor over the whole file, so the zero-copy coverage ranges
+        // the cluster records capture are offsets into the shared buffer.
+        let buf = Arc::clone(&self.bytes);
+        let mut pr = Reader::new(&buf);
+        pr.skip(HEADER_BYTES)?;
+        Self::read_header(&mut pr)?; // fixed width; validated at open
+
+        // Shared cluster section.
+        let cluster_count = pr.read_count(pr.remaining() / 4, "cluster")?;
+        let mut directory = ClusterDirectory::new(h.m, h.n);
+        for _ in 0..cluster_count {
+            let (id, cluster) = lwire::read_cluster(&mut pr, &buf, h.n, &domain_sizes)?;
+            directory.insert(id, cluster)?;
+        }
+
+        // Per-D plane sections.
+        let plane_count = pr.read_count(h.d_max_planes(), "plane")?;
+        if plane_count != h.d_max_planes() {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!(
+                    "{plane_count} planes stored, config ranges over {}",
+                    h.d_max_planes()
+                ),
+            ));
+        }
+        let mut planes: Vec<DPlane> = Vec::with_capacity(plane_count);
+        for _ in 0..plane_count {
+            let d = pr.read_u32()? as usize;
+            if d < h.cfg.d_min || d > h.cfg.d_max || planes.iter().any(|p| p.d == d) {
+                return Err(QagError::store(
+                    StoreErrorKind::Corrupt,
+                    format!("unexpected or duplicate plane D={d}"),
+                ));
+            }
+            let state_count = pr.read_count(pr.remaining() / 24, "state")?;
+            if state_count == 0 {
+                return Err(QagError::store(
+                    StoreErrorKind::Corrupt,
+                    format!("plane D={d} has no recorded states"),
+                ));
+            }
+            let mut states = Vec::with_capacity(state_count);
+            for _ in 0..state_count {
+                states.push(StateMeta {
+                    size: pr.read_u64()? as usize,
+                    covered: pr.read_u64()? as usize,
+                    sum: pr.read_f64_bits()?,
+                });
+            }
+            let interval_count = pr.read_count(pr.remaining() / 12, "interval")?;
+            let mut items: Vec<(usize, usize, CandId)> = Vec::with_capacity(interval_count);
+            for _ in 0..interval_count {
+                let lo = pr.read_u32()? as usize;
+                let hi = pr.read_u32()? as usize;
+                let id = pr.read_u32()?;
+                if lo > hi {
+                    return Err(QagError::store(
+                        StoreErrorKind::Corrupt,
+                        format!("inverted interval [{lo}, {hi}] in plane D={d}"),
+                    ));
+                }
+                if !directory.contains(id) {
+                    return Err(QagError::store(
+                        StoreErrorKind::Corrupt,
+                        format!("plane D={d} references cluster {id} absent from the directory"),
+                    ));
+                }
+                items.push((lo, hi, id));
+            }
+            planes.push(DPlane {
+                d,
+                tree: IntervalTree::build(items),
+                states,
+            });
+        }
+        if !pr.is_exhausted() {
+            return Err(QagError::store(
+                StoreErrorKind::Corrupt,
+                format!(
+                    "{} trailing bytes after the last plane section",
+                    pr.remaining()
+                ),
+            ));
+        }
+        Ok(Precomputed::from_stored(
+            answers, directory, h.l, h.cfg, planes,
+        ))
+    }
+}
+
+impl StoreHeader {
+    fn d_max_planes(&self) -> usize {
+        self.cfg.d_max - self.cfg.d_min + 1
+    }
+}
+
+/// Open `path` and reconstruct the plane set against `answers` in one
+/// call — the process warm-start entry point.
+pub fn load<'a>(
+    path: impl AsRef<Path>,
+    answers: impl Into<AnswersHandle<'a>>,
+) -> Result<Precomputed<'a>> {
+    StoreReader::open(path)?.into_precomputed(answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qagview_lattice::{AnswerSet, AnswerSetBuilder};
+
+    fn answers() -> AnswerSet {
+        let mut b = AnswerSetBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
+        let rows: Vec<(&str, &str, &str, f64)> = vec![
+            ("x", "p", "1", 9.5),
+            ("x", "q", "1", 8.75),
+            ("x", "r", "1", 8.0),
+            ("y", "p", "2", 7.5),
+            ("y", "q", "2", 7.0),
+            ("y", "r", "2", 6.5),
+            ("w", "p", "3", 6.0),
+            ("w", "q", "3", 5.5),
+            ("z", "p", "1", 2.0),
+            ("z", "q", "2", 1.5),
+            ("v", "r", "3", 1.0),
+            ("v", "p", "1", 0.5),
+        ];
+        for (a, bb, c, v) in rows {
+            b.push(&[a, bb, c], v).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn built() -> (AnswerSet, Precomputed<'static>) {
+        let s = answers();
+        let cfg = PrecomputeConfig {
+            k_min: 1,
+            k_max: 8,
+            d_min: 0,
+            d_max: 3,
+            parallel: false,
+            ..Default::default()
+        };
+        let pre = Precomputed::build(Arc::new(s.clone()), 8, cfg).unwrap();
+        (s, pre)
+    }
+
+    fn assert_equivalent(a: &Precomputed<'_>, b: &Precomputed<'_>) {
+        assert_eq!(a.stored_intervals(), b.stored_intervals());
+        assert_eq!(a.l(), b.l());
+        for d in 0..=3 {
+            for k in 1..=8 {
+                let sa = a.solution(k, d).unwrap();
+                let sb = b.solution(k, d).unwrap();
+                assert_eq!(sa.patterns(), sb.patterns(), "k={k} d={d}");
+                assert_eq!(sa.sum.to_bits(), sb.sum.to_bits(), "k={k} d={d}");
+                assert_eq!(sa.covered, sb.covered, "k={k} d={d}");
+                for (ca, cb) in sa.clusters.iter().zip(&sb.clusters) {
+                    assert_eq!(ca.members, cb.members, "k={k} d={d}");
+                    assert_eq!(ca.sum.to_bits(), cb.sum.to_bits(), "k={k} d={d}");
+                }
+                assert_eq!(
+                    a.value(k, d).unwrap().to_bits(),
+                    b.value(k, d).unwrap().to_bits(),
+                    "k={k} d={d}"
+                );
+            }
+        }
+        assert_eq!(a.guidance(), b.guidance());
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let (s, pre) = built();
+        let bytes = to_bytes(&pre).unwrap();
+        let reader = StoreReader::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(reader.fingerprint(), s.fingerprint());
+        assert_eq!(reader.n(), s.len());
+        assert_eq!(reader.m(), s.arity());
+        assert_eq!(reader.l(), 8);
+        let loaded = reader.into_precomputed(Arc::new(s.clone())).unwrap();
+        assert!(loaded.is_stored());
+        assert!(loaded.index().is_none());
+        assert_equivalent(&pre, &loaded);
+        // Serializing the loaded plane set reproduces the same bytes.
+        assert_eq!(to_bytes(&loaded).unwrap(), bytes);
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let (s, pre) = built();
+        let dir = std::env::temp_dir().join(format!("qag-store-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(plane_file_name(s.fingerprint(), 8, 8, 2));
+        save(&pre, &path).unwrap();
+        let loaded = load(&path, Arc::new(s.clone())).unwrap();
+        assert_equivalent(&pre, &loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = StoreReader::open("/nonexistent/qag/plane.qag").unwrap_err();
+        assert_eq!(err.store_kind(), Some(StoreErrorKind::Io));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_typed() {
+        let (_, pre) = built();
+        let bytes = to_bytes(&pre).unwrap();
+        let mut b = AnswerSetBuilder::new(vec!["a".into()]);
+        b.push(&["other"], 1.0).unwrap();
+        let other = b.finish().unwrap();
+        let err = StoreReader::from_bytes(bytes)
+            .unwrap()
+            .into_precomputed(Arc::new(other))
+            .unwrap_err();
+        assert_eq!(err.store_kind(), Some(StoreErrorKind::FingerprintMismatch));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let (_, pre) = built();
+        let bytes = to_bytes(&pre).unwrap();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xff;
+        assert_eq!(
+            StoreReader::from_bytes(wrong_magic)
+                .unwrap_err()
+                .store_kind(),
+            Some(StoreErrorKind::BadMagic)
+        );
+        let mut wrong_version = bytes;
+        wrong_version[8] = 99;
+        assert_eq!(
+            StoreReader::from_bytes(wrong_version)
+                .unwrap_err()
+                .store_kind(),
+            Some(StoreErrorKind::UnsupportedVersion)
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let (_, pre) = built();
+        let base = to_bytes(&pre).unwrap();
+        // A flip anywhere in the payload must be caught at open time.
+        for pos in [
+            HEADER_BYTES,
+            HEADER_BYTES + 9,
+            base.len() / 2,
+            base.len() - 1,
+        ] {
+            let mut bytes = base.clone();
+            bytes[pos] ^= 0x10;
+            assert_eq!(
+                StoreReader::from_bytes(bytes).unwrap_err().store_kind(),
+                Some(StoreErrorKind::ChecksumMismatch),
+                "flip at {pos}"
+            );
+        }
+        // A flip in the stored checksum itself, too.
+        let mut bytes = base;
+        bytes[12] ^= 0x01;
+        assert_eq!(
+            StoreReader::from_bytes(bytes).unwrap_err().store_kind(),
+            Some(StoreErrorKind::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed_never_a_panic() {
+        let (s, pre) = built();
+        let bytes = to_bytes(&pre).unwrap();
+        let arc = Arc::new(s);
+        for len in 0..bytes.len() {
+            let cut = bytes[..len].to_vec();
+            let result = StoreReader::from_bytes(cut)
+                .and_then(|r| r.into_precomputed(Arc::clone(&arc)).map(|_| ()));
+            let err = result.expect_err("every strict prefix must fail");
+            assert!(
+                err.store_kind().is_some(),
+                "untyped error at prefix {len}: {err}"
+            );
+        }
+    }
+}

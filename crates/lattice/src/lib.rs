@@ -17,6 +17,9 @@
 //!   optimization: an index of every candidate cluster (ancestors of top-`L`
 //!   tuples) with precomputed coverage lists over all of `S`, plus the naive
 //!   scan variant kept for the Fig. 8(a) ablation.
+//! * [`wire`] — on-disk sections for patterns and cluster coverage (the
+//!   lattice half of the persistent precompute store), including the lazy
+//!   [`wire::ClusterDirectory`] a loaded store serves solutions from.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,8 +28,10 @@ pub mod answers;
 pub mod candidates;
 pub mod pattern;
 pub mod semilattice;
+pub mod wire;
 
 pub use answers::{AnswerSet, AnswerSetBuilder, AnswersHandle, TupleId};
 pub use candidates::{CandId, CandidateIndex, CandidateInfo};
 pub use pattern::{Pattern, STAR};
 pub use semilattice::{is_antichain, min_pairwise_distance};
+pub use wire::{ClusterDirectory, StoredCluster};

@@ -104,9 +104,9 @@ pub mod prelude {
     pub use crate::answers_from_query;
     pub use qagview_core::{BottomUpOptions, EvalMode, Params, Seeding, Solution, Summarizer};
     pub use qagview_interactive::{
-        CacheOutcome, CacheProvenance, ClusterView, ExploreCommand, ExploreResponse,
+        store, CacheOutcome, CacheProvenance, ClusterView, ExploreCommand, ExploreResponse,
         ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats, GuidancePlot,
-        PrecomputeConfig, Precomputed, QuerySession, SummaryView,
+        PrecomputeConfig, Precomputed, QuerySession, StoreLayerStats, StoreReader, SummaryView,
     };
     pub use qagview_lattice::{
         AnswerSet, AnswerSetBuilder, AnswersHandle, CandidateIndex, Pattern, STAR,
