@@ -42,6 +42,16 @@ pub enum QagError {
         /// Human-readable detail.
         message: String,
     },
+    /// A session's memory budget cannot fit even the degraded serving
+    /// path. This is the *admission* end of graceful degradation: the
+    /// engine refuses the command (session state untouched) instead of
+    /// growing without bound or dying.
+    BudgetExceeded {
+        /// Estimated bytes the command would have had to retain.
+        needed: u64,
+        /// The configured per-session budget.
+        budget: u64,
+    },
 }
 
 /// Failure classes of the persistent precompute store.
@@ -51,6 +61,9 @@ pub enum QagError {
 /// serving process can treat any of them as a cache miss and rebuild.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreErrorKind {
+    /// The file does not exist — the *clean* probe miss, distinguished
+    /// from [`StoreErrorKind::Io`] so callers never retry an absence.
+    NotFound,
     /// The file ended before a section was fully read.
     Truncated,
     /// The magic bytes do not identify a store file.
@@ -72,6 +85,7 @@ pub enum StoreErrorKind {
 impl fmt::Display for StoreErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            StoreErrorKind::NotFound => "not found",
             StoreErrorKind::Truncated => "truncated",
             StoreErrorKind::BadMagic => "bad magic",
             StoreErrorKind::UnsupportedVersion => "unsupported version",
@@ -133,6 +147,12 @@ impl fmt::Display for QagError {
             QagError::Internal(m) => write!(f, "internal error: {m}"),
             QagError::Store { kind, message } => {
                 write!(f, "store error ({kind}): {message}")
+            }
+            QagError::BudgetExceeded { needed, budget } => {
+                write!(
+                    f,
+                    "memory budget exceeded: needs ~{needed} bytes, session budget is {budget}"
+                )
             }
         }
     }

@@ -1,0 +1,688 @@
+//! Pluggable store I/O with deterministic fault injection.
+//!
+//! Every filesystem touch of the persistent precompute store
+//! (`qagview_interactive::store`) goes through the [`StoreIo`] trait, so
+//! the *failure model* of the store is testable at the exact moment a
+//! fault happens — not just against statically corrupted bytes:
+//!
+//! * [`RealIo`] — the production backend, a thin veneer over `std::fs`
+//!   whose `write`/`sync`/`rename` sequence gives the store its
+//!   crash-safe temp-then-rename discipline.
+//! * [`FaultIo`] — a scriptable wrapper that injects **typed faults by a
+//!   deterministic schedule**: the Nth I/O operation of a run fails as a
+//!   short read, a torn write, `ENOSPC`, a clean error, or a simulated
+//!   crash ([`FaultKind`]). Every operation (and every fault fired) is
+//!   recorded in an [`IoEvent`] log, so a chaos harness can first *count*
+//!   the fault points of a script with an empty schedule and then
+//!   enumerate them exhaustively.
+//!
+//! A [`FaultKind::Crash`] models a process kill: the interrupted
+//! operation leaves whatever a real kill would leave (a torn prefix for a
+//! write, nothing for a rename), and **every subsequent operation fails**
+//! until [`FaultIo::reboot`] — the moment the harness "restarts the
+//! process" and asserts recovery.
+//!
+//! [`RetryPolicy`] rounds the module out: bounded retry with jittered
+//! exponential backoff (deterministic via [`crate::rng`]), used by the
+//! store write-back and the exploration engine's probe path. Backoff
+//! sleeps route through [`StoreIo::sleep`] so `FaultIo` records them
+//! instead of stalling tests.
+
+use crate::rng::seeded;
+use rand::RngExt as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
+
+/// Metadata of one directory entry, as returned by [`StoreIo::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Full path of the entry.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub len: u64,
+    /// Last-modification time, when the filesystem reports one.
+    pub modified: Option<SystemTime>,
+}
+
+/// The primitive operation classes a store backend performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Read a whole file.
+    Read,
+    /// Create (truncate) a temp file.
+    CreateTemp,
+    /// Write a full byte image to a file.
+    Write,
+    /// Durably sync a file's contents.
+    Sync,
+    /// Atomically rename a file over another path.
+    Rename,
+    /// List a directory.
+    List,
+    /// Remove a file.
+    Remove,
+    /// Refresh a file's modification time (LRU recency for store GC).
+    Touch,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IoOp::Read => "read",
+            IoOp::CreateTemp => "create_temp",
+            IoOp::Write => "write",
+            IoOp::Sync => "sync",
+            IoOp::Rename => "rename",
+            IoOp::List => "list",
+            IoOp::Remove => "remove",
+            IoOp::Touch => "touch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The filesystem surface of the persistent store.
+///
+/// Implementations must be shareable across serving threads; the store
+/// and the exploration engine hold one behind an `Arc<dyn StoreIo>`.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// Read the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create `path` as an empty file (truncating any previous content).
+    fn create_temp(&self, path: &Path) -> io::Result<()>;
+    /// Replace `path`'s content with `bytes`.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Durably flush `path`'s content to stable storage.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically move `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Enumerate the plain files of `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<FileMeta>>;
+    /// Delete the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Mark `path` as recently used (best-effort mtime refresh).
+    fn touch(&self, path: &Path) -> io::Result<()>;
+    /// Pause between retry attempts. The default really sleeps;
+    /// [`FaultIo`] records the request instead so chaos runs stay fast.
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// The production [`StoreIo`]: `std::fs` operations, nothing injected.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create_temp(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::create(path).map(|_| ())
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::options().write(true).open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<FileMeta>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            if meta.is_file() {
+                out.push(FileMeta {
+                    path: entry.path(),
+                    len: meta.len(),
+                    modified: meta.modified().ok(),
+                });
+            }
+        }
+        // Deterministic order regardless of readdir order.
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::options()
+            .write(true)
+            .open(path)?
+            .set_modified(SystemTime::now())
+    }
+}
+
+/// The typed faults [`FaultIo`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The operation fails cleanly with an injected I/O error; no state
+    /// changes (a flaky disk, a permission hiccup, a rename failure).
+    Error,
+    /// A write-class operation fails with `ENOSPC` before persisting any
+    /// byte (non-write operations degrade to [`FaultKind::Error`]).
+    Enospc,
+    /// A torn write: exactly the first half of the bytes persist, then
+    /// the operation errors (non-write operations degrade to
+    /// [`FaultKind::Error`]).
+    TornWrite,
+    /// A short read: the operation *succeeds* but returns only the first
+    /// half of the file (non-read operations degrade to
+    /// [`FaultKind::Error`]).
+    ShortRead,
+    /// A process kill *during* the operation: a write persists its torn
+    /// first half, a create/rename/remove does not happen at all, and
+    /// every later operation fails until [`FaultIo::reboot`].
+    Crash,
+    /// A process kill *immediately after* the operation completes: its
+    /// effect is fully applied, but the caller never observes success,
+    /// and every later operation fails until [`FaultIo::reboot`].
+    CrashAfter,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::Error => "error",
+            FaultKind::Enospc => "enospc",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::ShortRead => "short_read",
+            FaultKind::Crash => "crash",
+            FaultKind::CrashAfter => "crash_after",
+        };
+        f.write_str(s)
+    }
+}
+
+/// All injectable fault kinds, in the order chaos harnesses enumerate
+/// them.
+pub const ALL_FAULT_KINDS: [FaultKind; 6] = [
+    FaultKind::Error,
+    FaultKind::Enospc,
+    FaultKind::TornWrite,
+    FaultKind::ShortRead,
+    FaultKind::Crash,
+    FaultKind::CrashAfter,
+];
+
+/// One scheduled fault: fire `kind` on the `at_op`-th I/O operation
+/// (0-based over *all* operations of the [`FaultIo`]'s lifetime, in
+/// execution order). Each plan entry fires at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Global operation index the fault triggers at.
+    pub at_op: u64,
+    /// What happens there.
+    pub kind: FaultKind,
+}
+
+/// One recorded I/O operation of a [`FaultIo`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoEvent {
+    /// Global 0-based operation index.
+    pub op_index: u64,
+    /// Operation class.
+    pub op: IoOp,
+    /// Primary path of the operation.
+    pub path: PathBuf,
+    /// The fault injected here, if any.
+    pub fault: Option<FaultKind>,
+    /// Whether the operation reported success to its caller.
+    pub ok: bool,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    next_op: u64,
+    plans: Vec<FaultPlan>,
+    crashed: bool,
+    events: Vec<IoEvent>,
+    sleeps: Vec<Duration>,
+}
+
+/// A deterministic fault-injecting [`StoreIo`] over an inner backend.
+///
+/// With an empty schedule it is a pure pass-through recorder: run a
+/// script once, read [`FaultIo::ops_seen`], and you know every fault
+/// point. Then re-run the script once per `(op index, `[`FaultKind`]`)`
+/// pair with a one-entry [`FaultPlan`] to enumerate the whole matrix.
+#[derive(Debug)]
+pub struct FaultIo<I: StoreIo = RealIo> {
+    inner: I,
+    state: Mutex<FaultState>,
+}
+
+impl FaultIo<RealIo> {
+    /// A fault layer over the real filesystem with an empty schedule.
+    pub fn new() -> Self {
+        Self::over(RealIo)
+    }
+
+    /// A fault layer over the real filesystem with `plans` scheduled.
+    pub fn with_plan(plans: Vec<FaultPlan>) -> Self {
+        let io = Self::new();
+        io.state.lock().expect("fault state").plans = plans;
+        io
+    }
+}
+
+impl Default for FaultIo<RealIo> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: StoreIo> FaultIo<I> {
+    /// A fault layer over an arbitrary inner backend.
+    pub fn over(inner: I) -> Self {
+        FaultIo {
+            inner,
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    /// Schedule `kind` to fire on operation `at_op`.
+    pub fn schedule(&self, at_op: u64, kind: FaultKind) {
+        self.state
+            .lock()
+            .expect("fault state")
+            .plans
+            .push(FaultPlan { at_op, kind });
+    }
+
+    /// Total operations attempted so far (fired faults included).
+    pub fn ops_seen(&self) -> u64 {
+        self.state.lock().expect("fault state").next_op
+    }
+
+    /// Whether a [`FaultKind::Crash`]/[`FaultKind::CrashAfter`] has fired
+    /// and the simulated process is still down.
+    pub fn is_crashed(&self) -> bool {
+        self.state.lock().expect("fault state").crashed
+    }
+
+    /// Clear the crashed flag and drop any unfired plans — the simulated
+    /// process restart. The event log and operation counter are kept.
+    pub fn reboot(&self) {
+        let mut s = self.state.lock().expect("fault state");
+        s.crashed = false;
+        s.plans.clear();
+    }
+
+    /// Snapshot the event log.
+    pub fn events(&self) -> Vec<IoEvent> {
+        self.state.lock().expect("fault state").events.clone()
+    }
+
+    /// Backoff sleeps requested through this layer (recorded, not slept).
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.state.lock().expect("fault state").sleeps.clone()
+    }
+
+    /// Begin one operation: advance the counter, honor a standing crash,
+    /// and pop the scheduled fault for this index, if any.
+    fn begin(&self, op: IoOp, path: &Path) -> Result<(u64, Option<FaultKind>), io::Error> {
+        let mut s = self.state.lock().expect("fault state");
+        let idx = s.next_op;
+        s.next_op += 1;
+        if s.crashed {
+            s.events.push(IoEvent {
+                op_index: idx,
+                op,
+                path: path.to_path_buf(),
+                fault: None,
+                ok: false,
+            });
+            return Err(io::Error::other("simulated crash: process is down"));
+        }
+        let fault = s
+            .plans
+            .iter()
+            .position(|p| p.at_op == idx)
+            .map(|i| s.plans.remove(i).kind);
+        if matches!(fault, Some(FaultKind::Crash | FaultKind::CrashAfter)) {
+            s.crashed = true;
+        }
+        Ok((idx, fault))
+    }
+
+    fn finish(&self, idx: u64, op: IoOp, path: &Path, fault: Option<FaultKind>, ok: bool) {
+        let mut s = self.state.lock().expect("fault state");
+        s.events.push(IoEvent {
+            op_index: idx,
+            op,
+            path: path.to_path_buf(),
+            fault,
+            ok,
+        });
+    }
+
+    fn injected(kind: FaultKind, op: IoOp) -> io::Error {
+        match kind {
+            FaultKind::Enospc => io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!("injected ENOSPC during {op}"),
+            ),
+            FaultKind::Crash | FaultKind::CrashAfter => {
+                io::Error::other(format!("simulated crash during {op}"))
+            }
+            _ => io::Error::other(format!("injected {kind} fault during {op}")),
+        }
+    }
+}
+
+impl<I: StoreIo> StoreIo for FaultIo<I> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let (idx, fault) = self.begin(IoOp::Read, path)?;
+        let result = match fault {
+            Some(FaultKind::ShortRead) => self.inner.read(path).map(|mut bytes| {
+                bytes.truncate(bytes.len() / 2);
+                bytes
+            }),
+            Some(kind) => Err(Self::injected(kind, IoOp::Read)),
+            None => self.inner.read(path),
+        };
+        self.finish(idx, IoOp::Read, path, fault, result.is_ok());
+        result
+    }
+
+    fn create_temp(&self, path: &Path) -> io::Result<()> {
+        let (idx, fault) = self.begin(IoOp::CreateTemp, path)?;
+        let result = match fault {
+            Some(kind) => Err(Self::injected(kind, IoOp::CreateTemp)),
+            None => self.inner.create_temp(path),
+        };
+        self.finish(idx, IoOp::CreateTemp, path, fault, result.is_ok());
+        result
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let (idx, fault) = self.begin(IoOp::Write, path)?;
+        let result = match fault {
+            // Torn variants persist exactly the first half, then error —
+            // whether by a full disk mid-stream or a kill mid-stream.
+            Some(kind @ (FaultKind::TornWrite | FaultKind::Crash)) => {
+                let _ = self.inner.write(path, &bytes[..bytes.len() / 2]);
+                Err(Self::injected(kind, IoOp::Write))
+            }
+            Some(FaultKind::CrashAfter) => {
+                let _ = self.inner.write(path, bytes);
+                Err(Self::injected(FaultKind::CrashAfter, IoOp::Write))
+            }
+            Some(kind) => Err(Self::injected(kind, IoOp::Write)),
+            None => self.inner.write(path, bytes),
+        };
+        self.finish(idx, IoOp::Write, path, fault, result.is_ok());
+        result
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let (idx, fault) = self.begin(IoOp::Sync, path)?;
+        let result = match fault {
+            Some(kind) => Err(Self::injected(kind, IoOp::Sync)),
+            None => self.inner.sync(path),
+        };
+        self.finish(idx, IoOp::Sync, path, fault, result.is_ok());
+        result
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let (idx, fault) = self.begin(IoOp::Rename, from)?;
+        let result = match fault {
+            // Crash *after* the rename: the move happened, the caller
+            // just never hears about it.
+            Some(FaultKind::CrashAfter) => {
+                let _ = self.inner.rename(from, to);
+                Err(Self::injected(FaultKind::CrashAfter, IoOp::Rename))
+            }
+            Some(kind) => Err(Self::injected(kind, IoOp::Rename)),
+            None => self.inner.rename(from, to),
+        };
+        self.finish(idx, IoOp::Rename, from, fault, result.is_ok());
+        result
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<FileMeta>> {
+        let (idx, fault) = self.begin(IoOp::List, dir)?;
+        let result = match fault {
+            Some(kind) => Err(Self::injected(kind, IoOp::List)),
+            None => self.inner.list(dir),
+        };
+        self.finish(idx, IoOp::List, dir, fault, result.is_ok());
+        result
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let (idx, fault) = self.begin(IoOp::Remove, path)?;
+        let result = match fault {
+            Some(FaultKind::CrashAfter) => {
+                let _ = self.inner.remove(path);
+                Err(Self::injected(FaultKind::CrashAfter, IoOp::Remove))
+            }
+            Some(kind) => Err(Self::injected(kind, IoOp::Remove)),
+            None => self.inner.remove(path),
+        };
+        self.finish(idx, IoOp::Remove, path, fault, result.is_ok());
+        result
+    }
+
+    fn touch(&self, path: &Path) -> io::Result<()> {
+        let (idx, fault) = self.begin(IoOp::Touch, path)?;
+        let result = match fault {
+            Some(kind) => Err(Self::injected(kind, IoOp::Touch)),
+            None => self.inner.touch(path),
+        };
+        self.finish(idx, IoOp::Touch, path, fault, result.is_ok());
+        result
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.state.lock().expect("fault state").sleeps.push(d);
+    }
+}
+
+/// Bounded retry with deterministic jittered exponential backoff.
+///
+/// Attempt `i` (0-based) sleeps `base · 2^i · (0.5 + u/2)` before running,
+/// with `u ∈ [0, 1)` drawn from a [`crate::rng`] stream seeded by
+/// `seed` — runs are exactly reproducible, yet concurrent writers do not
+/// thunder in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry). Clamped to ≥ 1 when applied.
+    pub attempts: u32,
+    /// Base backoff before the first retry.
+    pub base: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(5),
+            seed: 1807,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `retry` (0-based: the
+    /// sleep between the first failure and the second attempt).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let mut rng = seeded(self.seed.wrapping_add(u64::from(retry)));
+        let jitter: f64 = 0.5 + rng.random::<f64>() / 2.0;
+        let exp = self.base.as_secs_f64() * f64::from(1u32 << retry.min(16)) * jitter;
+        Duration::from_secs_f64(exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qag-io-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_io_round_trip_and_list() {
+        let dir = tmp_dir("real");
+        let io = RealIo;
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        io.write(&a, b"hello").unwrap();
+        io.sync(&a).unwrap();
+        assert_eq!(io.read(&a).unwrap(), b"hello");
+        io.rename(&a, &b).unwrap();
+        assert!(io.read(&a).is_err());
+        let listed = io.list(&dir).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].path, b);
+        assert_eq!(listed[0].len, 5);
+        io.touch(&b).unwrap();
+        io.remove(&b).unwrap();
+        assert!(io.list(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_io_passthrough_records_events() {
+        let dir = tmp_dir("events");
+        let io = FaultIo::new();
+        let p = dir.join("x.bin");
+        io.write(&p, b"0123456789").unwrap();
+        assert_eq!(io.read(&p).unwrap(), b"0123456789");
+        assert_eq!(io.ops_seen(), 2);
+        let events = io.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].op, IoOp::Write);
+        assert_eq!(events[1].op, IoOp::Read);
+        assert!(events.iter().all(|e| e.ok && e.fault.is_none()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_read_returns_half_the_bytes() {
+        let dir = tmp_dir("short");
+        let p = dir.join("x.bin");
+        RealIo.write(&p, b"0123456789").unwrap();
+        let io = FaultIo::with_plan(vec![FaultPlan {
+            at_op: 0,
+            kind: FaultKind::ShortRead,
+        }]);
+        assert_eq!(io.read(&p).unwrap(), b"01234");
+        // The plan fired once; the next read is whole.
+        assert_eq!(io.read(&p).unwrap(), b"0123456789");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_exactly_half_then_errors() {
+        let dir = tmp_dir("torn");
+        let p = dir.join("x.bin");
+        let io = FaultIo::with_plan(vec![FaultPlan {
+            at_op: 0,
+            kind: FaultKind::TornWrite,
+        }]);
+        let err = io.write(&p, b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert_eq!(RealIo.read(&p).unwrap(), b"01234");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_is_typed_and_persists_nothing() {
+        let dir = tmp_dir("enospc");
+        let p = dir.join("x.bin");
+        let io = FaultIo::with_plan(vec![FaultPlan {
+            at_op: 0,
+            kind: FaultKind::Enospc,
+        }]);
+        let err = io.write(&p, b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!p.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_downs_the_process_until_reboot() {
+        let dir = tmp_dir("crash");
+        let p = dir.join("x.bin");
+        let io = FaultIo::with_plan(vec![FaultPlan {
+            at_op: 0,
+            kind: FaultKind::Crash,
+        }]);
+        assert!(io.write(&p, b"0123456789").is_err());
+        assert!(io.is_crashed());
+        // The torn prefix persisted, but the downed process sees nothing.
+        assert!(io.read(&p).is_err());
+        assert!(io.list(&dir).is_err());
+        io.reboot();
+        assert!(!io.is_crashed());
+        assert_eq!(io.read(&p).unwrap(), b"01234");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_after_applies_the_rename_but_reports_failure() {
+        let dir = tmp_dir("crash-after");
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        RealIo.write(&a, b"payload").unwrap();
+        let io = FaultIo::with_plan(vec![FaultPlan {
+            at_op: 0,
+            kind: FaultKind::CrashAfter,
+        }]);
+        assert!(io.rename(&a, &b).is_err());
+        io.reboot();
+        assert_eq!(io.read(&b).unwrap(), b"payload");
+        assert!(!a.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sleep_is_recorded_not_slept() {
+        let io = FaultIo::new();
+        let before = std::time::Instant::now();
+        io.sleep(Duration::from_secs(3600));
+        assert!(before.elapsed() < Duration::from_secs(1));
+        assert_eq!(io.sleeps(), vec![Duration::from_secs(3600)]);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_jittered_and_growing() {
+        let p = RetryPolicy::default();
+        let a = p.backoff(0);
+        let b = p.backoff(0);
+        assert_eq!(a, b, "same seed, same retry => same backoff");
+        let later = p.backoff(3);
+        assert!(later > a, "backoff grows: {a:?} vs {later:?}");
+        // Jitter keeps it within [0.5, 1.0) of the exponential step.
+        let base = p.base.as_secs_f64();
+        let r0 = a.as_secs_f64() / base;
+        assert!((0.5..1.0).contains(&r0), "retry 0 ratio {r0}");
+        let r3 = later.as_secs_f64() / (base * 8.0);
+        assert!((0.5..1.0).contains(&r3), "retry 3 ratio {r3}");
+    }
+}

@@ -19,6 +19,10 @@
 //!   and randomized algorithm in the workspace is reproducible.
 //! * [`wire`] — little-endian section (de)serialization primitives and the
 //!   payload checksum used by the persistent precompute store.
+//! * [`io`] — the pluggable store I/O surface: [`RealIo`] for production,
+//!   [`FaultIo`] for deterministic fault injection (short reads, torn
+//!   writes, `ENOSPC`, simulated crashes), and [`io::RetryPolicy`] for
+//!   bounded jittered-backoff retry.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@ pub mod bitset;
 pub mod error;
 pub mod hash;
 pub mod intern;
+pub mod io;
 pub mod rng;
 pub mod value;
 pub mod wire;
@@ -35,4 +40,7 @@ pub use bitset::FixedBitSet;
 pub use error::{QagError, Result, StoreErrorKind};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, Symbol};
+pub use io::{
+    FaultIo, FaultKind, FaultPlan, FileMeta, IoEvent, IoOp, RealIo, RetryPolicy, StoreIo,
+};
 pub use value::Value;

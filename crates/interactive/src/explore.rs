@@ -33,14 +33,16 @@
 //! story.
 
 use crate::cache::{LayerStats, LruCache};
-use crate::plot::GuidancePlot;
+use crate::plot::{DSeries, GuidancePlot};
 use crate::precompute::{PrecomputeConfig, Precomputed};
-use qagview_common::{QagError, Result};
+use qagview_common::io::{RealIo, RetryPolicy, StoreIo};
+use qagview_common::{QagError, Result, StoreErrorKind};
 use qagview_core::{Solution, Summarizer, DEFAULT_POOL_FACTOR};
 use qagview_lattice::{AnswerSet, AnswerSetBuilder, Pattern, STAR};
 use qagview_query::{bind, group_aggregate_with, parse, GroupTable, GroupedResult};
 use qagview_storage::{Catalog, TableId};
 use qagview_viz::Transition;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default `k` of a fresh session (the paper's Fig. 1 walkthrough).
@@ -76,6 +78,30 @@ pub struct ExplorerConfig {
     /// next *process* warm-starts in roughly the cost of reading the
     /// file. `None` (the default) keeps planes process-scoped.
     pub store_dir: Option<std::path::PathBuf>,
+    /// Byte budget of the store directory. After every write-back the
+    /// engine runs [`crate::store::gc`], evicting least-recently-used
+    /// `.qag` files until the directory fits. `None` (the default) never
+    /// evicts.
+    pub store_budget_bytes: Option<u64>,
+    /// Retry policy for *transient* store faults (a failed read that is
+    /// not a clean [`StoreErrorKind::NotFound`], a failed write-back):
+    /// bounded attempts with deterministic jittered backoff. Absences and
+    /// corrupt files are never retried — they are probe misses.
+    pub retry: RetryPolicy,
+    /// Default per-session memory budget, bounding the bytes a command
+    /// *retains* (answer relation + parameter plane estimates — not the
+    /// transient build peak). Over budget the engine degrades instead of
+    /// growing: first the plane is shed (uncached single-`(k, D)` serve,
+    /// recorded as [`Degradation::PlaneShed`]); if even the degraded path
+    /// cannot fit, the command is refused with a typed
+    /// [`QagError::BudgetExceeded`] and the session state is untouched.
+    /// `None` (the default) never degrades. Sessions can override it via
+    /// [`ExploreSession::set_budget_bytes`].
+    pub session_budget_bytes: Option<u64>,
+    /// The I/O backend every store touch goes through: [`RealIo`] in
+    /// production (the default), a [`qagview_common::FaultIo`] under
+    /// fault-injection tests.
+    pub store_io: Arc<dyn StoreIo>,
 }
 
 impl Default for ExplorerConfig {
@@ -89,6 +115,10 @@ impl Default for ExplorerConfig {
             pool_factor: DEFAULT_POOL_FACTOR,
             parallel_planes: true,
             store_dir: None,
+            store_budget_bytes: None,
+            retry: RetryPolicy::default(),
+            session_budget_bytes: None,
+            store_io: Arc::new(RealIo),
         }
     }
 }
@@ -112,9 +142,93 @@ pub struct StoreLayerStats {
     pub probe_misses: u64,
     /// Plane sets written back after a cold build.
     pub writes: u64,
-    /// Write-backs that failed (e.g. a full disk). Serving is unaffected —
+    /// Write-backs that failed even after retrying. Serving is unaffected —
     /// a failed write-back only costs the next process its warm start.
     pub write_errors: u64,
+    /// Transient-fault retries across probes and write-backs (each retry
+    /// slept one jittered backoff first).
+    pub retries: u64,
+    /// Orphaned temp files swept at engine construction.
+    pub temp_cleanups: u64,
+    /// `.qag` files evicted by the byte-budget GC.
+    pub gc_evictions: u64,
+    /// Bytes those evictions freed.
+    pub gc_bytes_freed: u64,
+}
+
+/// A cache layer of the [`Explorer`], named for stats and provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLayer {
+    /// Layer 1: finished group phases.
+    GroupPhase,
+    /// Layer 2: dense-coded answer relations.
+    Answers,
+    /// Layer 3: `(k, D)` parameter planes.
+    Planes,
+    /// Drill-down summarizers.
+    Summarizers,
+    /// The store-tier counter block.
+    Store,
+}
+
+/// How many times each layer's mutex was recovered from poisoning (a
+/// thread panicked while holding it). Recovery clears the layer's cached
+/// contents — cold rebuilds, never a propagated panic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoisonStats {
+    /// Group-phase layer recoveries.
+    pub group_phase: u64,
+    /// Answer-relation layer recoveries.
+    pub answers: u64,
+    /// Plane layer recoveries.
+    pub planes: u64,
+    /// Summarizer layer recoveries.
+    pub summarizers: u64,
+    /// Store-counter block recoveries (contents kept; counters are plain
+    /// data that cannot be mid-mutation in a observable way).
+    pub store: u64,
+}
+
+impl PoisonStats {
+    /// Total recoveries across every layer.
+    pub fn total(&self) -> u64 {
+        self.group_phase + self.answers + self.planes + self.summarizers + self.store
+    }
+}
+
+/// One graceful-degradation event of a single command, recorded in
+/// [`CacheProvenance::degradations`]. Every entry means the engine chose
+/// a cheaper/safer path instead of failing; the view itself is still a
+/// correct answer for the state (a [`Degradation::PlaneShed`] view is
+/// computed directly rather than from the precomputed plane).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Degradation {
+    /// A transient store fault was retried (with backoff) and the
+    /// operation eventually succeeded after `attempts` tries.
+    StoreRetried {
+        /// Total attempts including the successful one.
+        attempts: u32,
+    },
+    /// A plane write-back failed every attempt and was dropped. Serving
+    /// continued from memory; the next process pays a cold build.
+    StoreWriteBackDropped {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The session memory budget could not fit the full `(k, D)` plane;
+    /// the view was served by a direct uncached solve instead, and the
+    /// guidance plot collapsed to the single requested point.
+    PlaneShed {
+        /// Bytes the full plane path would have retained.
+        needed: u64,
+        /// The session budget that refused it.
+        budget: u64,
+    },
+    /// A poisoned layer mutex was recovered by clearing that layer.
+    PoisonRecovered {
+        /// Which layer was recovered.
+        layer: CacheLayer,
+    },
 }
 
 /// Cumulative counters of every [`Explorer`] cache layer.
@@ -130,6 +244,8 @@ pub struct ExplorerStats {
     pub summarizers: LayerStats,
     /// Persistent plane-store tier (layer 3's disk backing).
     pub store: StoreLayerStats,
+    /// Lock-poison recoveries per layer.
+    pub poison: PoisonStats,
 }
 
 /// Which cache layer answered each stage of one command, plus a cumulative
@@ -154,6 +270,10 @@ pub struct CacheProvenance {
     pub plane_store: Option<CacheOutcome>,
     /// Drill-down summarizer (only consulted while a drill is active).
     pub summarizer: Option<CacheOutcome>,
+    /// Every graceful degradation this command took (store retries,
+    /// dropped write-backs, plane sheds, poison recoveries). Empty on the
+    /// happy path.
+    pub degradations: Vec<Degradation>,
     /// Cumulative hits/misses/evictions per layer, after this command.
     pub stats: ExplorerStats,
 }
@@ -276,6 +396,9 @@ struct EngineView {
     solution: Solution,
     summary: SummaryView,
     plot: GuidancePlot,
+    /// Estimated bytes this view pinned in shared caches (relation +
+    /// plane; zero plane contribution when the plane was shed).
+    retained_bytes: u64,
 }
 
 struct AnswerEntry {
@@ -339,6 +462,69 @@ pub struct Explorer {
     planes: Mutex<LruCache<(u64, usize, usize), Arc<Precomputed<'static>>>>,
     summarizers: Mutex<LruCache<(u64, usize), Arc<Summarizer<'static>>>>,
     store_stats: Mutex<StoreLayerStats>,
+    poison: PoisonCounters,
+}
+
+/// Lock-free poison-recovery counters (atomics, so counting a recovery
+/// can never itself poison anything).
+#[derive(Debug, Default)]
+struct PoisonCounters {
+    group_phase: AtomicU64,
+    answers: AtomicU64,
+    planes: AtomicU64,
+    summarizers: AtomicU64,
+    store: AtomicU64,
+}
+
+impl PoisonCounters {
+    fn snapshot(&self) -> PoisonStats {
+        PoisonStats {
+            group_phase: self.group_phase.load(Ordering::Relaxed),
+            answers: self.answers.load(Ordering::Relaxed),
+            planes: self.planes.load(Ordering::Relaxed),
+            summarizers: self.summarizers.load(Ordering::Relaxed),
+            store: self.store.load(Ordering::Relaxed),
+        }
+    }
+
+    fn counter(&self, layer: CacheLayer) -> &AtomicU64 {
+        match layer {
+            CacheLayer::GroupPhase => &self.group_phase,
+            CacheLayer::Answers => &self.answers,
+            CacheLayer::Planes => &self.planes,
+            CacheLayer::Summarizers => &self.summarizers,
+            CacheLayer::Store => &self.store,
+        }
+    }
+}
+
+/// What a layer does to its contents when its mutex is recovered from
+/// poisoning: drop anything that could be mid-mutation, keep what is
+/// plain data. The caches rebuild cold; nothing served afterwards can
+/// observe a half-updated structure.
+trait PoisonReset {
+    fn reset_after_poison(&mut self);
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V> PoisonReset for LruCache<K, V> {
+    fn reset_after_poison(&mut self) {
+        self.clear();
+    }
+}
+
+impl PoisonReset for GroupLayer {
+    fn reset_after_poison(&mut self) {
+        self.cache.clear();
+        self.scratch = GroupTable::new(0);
+    }
+}
+
+impl PoisonReset for StoreLayerStats {
+    fn reset_after_poison(&mut self) {
+        // Counters are plain `u64`s; the worst a panic mid-increment
+        // leaves behind is an off-by-one count, which is not worth
+        // zeroing the whole history over.
+    }
 }
 
 impl std::fmt::Debug for Explorer {
@@ -370,7 +556,18 @@ impl Explorer {
 
     /// An engine over an already-shared catalog (e.g. one catalog serving
     /// several engines in tests).
+    ///
+    /// When a store directory is configured, construction sweeps the
+    /// orphaned temp files a crashed predecessor left behind — this runs
+    /// before any writer of this process exists, so every matching file
+    /// is guaranteed stale. A sweep failure (e.g. the directory does not
+    /// exist yet) is ignored; the store degrades, the engine serves.
     pub fn from_shared(catalog: Arc<Catalog>, cfg: ExplorerConfig) -> Self {
+        let temp_cleanups = cfg
+            .store_dir
+            .as_ref()
+            .and_then(|dir| crate::store::clean_orphan_temps(cfg.store_io.as_ref(), dir).ok())
+            .unwrap_or(0) as u64;
         Explorer {
             catalog,
             groups: Mutex::new(GroupLayer {
@@ -380,7 +577,11 @@ impl Explorer {
             answers: Mutex::new(LruCache::new(cfg.answers_cache_entries)),
             planes: Mutex::new(LruCache::new(cfg.plane_cache_entries)),
             summarizers: Mutex::new(LruCache::new(cfg.summarizer_cache_entries)),
-            store_stats: Mutex::new(StoreLayerStats::default()),
+            store_stats: Mutex::new(StoreLayerStats {
+                temp_cleanups,
+                ..Default::default()
+            }),
+            poison: PoisonCounters::default(),
             cfg,
         }
     }
@@ -395,19 +596,44 @@ impl Explorer {
         &self.cfg
     }
 
-    fn lock<'a, T>(&self, layer: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
-        layer.lock().expect("explorer layer mutex poisoned")
+    /// Lock a layer, *recovering* from poisoning instead of propagating
+    /// it: a panic in one session while it held a layer lock must not
+    /// take the layer away from every future session. Recovery clears
+    /// the layer's cached contents ([`PoisonReset`]) — the caches are
+    /// pure cost, so the worst case is cold rebuilds — and counts the
+    /// event in [`PoisonStats`].
+    fn lock<'a, T: PoisonReset>(
+        &self,
+        layer: &'a Mutex<T>,
+        which: CacheLayer,
+    ) -> std::sync::MutexGuard<'a, T> {
+        match layer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                layer.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.reset_after_poison();
+                self.poison.counter(which).fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
     }
 
     /// Snapshot the cumulative cache counters of every layer. Each layer
     /// lock is taken (and released) in turn — never nested.
     pub fn stats(&self) -> ExplorerStats {
         ExplorerStats {
-            group_phase: self.lock(&self.groups).cache.stats(),
-            answers: self.lock(&self.answers).stats(),
-            planes: self.lock(&self.planes).stats(),
-            summarizers: self.lock(&self.summarizers).stats(),
-            store: *self.lock(&self.store_stats),
+            group_phase: self
+                .lock(&self.groups, CacheLayer::GroupPhase)
+                .cache
+                .stats(),
+            answers: self.lock(&self.answers, CacheLayer::Answers).stats(),
+            planes: self.lock(&self.planes, CacheLayer::Planes).stats(),
+            summarizers: self
+                .lock(&self.summarizers, CacheLayer::Summarizers)
+                .stats(),
+            store: *self.lock(&self.store_stats, CacheLayer::Store),
+            poison: self.poison.snapshot(),
         }
     }
 
@@ -427,6 +653,11 @@ impl Explorer {
     /// Probe the persistent store for a compatible plane set. Any failure —
     /// absent file, corruption, foreign fingerprint, stale shape — is a
     /// probe miss: the caller rebuilds cold and overwrites the file.
+    ///
+    /// Only *transient* read faults ([`StoreErrorKind::Io`]) retry, with
+    /// jittered backoff; a clean [`StoreErrorKind::NotFound`] and every
+    /// content failure miss immediately. A successful load touches the
+    /// file so the byte-budget GC sees it as recently used.
     fn store_probe(
         &self,
         path: &std::path::Path,
@@ -434,11 +665,34 @@ impl Explorer {
         fp: u64,
         l_eff: usize,
         k_max: usize,
+        degradations: &mut Vec<Degradation>,
     ) -> Option<Precomputed<'static>> {
-        if !path.exists() {
-            return None;
+        let io = self.cfg.store_io.as_ref();
+        let policy = &self.cfg.retry;
+        let attempts = policy.attempts.max(1);
+        let mut reader = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                io.sleep(policy.backoff(attempt - 1));
+                self.lock(&self.store_stats, CacheLayer::Store).retries += 1;
+            }
+            match crate::store::StoreReader::open_io(io, path) {
+                Ok(r) => {
+                    if attempt > 0 {
+                        degradations.push(Degradation::StoreRetried {
+                            attempts: attempt + 1,
+                        });
+                    }
+                    reader = Some(r);
+                    break;
+                }
+                // Transient fault: retry. Everything else — absence,
+                // truncation, corruption — is permanent for this probe.
+                Err(e) if e.store_kind() == Some(StoreErrorKind::Io) => continue,
+                Err(_) => break,
+            }
         }
-        let reader = crate::store::StoreReader::open(path).ok()?;
+        let reader = reader?;
         let cfg = reader.config();
         // The file must serve exactly what the in-memory key promises:
         // same relation, same L, a grid covering the full knob ranges, and
@@ -456,7 +710,27 @@ impl Explorer {
         {
             return None;
         }
-        reader.into_precomputed(Arc::clone(base)).ok()
+        let pre = reader.into_precomputed(Arc::clone(base)).ok()?;
+        // Refresh recency so the byte-budget GC keeps what sessions
+        // actually load; a failed touch only skews eviction order.
+        let _ = io.touch(path);
+        Some(pre)
+    }
+
+    /// Rough bytes a dense answer relation retains: `m` u32 codes plus an
+    /// f64 score per tuple, plus fixed overhead. An *estimate* — budget
+    /// checks need the right order of magnitude, not an allocator audit.
+    fn relation_bytes(n: usize, m: usize) -> u64 {
+        (n * (4 * m + 8) + 1024) as u64
+    }
+
+    /// Rough bytes a full `(k, D)` plane set retains: per-`D` state rows
+    /// and interval records, plus the shared cluster pool (pattern +
+    /// coverage bitset/list per pooled cluster).
+    fn plane_bytes(&self, n: usize, m: usize, k_max: usize) -> u64 {
+        let per_plane = k_max * 24 + k_max * 12;
+        let pool = self.cfg.pool_factor * k_max * (4 * m + n / 8 + 48);
+        ((m + 1) * per_plane + pool + 4096) as u64
     }
 
     /// Compute the full view for one exploration state — the stateless
@@ -464,17 +738,23 @@ impl Explorer {
     /// network facade) routes through. Deterministic in `state`: cache
     /// hits change only the [`CacheProvenance`], never the view.
     pub fn view(&self, state: &ExploreState) -> Result<(SummaryView, GuidancePlot)> {
-        let (view, _) = self.view_internal(state)?;
+        let (view, _) = self.view_internal(state, self.cfg.session_budget_bytes)?;
         Ok((view.summary, view.plot))
     }
 
-    fn view_internal(&self, state: &ExploreState) -> Result<(EngineView, CacheProvenance)> {
+    fn view_internal(
+        &self,
+        state: &ExploreState,
+        budget: Option<u64>,
+    ) -> Result<(EngineView, CacheProvenance)> {
         if state.k == 0 {
             return Err(QagError::param("size knob k must be at least 1"));
         }
         if state.l == 0 {
             return Err(QagError::param("coverage knob L must be at least 1"));
         }
+        let mut degradations: Vec<Degradation> = Vec::new();
+        let poison_before = self.poison.snapshot();
         let stmt = parse(&state.sql)?;
         let (table_id, table) = self.catalog.require_shared(&stmt.from)?;
         let mut bound = bind(&stmt, &table)?;
@@ -497,13 +777,17 @@ impl Explorer {
         let gkey = (table_id, group_fp);
         // Each probe is bound to its own statement so the layer guard in
         // the scrutinee drops before the miss arm re-locks to insert.
-        let probe = self.lock(&self.groups).cache.get_cloned(&gkey);
+        let probe = self
+            .lock(&self.groups, CacheLayer::GroupPhase)
+            .cache
+            .get_cloned(&gkey);
         let (grouped, group_out) = match probe {
             Some(g) => (g, CacheOutcome::Hit),
             None => {
-                let mut scratch = std::mem::take(&mut self.lock(&self.groups).scratch);
+                let mut scratch =
+                    std::mem::take(&mut self.lock(&self.groups, CacheLayer::GroupPhase).scratch);
                 let result = group_aggregate_with(&bound.group, &table, &mut scratch);
-                let mut layer = self.lock(&self.groups);
+                let mut layer = self.lock(&self.groups, CacheLayer::GroupPhase);
                 layer.scratch = scratch;
                 let g = Arc::new(result?);
                 layer.cache.insert(gkey, Arc::clone(&g));
@@ -514,14 +798,17 @@ impl Explorer {
         // Layer 2: the dense-coded answer relation, derived O(groups) from
         // the group phase via the direct (no string round-trip) path.
         let akey = (table_id, combine(group_fp, bound.output.fingerprint()));
-        let probe = self.lock(&self.answers).get_cloned(&akey);
+        let probe = self
+            .lock(&self.answers, CacheLayer::Answers)
+            .get_cloned(&akey);
         let (entry, answers_out) = match probe {
             Some(e) => (e, CacheOutcome::Hit),
             None => {
                 let answers = Arc::new(grouped.apply_answers(&bound.output)?);
                 let fp = answers.fingerprint();
                 let e = Arc::new(AnswerEntry { answers, fp });
-                self.lock(&self.answers).insert(akey, Arc::clone(&e));
+                self.lock(&self.answers, CacheLayer::Answers)
+                    .insert(akey, Arc::clone(&e));
                 (e, CacheOutcome::Miss)
             }
         };
@@ -544,59 +831,137 @@ impl Explorer {
         // cold build writes its plane set back for the next process. All
         // store traffic runs with no layer lock held.
         let k_max = self.cfg.default_k_max.max(state.k);
+
+        // Per-session memory budget: the gate bounds what a command
+        // *retains* (relation + plane estimates), not the transient build
+        // peak. Over budget the plane is shed — the view is served by one
+        // uncached solve and nothing new is pinned; if even the relation
+        // alone cannot fit, the command is refused with a typed error and
+        // the caller's session state stays untouched.
+        let rel_bytes = Self::relation_bytes(base.len(), m);
+        if let Some(b) = budget {
+            if rel_bytes > b {
+                return Err(QagError::BudgetExceeded {
+                    needed: rel_bytes,
+                    budget: b,
+                });
+            }
+        }
+        let plane_est = self.plane_bytes(base.len(), m, k_max);
+        let full_bytes = rel_bytes.saturating_add(plane_est);
+        let shed_plane = budget.is_some_and(|b| full_bytes > b);
+
         let pkey = (base_fp, l_eff, k_max);
-        let probe = self.lock(&self.planes).get_cloned(&pkey);
-        let (plane, plane_out, store_out) = match probe {
-            Some(p) => (p, CacheOutcome::Hit, None),
-            None => {
-                let store_path = self.store_path(base_fp, l_eff, k_max);
-                let loaded = store_path
-                    .as_ref()
-                    .and_then(|path| self.store_probe(path, &base, base_fp, l_eff, k_max));
-                let (p, store_out, write_back) = match loaded {
-                    Some(p) => {
-                        self.lock(&self.store_stats).loads += 1;
-                        (Arc::new(p), Some(CacheOutcome::Hit), false)
-                    }
-                    None => {
-                        let built: Arc<Precomputed<'static>> = Arc::new(Precomputed::build(
-                            Arc::clone(&base),
-                            l_eff,
-                            PrecomputeConfig {
-                                k_min: 1,
-                                k_max,
-                                d_min: 0,
-                                d_max: m,
-                                pool_factor: self.cfg.pool_factor,
-                                eval: qagview_core::EvalMode::Delta,
-                                parallel: self.cfg.parallel_planes,
-                                ..Default::default()
-                            },
-                        )?);
-                        if store_path.is_some() {
-                            self.lock(&self.store_stats).probe_misses += 1;
-                            (built, Some(CacheOutcome::Miss), true)
-                        } else {
-                            (built, None, false)
+        let (plane, plane_out, store_out) = if shed_plane {
+            degradations.push(Degradation::PlaneShed {
+                needed: full_bytes,
+                budget: budget.expect("shed implies a budget"),
+            });
+            (None, CacheOutcome::Miss, None)
+        } else {
+            let probe = self
+                .lock(&self.planes, CacheLayer::Planes)
+                .get_cloned(&pkey);
+            match probe {
+                Some(p) => (Some(p), CacheOutcome::Hit, None),
+                None => {
+                    let store_path = self.store_path(base_fp, l_eff, k_max);
+                    let loaded = store_path.as_ref().and_then(|path| {
+                        self.store_probe(path, &base, base_fp, l_eff, k_max, &mut degradations)
+                    });
+                    let (p, store_out, write_back) = match loaded {
+                        Some(p) => {
+                            self.lock(&self.store_stats, CacheLayer::Store).loads += 1;
+                            (Arc::new(p), Some(CacheOutcome::Hit), false)
+                        }
+                        None => {
+                            let built: Arc<Precomputed<'static>> = Arc::new(Precomputed::build(
+                                Arc::clone(&base),
+                                l_eff,
+                                PrecomputeConfig {
+                                    k_min: 1,
+                                    k_max,
+                                    d_min: 0,
+                                    d_max: m,
+                                    pool_factor: self.cfg.pool_factor,
+                                    eval: qagview_core::EvalMode::Delta,
+                                    parallel: self.cfg.parallel_planes,
+                                    ..Default::default()
+                                },
+                            )?);
+                            if store_path.is_some() {
+                                self.lock(&self.store_stats, CacheLayer::Store).probe_misses += 1;
+                                (built, Some(CacheOutcome::Miss), true)
+                            } else {
+                                (built, None, false)
+                            }
+                        }
+                    };
+                    // Publish to the memory cache *before* the disk
+                    // write-back: concurrent sessions racing the same key
+                    // stop duplicating the cold build as soon as the plane
+                    // exists, and the serialize + write cost never sits
+                    // between them and a hit.
+                    self.lock(&self.planes, CacheLayer::Planes)
+                        .insert(pkey, Arc::clone(&p));
+                    if write_back {
+                        let path = store_path.as_ref().expect("write_back implies a path");
+                        let io = self.cfg.store_io.as_ref();
+                        match crate::store::save_with_retry(io, &p, path, &self.cfg.retry) {
+                            Ok(attempts) => {
+                                let mut st = self.lock(&self.store_stats, CacheLayer::Store);
+                                st.writes += 1;
+                                st.retries += u64::from(attempts - 1);
+                                drop(st);
+                                if attempts > 1 {
+                                    degradations.push(Degradation::StoreRetried { attempts });
+                                }
+                            }
+                            Err((_, attempts)) => {
+                                let mut st = self.lock(&self.store_stats, CacheLayer::Store);
+                                st.write_errors += 1;
+                                st.retries += u64::from(attempts.saturating_sub(1));
+                                drop(st);
+                                degradations.push(Degradation::StoreWriteBackDropped { attempts });
+                            }
+                        }
+                        // Keep the directory under its byte budget now that
+                        // it grew. GC trouble is never fatal — the next
+                        // write-back retries it.
+                        if let (Some(gc_budget), Some(dir)) =
+                            (self.cfg.store_budget_bytes, self.cfg.store_dir.as_ref())
+                        {
+                            if let Ok(report) = crate::store::gc(io, dir, gc_budget) {
+                                let mut st = self.lock(&self.store_stats, CacheLayer::Store);
+                                st.gc_evictions += report.evicted as u64;
+                                st.gc_bytes_freed += report.bytes_freed;
+                            }
                         }
                     }
-                };
-                // Publish to the memory cache *before* the disk write-back:
-                // concurrent sessions racing the same key stop duplicating
-                // the cold build as soon as the plane exists, and the
-                // serialize + write cost never sits between them and a hit.
-                self.lock(&self.planes).insert(pkey, Arc::clone(&p));
-                if write_back {
-                    let path = store_path.as_ref().expect("write_back implies a path");
-                    match crate::store::save(&p, path) {
-                        Ok(()) => self.lock(&self.store_stats).writes += 1,
-                        Err(_) => self.lock(&self.store_stats).write_errors += 1,
-                    }
+                    (Some(p), CacheOutcome::Miss, store_out)
                 }
-                (p, CacheOutcome::Miss, store_out)
             }
         };
-        let plot = plane.guidance();
+
+        // The guidance plot: the full plane serves the complete (k, D)
+        // grid; a shed plane degrades to the single requested point,
+        // computed by one uncached solve (nothing retained).
+        let (plot, shed_solution) = match &plane {
+            Some(p) => (p.guidance(), None),
+            None => {
+                let summarizer = Summarizer::new(Arc::clone(&base), l_eff)?;
+                let solution = summarizer.hybrid(state.k, d_eff)?;
+                let plot = GuidancePlot {
+                    l: l_eff,
+                    k_values: vec![state.k],
+                    series: vec![DSeries {
+                        d: d_eff,
+                        avg_by_k: vec![solution.avg()],
+                    }],
+                };
+                (plot, Some(solution))
+            }
+        };
 
         // Summary: the plane's §6.2 stored solution for the overview, or a
         // cached owned summarizer run over the drill focus.
@@ -612,13 +977,16 @@ impl Explorer {
                 let sub_fp = sub.fingerprint();
                 let l_sub = state.l.min(sub.len());
                 let skey = (sub_fp, l_sub);
-                let probe = self.lock(&self.summarizers).get_cloned(&skey);
+                let probe = self
+                    .lock(&self.summarizers, CacheLayer::Summarizers)
+                    .get_cloned(&skey);
                 let (summarizer, s_out) = match probe {
                     Some(s) => (s, CacheOutcome::Hit),
                     None => {
                         let s: Arc<Summarizer<'static>> =
                             Arc::new(Summarizer::new(Arc::clone(&sub), l_sub)?);
-                        self.lock(&self.summarizers).insert(skey, Arc::clone(&s));
+                        self.lock(&self.summarizers, CacheLayer::Summarizers)
+                            .insert(skey, Arc::clone(&s));
                         (s, CacheOutcome::Miss)
                     }
                 };
@@ -626,10 +994,46 @@ impl Explorer {
                 (sub, sub_fp, l_sub, solution, Some(s_out))
             }
             _ => {
-                let solution = plane.solution(state.k, d_eff)?;
+                let solution = match (&plane, shed_solution) {
+                    (Some(p), _) => p.solution(state.k, d_eff)?,
+                    (None, Some(s)) => s,
+                    (None, None) => unreachable!("shed plane always computes a solution"),
+                };
                 (Arc::clone(&base), base_fp, l_eff, solution, None)
             }
         };
+
+        // Surface poison recoveries that happened under this command's
+        // lock acquisitions (comparing cumulative counters keeps the fast
+        // path allocation-free).
+        let poison_after = self.poison.snapshot();
+        for (layer, before, after) in [
+            (
+                CacheLayer::GroupPhase,
+                poison_before.group_phase,
+                poison_after.group_phase,
+            ),
+            (
+                CacheLayer::Answers,
+                poison_before.answers,
+                poison_after.answers,
+            ),
+            (
+                CacheLayer::Planes,
+                poison_before.planes,
+                poison_after.planes,
+            ),
+            (
+                CacheLayer::Summarizers,
+                poison_before.summarizers,
+                poison_after.summarizers,
+            ),
+            (CacheLayer::Store, poison_before.store, poison_after.store),
+        ] {
+            if after > before {
+                degradations.push(Degradation::PoisonRecovered { layer });
+            }
+        }
 
         let provenance = CacheProvenance {
             group_phase: group_out,
@@ -637,6 +1041,7 @@ impl Explorer {
             plane: plane_out,
             plane_store: store_out,
             summarizer: summarizer_out,
+            degradations,
             stats: self.stats(),
         };
         let summary = summary_view(&relation, &solution, state.k, l_used, d_eff);
@@ -648,6 +1053,7 @@ impl Explorer {
                 solution,
                 summary,
                 plot,
+                retained_bytes: if shed_plane { rel_bytes } else { full_bytes },
             },
             provenance,
         ))
@@ -732,22 +1138,47 @@ pub struct ExploreSession {
     engine: Arc<Explorer>,
     state: Option<ExploreState>,
     last: Option<LastView>,
+    budget_bytes: Option<u64>,
+    retained_bytes: u64,
 }
 
 impl ExploreSession {
     /// Open a session on a shared engine. The first command must be
-    /// [`ExploreCommand::SetQuery`].
+    /// [`ExploreCommand::SetQuery`]. The memory budget starts at the
+    /// engine's [`ExplorerConfig::session_budget_bytes`].
     pub fn new(engine: Arc<Explorer>) -> Self {
+        let budget_bytes = engine.config().session_budget_bytes;
         ExploreSession {
             engine,
             state: None,
             last: None,
+            budget_bytes,
+            retained_bytes: 0,
         }
     }
 
     /// The engine this session runs on.
     pub fn engine(&self) -> &Arc<Explorer> {
         &self.engine
+    }
+
+    /// Override this session's memory budget (`None` = unbounded). Takes
+    /// effect from the next command; see
+    /// [`ExplorerConfig::session_budget_bytes`] for the semantics.
+    pub fn set_budget_bytes(&mut self, budget: Option<u64>) {
+        self.budget_bytes = budget;
+    }
+
+    /// This session's current memory budget.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget_bytes
+    }
+
+    /// Estimated bytes the last successful command retained in the
+    /// engine's shared caches on this session's behalf — the quantity the
+    /// budget bounds. Zero before the first successful command.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_bytes
     }
 
     /// The current exploration state (`None` until the first successful
@@ -763,7 +1194,9 @@ impl ExploreSession {
     /// Propagates parse/bind/execution errors and knob violations
     /// (`k == 0`, `L == 0`, `SetThreshold` without a `HAVING`, a drill
     /// pattern of the wrong arity or empty coverage, an empty answer
-    /// relation). The session state is unchanged on error.
+    /// relation), and [`QagError::BudgetExceeded`] when even the degraded
+    /// serving path cannot fit this session's memory budget. The session
+    /// state is unchanged on error.
     pub fn apply(&mut self, command: ExploreCommand) -> Result<ExploreResponse> {
         let next = match (&self.state, command) {
             (None, ExploreCommand::SetQuery(sql)) => ExploreState {
@@ -801,7 +1234,8 @@ impl ExploreSession {
                 ..s.clone()
             },
         };
-        let (view, provenance) = self.engine.view_internal(&next)?;
+        let (view, provenance) = self.engine.view_internal(&next, self.budget_bytes)?;
+        self.retained_bytes = view.retained_bytes;
         let transition = match &self.last {
             Some(last) if last.relation_fp == view.relation_fp => Some(Transition::between(
                 &view.relation,
@@ -1123,6 +1557,274 @@ mod tests {
         let reread = s4.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
         assert_eq!(reread.provenance.plane_store, Some(CacheOutcome::Hit));
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn session_budget_sheds_the_plane_then_refuses() {
+        let engine = Arc::new(Explorer::new(catalog()));
+        let mut s = ExploreSession::new(Arc::clone(&engine));
+        assert_eq!(s.budget_bytes(), None);
+
+        // Unbounded: the full plane path.
+        let full = s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert!(full.provenance.degradations.is_empty());
+        let full_retained = s.retained_bytes();
+        assert!(full_retained > 0);
+
+        // A budget that fits the relation but not the plane: the plane is
+        // shed, the command still succeeds, and the plot collapses to the
+        // single requested point.
+        let mut s2 = ExploreSession::new(Arc::clone(&engine));
+        s2.set_budget_bytes(Some(2_000));
+        let shed = s2.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(shed.provenance.plane, CacheOutcome::Miss);
+        assert_eq!(shed.provenance.plane_store, None);
+        assert!(matches!(
+            shed.provenance.degradations.as_slice(),
+            [Degradation::PlaneShed { needed, budget: 2_000 }] if *needed > 2_000
+        ));
+        assert_eq!(shed.summary.k, DEFAULT_K);
+        assert_eq!(shed.plot.k_values, vec![DEFAULT_K]);
+        assert_eq!(shed.plot.series.len(), 1);
+        assert!(s2.retained_bytes() <= 2_000);
+        assert!(s2.retained_bytes() < full_retained);
+
+        // A budget below even the relation: a typed refusal, state
+        // untouched, and the session keeps working once the budget lifts.
+        let before = s2.state().cloned();
+        s2.set_budget_bytes(Some(100));
+        let err = s2.apply(ExploreCommand::SetK(3)).unwrap_err();
+        assert!(
+            matches!(err, QagError::BudgetExceeded { needed, budget: 100 } if needed > 100),
+            "{err}"
+        );
+        assert_eq!(s2.state().cloned(), before);
+        s2.set_budget_bytes(None);
+        let recovered = s2.apply(ExploreCommand::SetK(3)).unwrap();
+        assert!(recovered.provenance.degradations.is_empty());
+    }
+
+    #[test]
+    fn poisoned_plane_layer_recovers_by_clearing() {
+        let engine = Arc::new(Explorer::new(catalog()));
+        let mut s = ExploreSession::new(Arc::clone(&engine));
+        s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(engine.stats().planes.entries, 1);
+
+        // Panic while holding the plane lock: the guard drops during the
+        // unwind and poisons the mutex.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.planes.lock().unwrap();
+            panic!("simulated panic while holding the plane layer lock");
+        }));
+        assert!(poison.is_err());
+
+        // The next command recovers: the layer is cleared (cold plane
+        // rebuild), the event is counted and surfaced, and no panic
+        // propagates to this session.
+        let r = s.apply(ExploreCommand::SetK(3)).unwrap();
+        assert_eq!(r.provenance.plane, CacheOutcome::Miss);
+        assert!(r
+            .provenance
+            .degradations
+            .contains(&Degradation::PoisonRecovered {
+                layer: CacheLayer::Planes
+            }));
+        assert_eq!(engine.stats().poison.planes, 1);
+        assert_eq!(engine.stats().poison.total(), 1);
+        // And the layer is functional again: a further tick is a hit.
+        let r = s.apply(ExploreCommand::SetK(2)).unwrap();
+        assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn transient_probe_fault_retries_and_warm_starts() {
+        use qagview_common::{FaultIo, FaultKind};
+        let dir = std::env::temp_dir().join(format!(
+            "qag-explorer-retry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let shared = Arc::new(catalog());
+
+        // Seed the store with a real engine.
+        let engine = Arc::new(Explorer::from_shared(
+            Arc::clone(&shared),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        ));
+        ExploreSession::new(engine)
+            .apply(ExploreCommand::SetQuery(SQL.into()))
+            .unwrap();
+
+        // A fresh "process" whose first store read fails transiently:
+        // op 0 is the construction orphan sweep's list, op 1 the probe
+        // read. The retry (after one recorded backoff) succeeds.
+        let io = Arc::new(FaultIo::new());
+        io.schedule(1, FaultKind::Error);
+        let engine2 = Arc::new(Explorer::from_shared(
+            Arc::clone(&shared),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                store_io: io.clone(),
+                ..Default::default()
+            },
+        ));
+        let r = ExploreSession::new(Arc::clone(&engine2))
+            .apply(ExploreCommand::SetQuery(SQL.into()))
+            .unwrap();
+        assert_eq!(r.provenance.plane_store, Some(CacheOutcome::Hit));
+        assert!(r
+            .provenance
+            .degradations
+            .contains(&Degradation::StoreRetried { attempts: 2 }));
+        let stats = engine2.stats().store;
+        assert_eq!((stats.loads, stats.retries), (1, 1));
+        assert_eq!(io.sleeps().len(), 1, "the retry slept one backoff");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_back_give_up_never_fails_the_command() {
+        use qagview_common::{FaultIo, FaultKind};
+        let dir = std::env::temp_dir().join(format!(
+            "qag-explorer-giveup-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Crash the simulated process at the first write-back's
+        // create_temp (op 2: list, probe read, create_temp): every retry
+        // fails too, the write-back is dropped — and the analyst still
+        // gets their summary.
+        let io = Arc::new(FaultIo::new());
+        io.schedule(2, FaultKind::Crash);
+        let engine = Arc::new(Explorer::with_config(
+            catalog(),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                store_io: io.clone(),
+                ..Default::default()
+            },
+        ));
+        let mut s = ExploreSession::new(Arc::clone(&engine));
+        let r = s.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(r.summary.total, 5);
+        assert_eq!(r.provenance.plane_store, Some(CacheOutcome::Miss));
+        assert!(r
+            .provenance
+            .degradations
+            .contains(&Degradation::StoreWriteBackDropped { attempts: 3 }));
+        let stats = engine.stats().store;
+        assert_eq!((stats.writes, stats.write_errors), (0, 1));
+        // Nothing torn left on disk.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        // Serving continues from memory.
+        let r = s.apply(ExploreCommand::SetK(3)).unwrap();
+        assert_eq!(r.provenance.plane, CacheOutcome::Hit);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_gc_evicts_lru_and_retained_planes_still_warm_start() {
+        let dir = std::env::temp_dir().join(format!(
+            "qag-explorer-gc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let shared = Arc::new(catalog());
+        let sql_b = "SELECT genre, AVG(rating) AS val FROM ratings GROUP BY genre \
+                     ORDER BY val DESC";
+
+        // Write plane A with no GC budget and measure it.
+        let engine = Arc::new(Explorer::from_shared(
+            Arc::clone(&shared),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        ));
+        ExploreSession::new(engine)
+            .apply(ExploreCommand::SetQuery(SQL.into()))
+            .unwrap();
+        let size_a = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum::<u64>();
+        assert!(size_a > 0);
+
+        // mtime must separate the two writes for deterministic LRU order.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+
+        // An engine with a budget of exactly one plane-A writes plane B,
+        // overflows the budget, and GC evicts the older plane A.
+        let engine2 = Arc::new(Explorer::from_shared(
+            Arc::clone(&shared),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                store_budget_bytes: Some(size_a),
+                ..Default::default()
+            },
+        ));
+        ExploreSession::new(Arc::clone(&engine2))
+            .apply(ExploreCommand::SetQuery(sql_b.into()))
+            .unwrap();
+        let stats = engine2.stats().store;
+        assert_eq!(stats.gc_evictions, 1);
+        assert!(stats.gc_bytes_freed > 0);
+        let remaining: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert!(remaining <= size_a, "directory over budget after GC");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+
+        // The retained plane (B) still warm-starts a fresh process purely
+        // from the store; the evicted one (A) is a clean probe miss.
+        let engine3 = Arc::new(Explorer::from_shared(
+            Arc::clone(&shared),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        ));
+        let mut s3 = ExploreSession::new(Arc::clone(&engine3));
+        let warm = s3.apply(ExploreCommand::SetQuery(sql_b.into())).unwrap();
+        assert_eq!(warm.provenance.plane_store, Some(CacheOutcome::Hit));
+        let rebuilt = s3.apply(ExploreCommand::SetQuery(SQL.into())).unwrap();
+        assert_eq!(rebuilt.provenance.plane_store, Some(CacheOutcome::Miss));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_temps_are_swept_at_engine_construction() {
+        let dir = std::env::temp_dir().join(format!(
+            "qag-explorer-orphan-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("plane-dead.qag.tmp.999.0"), b"torn").unwrap();
+        std::fs::write(dir.join("plane-live.qag"), b"not actually a plane").unwrap();
+        let engine = Explorer::with_config(
+            catalog(),
+            ExplorerConfig {
+                store_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(engine.stats().store.temp_cleanups, 1);
+        assert!(!dir.join("plane-dead.qag.tmp.999.0").exists());
+        assert!(dir.join("plane-live.qag").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

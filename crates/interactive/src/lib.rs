@@ -49,11 +49,12 @@ pub mod store;
 
 pub use cache::{LayerStats, LruCache};
 pub use explore::{
-    CacheOutcome, CacheProvenance, ClusterView, ExploreCommand, ExploreResponse, ExploreSession,
-    ExploreState, Explorer, ExplorerConfig, ExplorerStats, StoreLayerStats, SummaryView,
+    CacheLayer, CacheOutcome, CacheProvenance, ClusterView, Degradation, ExploreCommand,
+    ExploreResponse, ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats,
+    PoisonStats, StoreLayerStats, SummaryView,
 };
 pub use interval_tree::IntervalTree;
 pub use plot::{DSeries, GuidancePlot};
 pub use precompute::{DescentEngine, PrecomputeConfig, Precomputed};
 pub use session::QuerySession;
-pub use store::StoreReader;
+pub use store::{GcReport, StoreReader};

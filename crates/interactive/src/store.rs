@@ -62,10 +62,22 @@
 //! [`QagError::Store`] with a [`StoreErrorKind`]; nothing in the decode or
 //! serve path panics on file content. [`crate::Explorer`] treats any load
 //! failure as a cache miss and rebuilds (then overwrites the bad file).
+//!
+//! Faults at the moment they happen are covered too: every filesystem
+//! touch goes through a [`StoreIo`] ([`RealIo`] in production, a
+//! scriptable [`qagview_common::FaultIo`] under test), and the write path
+//! is crash-safe by construction — create temp, write, **sync**, rename —
+//! so a kill at any step leaves either the complete old file, the
+//! complete new file, or nothing but an orphaned temp that
+//! [`clean_orphan_temps`] sweeps on the next open. A directory-level
+//! [`gc`] keeps a store under a configurable byte budget by evicting the
+//! least-recently-used `.qag` files (recency = mtime, refreshed by
+//! [`StoreIo::touch`] on every successful load).
 
 use crate::interval_tree::IntervalTree;
 use crate::precompute::{DPlane, PrecomputeConfig, Precomputed, StateMeta};
 use crate::DescentEngine;
+use qagview_common::io::{RealIo, RetryPolicy, StoreIo};
 use qagview_common::wire::{checksum64, Reader, Writer};
 use qagview_common::{QagError, Result, StoreErrorKind};
 use qagview_core::EvalMode;
@@ -199,34 +211,160 @@ pub fn to_bytes(pre: &Precomputed<'_>) -> Result<Vec<u8>> {
     Ok(w.into_bytes())
 }
 
-/// Write a plane set to `path` atomically (temp file + rename), so a
-/// concurrent reader — or a crash mid-write — never observes a torn file.
-pub fn save(pre: &Precomputed<'_>, path: impl AsRef<Path>) -> Result<()> {
-    // The temp name must be unique per *writer*, not just per process:
-    // two sessions of one engine racing the same cold build both write
-    // back to the same final path, and a shared temp file would reopen
-    // the torn-write window the rename exists to close.
-    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let path = path.as_ref();
-    let bytes = to_bytes(pre)?;
-    let io_err = |op: &str, e: std::io::Error| {
-        QagError::store(StoreErrorKind::Io, format!("{op} {}: {e}", path.display()))
+/// Map a raw filesystem error to the typed store error, keeping file
+/// absence ([`StoreErrorKind::NotFound`]) distinct from real I/O trouble
+/// so callers never retry a clean miss.
+fn io_error(op: &str, path: &Path, e: std::io::Error) -> QagError {
+    let kind = if e.kind() == std::io::ErrorKind::NotFound {
+        StoreErrorKind::NotFound
+    } else {
+        StoreErrorKind::Io
     };
+    QagError::store(kind, format!("{op} {}: {e}", path.display()))
+}
+
+/// The unique temp path one write-back attempt uses.
+///
+/// The temp name must be unique per *writer*, not just per process: two
+/// sessions of one engine racing the same cold build both write back to
+/// the same final path, and a shared temp file would reopen the
+/// torn-write window the rename exists to close.
+fn temp_path_for(path: &Path) -> std::path::PathBuf {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}.{seq}", std::process::id()));
-    let tmp = std::path::PathBuf::from(tmp);
-    if let Err(e) = std::fs::write(&tmp, &bytes) {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(io_err("write", e));
+    std::path::PathBuf::from(tmp)
+}
+
+/// Whether a directory entry is an orphaned write-back temp file.
+fn is_orphan_temp(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.contains(".qag.tmp."))
+}
+
+/// Write a byte image to `path` crash-safely through `io`: create a
+/// uniquely named temp file, write, **sync**, then rename over the final
+/// path. On any failure the temp file is removed (best-effort — a crash
+/// can orphan it, which [`clean_orphan_temps`] sweeps on the next open).
+fn write_image(io: &dyn StoreIo, path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = temp_path_for(path);
+    let step =
+        |op: &str, r: std::io::Result<()>| -> Result<()> { r.map_err(|e| io_error(op, path, e)) };
+    let guarded: Result<()> = step("create temp for", io.create_temp(&tmp))
+        .and_then(|()| step("write temp for", io.write(&tmp, bytes)))
+        .and_then(|()| step("sync temp for", io.sync(&tmp)))
+        .and_then(|()| step("rename into", io.rename(&tmp, path)));
+    if guarded.is_err() {
+        let _ = io.remove(&tmp);
     }
-    match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(io_err("rename into", e))
+    guarded
+}
+
+/// Write a plane set to `path` atomically (temp file + sync + rename), so
+/// a concurrent reader — or a crash mid-write — never observes a torn
+/// file. Production entry point over [`RealIo`].
+pub fn save(pre: &Precomputed<'_>, path: impl AsRef<Path>) -> Result<()> {
+    save_io(&RealIo, pre, path.as_ref())
+}
+
+/// [`save`] over an explicit [`StoreIo`] backend.
+pub fn save_io(io: &dyn StoreIo, pre: &Precomputed<'_>, path: &Path) -> Result<()> {
+    let bytes = to_bytes(pre)?;
+    write_image(io, path, &bytes)
+}
+
+/// [`save_io`] with bounded retry: transient failures (a flaky disk, a
+/// momentary `ENOSPC`) back off with deterministic jitter
+/// ([`RetryPolicy::backoff`], slept through [`StoreIo::sleep`]) and try
+/// again; each failed attempt removes its temp file before the next one
+/// starts. Returns the number of attempts used on success; after the
+/// last attempt fails, the final error propagates (temp already cleaned).
+pub fn save_with_retry(
+    io: &dyn StoreIo,
+    pre: &Precomputed<'_>,
+    path: &Path,
+    policy: &RetryPolicy,
+) -> std::result::Result<u32, (QagError, u32)> {
+    let bytes = match to_bytes(pre) {
+        Ok(b) => b,
+        Err(e) => return Err((e, 0)),
+    };
+    let attempts = policy.attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            io.sleep(policy.backoff(attempt - 1));
+        }
+        match write_image(io, path, &bytes) {
+            Ok(()) => return Ok(attempt + 1),
+            Err(e) => last = Some(e),
         }
     }
+    Err((last.expect("at least one attempt ran"), attempts))
+}
+
+/// Remove orphaned write-back temp files (`*.qag.tmp.<pid>.<seq>`) from a
+/// store directory — the debris a crash between temp-write and rename
+/// leaves behind. Returns how many were removed. Run at engine open,
+/// before any writer of this process is live, so every matching file is
+/// guaranteed stale.
+pub fn clean_orphan_temps(io: &dyn StoreIo, dir: &Path) -> Result<usize> {
+    let entries = io.list(dir).map_err(|e| io_error("list", dir, e))?;
+    let mut removed = 0;
+    for entry in entries {
+        if is_orphan_temp(&entry.path) && io.remove(&entry.path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// What one [`gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// `.qag` files examined.
+    pub examined: usize,
+    /// Files evicted to get under the budget.
+    pub evicted: usize,
+    /// Bytes those evictions freed.
+    pub bytes_freed: u64,
+    /// `.qag` bytes remaining after the pass.
+    pub bytes_retained: u64,
+}
+
+/// Keep a store directory's `.qag` payload under `budget_bytes` by
+/// evicting least-recently-used files (oldest mtime first; loads refresh
+/// mtime via [`StoreIo::touch`], so retention tracks *use*, not creation).
+/// Non-`.qag` files are never touched. A file that cannot be removed is
+/// skipped, not fatal — the next pass retries it.
+pub fn gc(io: &dyn StoreIo, dir: &Path, budget_bytes: u64) -> Result<GcReport> {
+    let mut planes: Vec<_> = io
+        .list(dir)
+        .map_err(|e| io_error("list", dir, e))?
+        .into_iter()
+        .filter(|f| f.path.extension().is_some_and(|e| e == "qag"))
+        .collect();
+    // Oldest first; absent mtimes first (cannot prove recent use), path as
+    // the deterministic tie-break.
+    planes.sort_by(|a, b| a.modified.cmp(&b.modified).then(a.path.cmp(&b.path)));
+    let mut report = GcReport {
+        examined: planes.len(),
+        bytes_retained: planes.iter().map(|f| f.len).sum(),
+        ..Default::default()
+    };
+    for f in &planes {
+        if report.bytes_retained <= budget_bytes {
+            break;
+        }
+        if io.remove(&f.path).is_ok() {
+            report.evicted += 1;
+            report.bytes_freed += f.len;
+            report.bytes_retained -= f.len;
+        }
+    }
+    Ok(report)
 }
 
 /// The parsed fixed-size header of a store file.
@@ -256,10 +394,15 @@ pub struct StoreReader {
 impl StoreReader {
     /// Open and verify a store file: magic, version, checksum, header.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| {
-            QagError::store(StoreErrorKind::Io, format!("read {}: {e}", path.display()))
-        })?;
+        Self::open_io(&RealIo, path.as_ref())
+    }
+
+    /// [`StoreReader::open`] over an explicit [`StoreIo`] backend. A file
+    /// that does not exist is [`StoreErrorKind::NotFound`] (the clean
+    /// probe miss); any other filesystem failure is
+    /// [`StoreErrorKind::Io`] (transient — a caller may retry).
+    pub fn open_io(io: &dyn StoreIo, path: &Path) -> Result<Self> {
+        let bytes = io.read(path).map_err(|e| io_error("read", path, e))?;
         Self::from_bytes(bytes)
     }
 
@@ -535,6 +678,15 @@ pub fn load<'a>(
     StoreReader::open(path)?.into_precomputed(answers)
 }
 
+/// [`load`] over an explicit [`StoreIo`] backend.
+pub fn load_io<'a>(
+    io: &dyn StoreIo,
+    path: &Path,
+    answers: impl Into<AnswersHandle<'a>>,
+) -> Result<Precomputed<'a>> {
+    StoreReader::open_io(io, path)?.into_precomputed(answers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,9 +782,150 @@ mod tests {
     }
 
     #[test]
-    fn open_missing_file_is_io_error() {
+    fn open_missing_file_is_a_clean_not_found() {
         let err = StoreReader::open("/nonexistent/qag/plane.qag").unwrap_err();
+        assert_eq!(err.store_kind(), Some(StoreErrorKind::NotFound));
+    }
+
+    #[test]
+    fn failed_save_removes_its_temp_file() {
+        use qagview_common::{FaultIo, FaultKind};
+        let (s, pre) = built();
+        let dir = std::env::temp_dir().join(format!("qag-store-tmpclean-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(plane_file_name(s.fingerprint(), 8, 8, 2));
+        // Fail the write (op 1: create_temp is op 0) — the half-written
+        // temp must be cleaned up before the error propagates.
+        let io = FaultIo::new();
+        io.schedule(1, FaultKind::TornWrite);
+        let err = save_io(&io, &pre, &path).unwrap_err();
         assert_eq!(err.store_kind(), Some(StoreErrorKind::Io));
+        assert!(!path.exists(), "no final file after a failed save");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "temp file leaked: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_with_retry_recovers_from_a_transient_fault() {
+        use qagview_common::{FaultIo, FaultKind};
+        let (s, pre) = built();
+        let dir = std::env::temp_dir().join(format!("qag-store-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(plane_file_name(s.fingerprint(), 8, 8, 2));
+        let io = FaultIo::new();
+        io.schedule(1, FaultKind::Enospc); // first attempt's write fails
+        let policy = RetryPolicy::default();
+        let attempts = save_with_retry(&io, &pre, &path, &policy).unwrap();
+        assert_eq!(attempts, 2);
+        assert_eq!(io.sleeps().len(), 1, "one backoff sleep between attempts");
+        let loaded = load(&path, Arc::new(s.clone())).unwrap();
+        assert_equivalent(&pre, &loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_with_retry_gives_up_with_no_temp_debris() {
+        use qagview_common::{FaultIo, FaultKind};
+        let (s, pre) = built();
+        let dir = std::env::temp_dir().join(format!("qag-store-giveup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(plane_file_name(s.fingerprint(), 8, 8, 2));
+        let io = FaultIo::new();
+        // Fail every attempt's write: 4 ops per clean attempt, but a failed
+        // attempt runs create_temp, write (fails), remove = 3 ops.
+        for op in [1, 4, 7] {
+            io.schedule(op, FaultKind::Enospc);
+        }
+        let policy = RetryPolicy::default();
+        let (err, attempts) = save_with_retry(&io, &pre, &path, &policy).unwrap_err();
+        assert_eq!(attempts, 3);
+        assert_eq!(err.store_kind(), Some(StoreErrorKind::Io));
+        assert!(!path.exists());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp debris after give-up: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_temps_are_swept_and_real_files_kept() {
+        let dir = std::env::temp_dir().join(format!("qag-store-orphans-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("plane-aaaa.qag"), b"keep").unwrap();
+        std::fs::write(dir.join("plane-aaaa.qag.tmp.1234.0"), b"orphan").unwrap();
+        std::fs::write(dir.join("plane-bbbb.qag.tmp.1234.7"), b"orphan").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"unrelated").unwrap();
+        let removed = clean_orphan_temps(&RealIo, &dir).unwrap();
+        assert_eq!(removed, 2);
+        assert!(dir.join("plane-aaaa.qag").exists());
+        assert!(dir.join("notes.txt").exists());
+        assert!(!dir.join("plane-aaaa.qag.tmp.1234.0").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_until_under_budget() {
+        let dir = std::env::temp_dir().join(format!("qag-store-gc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Three 100-byte planes with strictly increasing mtimes, plus an
+        // unrelated file GC must never consider.
+        let names = ["plane-old.qag", "plane-mid.qag", "plane-new.qag"];
+        for (i, name) in names.iter().enumerate() {
+            let p = dir.join(name);
+            std::fs::write(&p, vec![0u8; 100]).unwrap();
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + i as u64 * 60);
+            std::fs::File::options()
+                .write(true)
+                .open(&p)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), vec![0u8; 500]).unwrap();
+        let report = gc(&RealIo, &dir, 250).unwrap();
+        assert_eq!(report.examined, 3);
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.bytes_freed, 100);
+        assert_eq!(report.bytes_retained, 200);
+        assert!(!dir.join("plane-old.qag").exists(), "LRU file evicted");
+        assert!(dir.join("plane-mid.qag").exists());
+        assert!(dir.join("plane-new.qag").exists());
+        assert!(dir.join("notes.txt").exists(), "non-.qag files untouched");
+        // Already under budget: a second pass is a no-op.
+        let again = gc(&RealIo, &dir, 250).unwrap();
+        assert_eq!(again.evicted, 0);
+        assert_eq!(again.bytes_retained, 200);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn touch_refreshes_recency_so_gc_keeps_the_touched_file() {
+        let dir = std::env::temp_dir().join(format!("qag-store-touch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, name) in ["plane-a.qag", "plane-b.qag"].iter().enumerate() {
+            let p = dir.join(name);
+            std::fs::write(&p, vec![0u8; 100]).unwrap();
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(2_000_000 + i as u64 * 60);
+            std::fs::File::options()
+                .write(true)
+                .open(&p)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        }
+        // plane-a is older; touching it (as a load would) makes it the
+        // most recent, so GC evicts plane-b instead.
+        RealIo.touch(&dir.join("plane-a.qag")).unwrap();
+        let report = gc(&RealIo, &dir, 100).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(dir.join("plane-a.qag").exists());
+        assert!(!dir.join("plane-b.qag").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -102,11 +102,13 @@ pub fn answers_from_query(output: &QueryOutput) -> Result<AnswerSet> {
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::answers_from_query;
+    pub use qagview_common::{FaultIo, FaultKind, FaultPlan, RealIo, RetryPolicy, StoreIo};
     pub use qagview_core::{BottomUpOptions, EvalMode, Params, Seeding, Solution, Summarizer};
     pub use qagview_interactive::{
-        store, CacheOutcome, CacheProvenance, ClusterView, ExploreCommand, ExploreResponse,
-        ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats, GuidancePlot,
-        PrecomputeConfig, Precomputed, QuerySession, StoreLayerStats, StoreReader, SummaryView,
+        store, CacheLayer, CacheOutcome, CacheProvenance, ClusterView, Degradation, ExploreCommand,
+        ExploreResponse, ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats,
+        GcReport, GuidancePlot, PoisonStats, PrecomputeConfig, Precomputed, QuerySession,
+        StoreLayerStats, StoreReader, SummaryView,
     };
     pub use qagview_lattice::{
         AnswerSet, AnswerSetBuilder, AnswersHandle, CandidateIndex, Pattern, STAR,
