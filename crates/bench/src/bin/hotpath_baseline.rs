@@ -31,6 +31,12 @@
 //!   vectorized batched engine (cold), and cold re-execution vs `O(groups)`
 //!   threshold re-evaluation from a cached `GroupedResult` (the §6
 //!   interactive-loop hot path);
+//! * **n scaling** — the same paper query's group phase, sequential vs
+//!   morsel-parallel (ordered partition merge), as the base relation grows
+//!   100× (N ∈ {50k, 500k, 5M}; streaming datagen, fingerprint-identical
+//!   results asserted before timing). Per-row throughput is recorded per
+//!   point; the parallel arm's throughput is a core-scaling metric and is
+//!   only comparable between runs with equal `threads`;
 //! * **session tick** — end-to-end command latency of the owned
 //!   exploration engine on the same table: a warm `SetThreshold` slider
 //!   tick and a warm `SetK` knob move (median of 21) vs rebuilding the
@@ -51,8 +57,10 @@ use qagview_interactive::{
     PrecomputeConfig, Precomputed,
 };
 use qagview_lattice::{AnswerSet, CandidateIndex};
-use qagview_query::{bind, execute, execute_rows, group_aggregate, parse};
-use qagview_storage::Catalog;
+use qagview_query::{
+    bind, execute, execute_rows, group_aggregate, group_aggregate_parallel, parse, ParallelConfig,
+};
+use qagview_storage::{Catalog, TableBuilder};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -474,6 +482,84 @@ fn bench_store_warm_start(all_ok: &mut bool) -> String {
     )
 }
 
+/// The `n_scaling` section: sequential vs morsel-parallel group phase of
+/// the paper query as the base relation grows 100× (N ∈ {50k, 500k, 5M}).
+///
+/// Each table is materialized through the streaming generator
+/// ([`movielens::iter_rows`]), so generation allocates O(users + movies)
+/// beyond the table itself, and is dropped before the next point. Both
+/// engines are asserted fingerprint-identical before anything is timed.
+///
+/// The parallel arm always runs the full morsel + ordered-merge pipeline
+/// (partitions ≥ 2 even on a single-core host), so on 1 CPU its
+/// throughput measures pipeline overhead, not core scaling. The
+/// trajectory gate therefore always enforces the *sequential* per-row
+/// throughput and treats `par_mrows_per_s` as a core-scaling metric,
+/// skipped whenever the committed and fresh `threads` counts differ.
+fn bench_n_scaling(threads: usize, all_ok: &mut bool) -> String {
+    let sql = "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val FROM ratingtable \
+               GROUP BY hdec, agegrp, gender, occupation \
+               HAVING count(*) > 10 ORDER BY val DESC LIMIT 100";
+    let partitions = threads.max(2);
+    let cfg = ParallelConfig {
+        threads: partitions,
+        ..ParallelConfig::default()
+    };
+    let mut points = Vec::new();
+    for &(n, reps) in &[(50_000usize, 5usize), (500_000, 3), (5_000_000, 2)] {
+        let t = Instant::now();
+        let mut b = TableBuilder::with_capacity(movielens::rating_schema(), n);
+        for row in movielens::iter_rows(&MovieLensConfig {
+            ratings: n,
+            ..Default::default()
+        }) {
+            b.push_row(row).expect("streamed row");
+        }
+        let table = b.finish();
+        let gen_ms = t.elapsed().as_secs_f64() * 1e3;
+        let rows = table.num_rows();
+        let bound = bind(&parse(sql).unwrap(), &table).expect("bind");
+
+        // Identity before timing: the ordered merge must reproduce the
+        // sequential group phase bit-for-bit at every scale.
+        let seq = group_aggregate(&bound.group, &table).expect("sequential group phase");
+        let par = group_aggregate_parallel(&bound.group, &table, &cfg).expect("parallel scan");
+        assert_eq!(
+            seq.result_fingerprint(),
+            par.result_fingerprint(),
+            "parallel group phase diverges from sequential at n={n}"
+        );
+        let groups = seq.num_groups();
+        drop((seq, par));
+
+        let seq_ms = time_best_ms(reps, || group_aggregate(&bound.group, &table).unwrap());
+        let par_ms = time_best_ms(reps, || {
+            group_aggregate_parallel(&bound.group, &table, &cfg).unwrap()
+        });
+        let seq_mrows = rows as f64 / seq_ms / 1e3;
+        let par_mrows = rows as f64 / par_ms / 1e3;
+        eprintln!(
+            "n-scaling n={n}: gen {gen_ms:.0} ms, {rows} rows, {groups} groups; \
+             seq {seq_ms:.2} ms ({seq_mrows:.1} Mrows/s), \
+             par×{partitions} {par_ms:.2} ms ({par_mrows:.1} Mrows/s)"
+        );
+        // Coarse absolute floor; the trajectory gate owns the tight
+        // relative bound against the committed baseline.
+        if seq_mrows < 1.0 {
+            *all_ok = false;
+            eprintln!("  WARNING: sequential group phase below 1 Mrows/s at n={n}");
+        }
+        points.push(format!(
+            r#"      {{ "n": {n}, "rows": {rows}, "groups": {groups}, "gen_ms": {gen_ms:.1}, "seq_ms": {seq_ms:.3}, "par_ms": {par_ms:.3}, "seq_mrows_per_s": {seq_mrows:.2}, "par_mrows_per_s": {par_mrows:.2} }}"#
+        ));
+    }
+
+    format!(
+        "  \"n_scaling\": {{\n    \"what\": \"sequential vs morsel-parallel group phase of the paper query as N grows 100x; tables stream from the seeded generator and both engines are asserted fingerprint-identical before timing; par_mrows_per_s is core-scaling and only comparable between runs with equal threads\",\n    \"sql\": \"SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val FROM ratingtable GROUP BY hdec, agegrp, gender, occupation HAVING count(*) > 10 ORDER BY val DESC LIMIT 100\",\n    \"partitions\": {partitions},\n    \"threads\": {threads},\n    \"points\": [\n{}\n    ]\n  }}",
+        points.join(",\n")
+    )
+}
+
 /// The `session_tick` section: command latency of the owned exploration
 /// engine on the 50k-row MovieLens table — a warm `SetThreshold` slider
 /// tick and a warm `SetK` knob move versus rebuilding the pipeline cold at
@@ -735,6 +821,7 @@ fn main() {
     }
 
     let query_exec = bench_query_exec(&mut all_ok);
+    let n_scaling = bench_n_scaling(threads, &mut all_ok);
     let session_tick = bench_session_tick(&mut all_ok);
     let store_warm_start = bench_store_warm_start(&mut all_ok);
     let plane_build = format!(
@@ -743,7 +830,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n{session_tick},\n{store_warm_start},\n{plane_build},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"hotpath_baseline\",\n  \"n_target\": {N},\n  \"threads\": {threads},\n{query_exec},\n{n_scaling},\n{session_tick},\n{store_warm_start},\n{plane_build},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         sections.join(",\n")
     );
     // Always resolve against the repository root — running from a crate

@@ -188,31 +188,64 @@ fn planted_boost(user: &User, movie: &Movie, half_decade: i64) -> f64 {
     boost
 }
 
-/// Generate the RatingTable.
-pub fn generate(cfg: &MovieLensConfig) -> Result<Table> {
+/// Seeded streaming row generator over the RatingTable distribution.
+///
+/// Holds only the (small) materialized user and movie populations plus the
+/// rating RNG — `O(users + movies)` memory regardless of how many rating
+/// rows are drawn, so a 5M-row table can be built batch by batch without
+/// ever materializing 5M `Vec<Cell>` rows at once. The row sequence for a
+/// given [`MovieLensConfig`] is exactly the one [`generate`] produces:
+/// `generate` is a thin eager collector over this iterator, so streaming
+/// and eager construction are identical by construction, not by test.
+pub struct RatingRows {
+    users: Vec<User>,
+    movies: Vec<Movie>,
+    rating_rng: StdRng,
+    user_pick: Zipf,
+    movie_pick: Zipf,
+    remaining: usize,
+}
+
+/// Stream the RatingTable's rows for `cfg`, in `O(users + movies)` memory.
+pub fn iter_rows(cfg: &MovieLensConfig) -> RatingRows {
     let mut user_rng = seeded(child_seed(cfg.seed, "users"));
     let mut movie_rng = seeded(child_seed(cfg.seed, "movies"));
-    let mut rating_rng = seeded(child_seed(cfg.seed, "ratings"));
+    let rating_rng = seeded(child_seed(cfg.seed, "ratings"));
 
     let users = gen_users(cfg.users, &mut user_rng);
     let movies = gen_movies(cfg.movies, &mut movie_rng);
-
-    let mut builder = TableBuilder::with_capacity(rating_schema(), cfg.ratings);
     // Popularity skew: a few movies and users account for most ratings.
     let user_pick = Zipf::new(users.len(), 0.8);
     let movie_pick = Zipf::new(movies.len(), 1.0);
+    RatingRows {
+        users,
+        movies,
+        rating_rng,
+        user_pick,
+        movie_pick,
+        remaining: cfg.ratings,
+    }
+}
 
-    for _ in 0..cfg.ratings {
-        let user = &users[user_pick.sample(&mut rating_rng)];
-        let movie = &movies[movie_pick.sample(&mut rating_rng)];
+impl Iterator for RatingRows {
+    type Item = Vec<Cell>;
+
+    fn next(&mut self) -> Option<Vec<Cell>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let user = &self.users[self.user_pick.sample(&mut self.rating_rng)];
+        let movie = &self.movies[self.movie_pick.sample(&mut self.rating_rng)];
         let half_decade = hdec(movie.year);
         let mean = 3.3 + user.bias + movie.bias + planted_boost(user, movie, half_decade);
-        let noise: f64 = rating_rng.random::<f64>() * 2.0 - 1.0;
+        let noise: f64 = self.rating_rng.random::<f64>() * 2.0 - 1.0;
         let rating = (mean + noise).round().clamp(1.0, 5.0);
-        let month = rating_rng.random_range(1..=12i64);
-        let weekday = WEEKDAYS[rating_rng.random_range(0..WEEKDAYS.len())];
+        let month = self.rating_rng.random_range(1..=12i64);
+        let weekday = WEEKDAYS[self.rating_rng.random_range(0..WEEKDAYS.len())];
 
-        let mut row: Vec<Cell> = vec![
+        let mut row: Vec<Cell> = Vec::with_capacity(14 + GENRES.len());
+        row.extend([
             Cell::Int(user.id),
             Cell::Int(movie.id),
             Cell::Int(user.age),
@@ -227,10 +260,24 @@ pub fn generate(cfg: &MovieLensConfig) -> Result<Table> {
             Cell::Int(month),
             weekday.into(),
             Cell::Float(rating),
-        ];
+        ]);
         for g in 0..GENRES.len() {
             row.push(movie.genres[g].into());
         }
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RatingRows {}
+
+/// Generate the RatingTable eagerly by collecting [`iter_rows`].
+pub fn generate(cfg: &MovieLensConfig) -> Result<Table> {
+    let mut builder = TableBuilder::with_capacity(rating_schema(), cfg.ratings);
+    for row in iter_rows(cfg) {
         builder.push_row(row)?;
     }
     Ok(builder.finish())
@@ -421,6 +468,40 @@ mod tests {
             old_avg > new_avg + 0.8,
             "planted pattern too weak: old {old_avg:.2} vs new {new_avg:.2}"
         );
+    }
+
+    #[test]
+    fn streaming_rows_match_eager_generate_across_batch_boundaries() {
+        // Pushing the streamed rows in uneven batches (as the N-scaling
+        // bench does for 5M-row tables) must produce the identical table
+        // `generate` builds in one pass, and the iterator's length
+        // contract must be exact.
+        let cfg = MovieLensConfig::small(11);
+        let eager = generate(&cfg).unwrap();
+        let mut rows = iter_rows(&cfg);
+        assert_eq!(rows.len(), cfg.ratings);
+        let mut builder = TableBuilder::with_capacity(rating_schema(), cfg.ratings);
+        let mut pushed = 0usize;
+        for batch in [1usize, 999, 4096, cfg.ratings] {
+            for _ in 0..batch {
+                let Some(row) = rows.next() else { break };
+                builder.push_row(row).unwrap();
+                pushed += 1;
+            }
+        }
+        assert_eq!(pushed, cfg.ratings);
+        assert!(rows.next().is_none(), "iterator is exhausted");
+        let streamed = builder.finish();
+        assert_eq!(streamed.num_rows(), eager.num_rows());
+        for r in [0usize, 1, 998, 999, 5094, cfg.ratings - 1] {
+            for c in 0..eager.schema().arity() {
+                assert_eq!(
+                    streamed.display_value(r, c),
+                    eager.display_value(r, c),
+                    "row {r} col {c}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,9 @@ use qagview_common::io::{RealIo, RetryPolicy, StoreIo};
 use qagview_common::{QagError, Result, StoreErrorKind};
 use qagview_core::{Solution, Summarizer, DEFAULT_POOL_FACTOR};
 use qagview_lattice::{AnswerSet, AnswerSetBuilder, Pattern, STAR};
-use qagview_query::{bind, group_aggregate_with, parse, GroupTable, GroupedResult};
+use qagview_query::{
+    bind, group_aggregate_auto, parse, GroupTable, GroupedResult, ParallelScanStats,
+};
 use qagview_storage::{Catalog, TableId};
 use qagview_viz::Transition;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -244,6 +246,9 @@ pub struct ExplorerStats {
     pub summarizers: LayerStats,
     /// Persistent plane-store tier (layer 3's disk backing).
     pub store: StoreLayerStats,
+    /// Morsel-parallel scan counters across every group-phase cache miss
+    /// (all zero while scanned tables stay below the parallel threshold).
+    pub scan: ParallelScanStats,
     /// Lock-poison recoveries per layer.
     pub poison: PoisonStats,
 }
@@ -411,6 +416,9 @@ struct AnswerEntry {
 struct GroupLayer {
     cache: LruCache<(TableId, u64), Arc<GroupedResult>>,
     scratch: GroupTable,
+    /// Cumulative morsel-parallel scan counters across every cache-miss
+    /// scan (zero while every table stays below the parallel threshold).
+    scan_stats: ParallelScanStats,
 }
 
 /// The owned, thread-shareable exploration engine.
@@ -516,6 +524,8 @@ impl PoisonReset for GroupLayer {
     fn reset_after_poison(&mut self) {
         self.cache.clear();
         self.scratch = GroupTable::new(0);
+        // `scan_stats` counters are plain `u64`s; keep the history, like
+        // the store-layer counters.
     }
 }
 
@@ -573,6 +583,7 @@ impl Explorer {
             groups: Mutex::new(GroupLayer {
                 cache: LruCache::new(cfg.group_cache_entries),
                 scratch: GroupTable::new(0),
+                scan_stats: ParallelScanStats::default(),
             }),
             answers: Mutex::new(LruCache::new(cfg.answers_cache_entries)),
             planes: Mutex::new(LruCache::new(cfg.plane_cache_entries)),
@@ -622,11 +633,13 @@ impl Explorer {
     /// Snapshot the cumulative cache counters of every layer. Each layer
     /// lock is taken (and released) in turn — never nested.
     pub fn stats(&self) -> ExplorerStats {
+        let (group_phase, scan) = {
+            let layer = self.lock(&self.groups, CacheLayer::GroupPhase);
+            (layer.cache.stats(), layer.scan_stats)
+        };
         ExplorerStats {
-            group_phase: self
-                .lock(&self.groups, CacheLayer::GroupPhase)
-                .cache
-                .stats(),
+            group_phase,
+            scan,
             answers: self.lock(&self.answers, CacheLayer::Answers).stats(),
             planes: self.lock(&self.planes, CacheLayer::Planes).stats(),
             summarizers: self
@@ -786,9 +799,11 @@ impl Explorer {
             None => {
                 let mut scratch =
                     std::mem::take(&mut self.lock(&self.groups, CacheLayer::GroupPhase).scratch);
-                let result = group_aggregate_with(&bound.group, &table, &mut scratch);
+                let mut scan = ParallelScanStats::default();
+                let result = group_aggregate_auto(&bound.group, &table, &mut scratch, &mut scan);
                 let mut layer = self.lock(&self.groups, CacheLayer::GroupPhase);
                 layer.scratch = scratch;
+                layer.scan_stats.merge(scan);
                 let g = Arc::new(result?);
                 layer.cache.insert(gkey, Arc::clone(&g));
                 (g, CacheOutcome::Miss)

@@ -473,23 +473,53 @@ fn build_planes(
         .filter(|&d| !(skip_d1 && d == 1))
         .collect();
     let mut planes: Vec<DPlane> = if cfg.parallel && ds.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = ds
-                .iter()
-                .map(|&d| {
-                    let w = w0.clone();
-                    let build = &build;
-                    scope.spawn(move || build(d, w))
+        // Bounded worker pool: descents are claimed off an atomic queue by
+        // at most `available_parallelism` workers, not one thread per `D`
+        // — wide schemas can have more planes than cores. Each descent
+        // runs on its own reseeded frontier clone over the shared
+        // Arc-backed index; results are re-slotted by descent index, so
+        // the plane order (and every byte in it) is independent of the
+        // worker schedule.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |t| t.get())
+            .min(ds.len());
+        let next = AtomicUsize::new(0);
+        let results: Vec<(usize, Result<DPlane>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (build, ds, next, w0) = (&build, &ds, &next, &w0);
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, Result<DPlane>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= ds.len() {
+                                break;
+                            }
+                            out.push((i, build(ds[i], w0.clone())));
+                        }
+                        out
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("plane thread panicked"))
-                .collect::<Result<Vec<_>>>()
-        })
+                .flat_map(|h| h.join().expect("plane thread panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<DPlane>> = (0..ds.len()).map(|_| None).collect();
+        for (i, r) in results {
+            slots[i] = Some(r?);
+        }
+        slots
+            .into_iter()
+            .map(|p| p.expect("every descent index was claimed exactly once"))
+            .collect()
     } else {
-        ds.iter().map(|&d| build(d, w0.clone())).collect()
-    }?;
+        ds.iter()
+            .map(|&d| build(d, w0.clone()))
+            .collect::<Result<Vec<_>>>()?
+    };
     if skip_d1 {
         let pos = planes
             .iter()
@@ -846,14 +876,51 @@ mod tests {
             },
         )
         .unwrap();
+        // Bit-for-bit across the whole grid: patterns, member lists,
+        // union-coverage count, and every float down to its bit pattern
+        // (cluster sums, union sums) — the parallel build must not just
+        // pick the same clusters, it must reproduce the serial build's
+        // exact accumulation results regardless of worker scheduling.
         for d in 0..=3 {
             for k in 1..=7 {
+                let s = serial.solution(k, d).unwrap();
+                let p = parallel.solution(k, d).unwrap();
+                assert_eq!(s.covered, p.covered, "covered, k={k} d={d}");
                 assert_eq!(
-                    serial.solution(k, d).unwrap().patterns(),
-                    parallel.solution(k, d).unwrap().patterns(),
-                    "k={k} d={d}"
+                    s.sum.to_bits(),
+                    p.sum.to_bits(),
+                    "union sum bits, k={k} d={d}"
+                );
+                assert_eq!(s.clusters.len(), p.clusters.len(), "k={k} d={d}");
+                for (i, (sc, pc)) in s.clusters.iter().zip(&p.clusters).enumerate() {
+                    assert_eq!(sc.pattern, pc.pattern, "cluster {i}, k={k} d={d}");
+                    assert_eq!(sc.members, pc.members, "cluster {i}, k={k} d={d}");
+                    assert_eq!(
+                        sc.sum.to_bits(),
+                        pc.sum.to_bits(),
+                        "cluster {i} sum bits, k={k} d={d}"
+                    );
+                }
+                assert_eq!(
+                    serial.value(k, d).unwrap().to_bits(),
+                    parallel.value(k, d).unwrap().to_bits(),
+                    "stored value bits, k={k} d={d}"
                 );
             }
+        }
+        // The Fig. 2 guidance plot derives from the same stored states:
+        // identical series, float bits included.
+        let (sg, pg) = (serial.guidance(), parallel.guidance());
+        assert_eq!(sg.k_values, pg.k_values);
+        for (ss, ps) in sg.series.iter().zip(&pg.series) {
+            assert_eq!(ss.d, ps.d);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&ss.avg_by_k),
+                bits(&ps.avg_by_k),
+                "guidance d={}",
+                ss.d
+            );
         }
     }
 

@@ -19,7 +19,9 @@
 
 use crate::cache::LruCache;
 use qagview_common::Result;
-use qagview_query::{bind, group_aggregate_with, parse, GroupTable, GroupedResult, QueryOutput};
+use qagview_query::{
+    bind, group_aggregate_auto, parse, GroupTable, GroupedResult, ParallelScanStats, QueryOutput,
+};
 use qagview_storage::{Catalog, TableId};
 use std::sync::Arc;
 
@@ -63,6 +65,9 @@ pub struct QuerySession<'a> {
     /// Reused across cache misses so the group hash table and key arena
     /// keep their allocations.
     scratch: GroupTable,
+    /// Cumulative morsel-parallel scan counters (zero while every table
+    /// stays below the parallel threshold).
+    scan_stats: ParallelScanStats,
 }
 
 impl<'a> QuerySession<'a> {
@@ -80,6 +85,7 @@ impl<'a> QuerySession<'a> {
             catalog,
             cache: LruCache::new(entries),
             scratch: GroupTable::new(0),
+            scan_stats: ParallelScanStats::default(),
         }
     }
 
@@ -96,7 +102,12 @@ impl<'a> QuerySession<'a> {
         if let Some(grouped) = self.cache.get_cloned(&key) {
             return grouped.apply(&bound.output);
         }
-        let grouped = group_aggregate_with(&bound.group, &table, &mut self.scratch)?;
+        let grouped = group_aggregate_auto(
+            &bound.group,
+            &table,
+            &mut self.scratch,
+            &mut self.scan_stats,
+        )?;
         let out = grouped.apply(&bound.output);
         self.cache.insert(key, Arc::new(grouped));
         out
@@ -120,6 +131,18 @@ impl<'a> QuerySession<'a> {
     /// Number of distinct group phases currently cached.
     pub fn cached_group_phases(&self) -> usize {
         self.cache.len()
+    }
+
+    /// How many morsels were served by a worker's pooled scratch (rather
+    /// than a fresh allocation) across the session's parallel scans. Zero
+    /// while every scanned table stays below the parallel threshold.
+    pub fn scratch_reuses(&self) -> usize {
+        self.scan_stats.scratch_reuses as usize
+    }
+
+    /// Cumulative morsel-parallel scan counters for the session.
+    pub fn scan_stats(&self) -> ParallelScanStats {
+        self.scan_stats
     }
 
     /// Drop every cached group phase (e.g. to release memory in a

@@ -63,7 +63,11 @@ fn sel_op(op: CmpOp) -> SelOp {
 
 /// Refine `sel` by one bound predicate through the typed kernel matching
 /// the (column type, literal type) pair.
-fn apply_predicate(table: &Table, p: &BoundPredicate, sel: &mut SelectionVector) -> Result<()> {
+pub(crate) fn apply_predicate(
+    table: &Table,
+    p: &BoundPredicate,
+    sel: &mut SelectionVector,
+) -> Result<()> {
     let col = table.column(p.col);
     match (&p.value, col) {
         // String literal absent from the table's interner: `=` can never
@@ -141,7 +145,7 @@ fn encode_lane<T: Copy>(
 /// type dispatches once per batch. The per-row key hash is folded
 /// incrementally into `hashes` during the same cache-friendly passes, so
 /// the group table never has to re-walk the keys to hash them.
-fn encode_keys(
+pub(crate) fn encode_keys(
     table: &Table,
     group_cols: &[usize],
     sel: &SelectionVector,
@@ -178,30 +182,18 @@ fn encode_keys(
     Ok(())
 }
 
-/// Run the group phase of a query — batched filter, group-id assignment,
-/// columnar aggregation — producing the cacheable [`GroupedResult`].
-pub fn group_aggregate(spec: &GroupSpec, table: &Table) -> Result<GroupedResult> {
-    let mut gt = GroupTable::new(spec.group_cols.len());
-    group_aggregate_with(spec, table, &mut gt)
+/// The distinct aggregate input columns of a query and, per aggregate, the
+/// index of the distinct column it reads (`None` for `COUNT`). Shared by
+/// the sequential scan and the morsel-parallel workers so both gather each
+/// distinct column exactly once per batch.
+pub(crate) struct AggInputs {
+    pub(crate) input_cols: Vec<usize>,
+    pub(crate) agg_input: Vec<Option<usize>>,
 }
 
-/// [`group_aggregate`] against a caller-provided [`GroupTable`], so a
-/// session can reuse the table's hash-map and key-arena allocations across
-/// queries. The table is cleared first.
-pub fn group_aggregate_with(
-    spec: &GroupSpec,
-    table: &Table,
-    gt: &mut GroupTable,
-) -> Result<GroupedResult> {
-    gt.clear(spec.group_cols.len());
-    let mut counts = GroupCounts::default();
-    let mut acc: Vec<AggColumns> = spec.aggs.iter().map(|_| AggColumns::default()).collect();
-
-    let mut sel = SelectionVector::with_capacity(BATCH_ROWS);
-    let mut keys: Vec<u64> = Vec::with_capacity(BATCH_ROWS * spec.group_cols.len());
-    let mut hashes: Vec<u64> = Vec::with_capacity(BATCH_ROWS);
-    let mut gids: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
-
+/// Plan the aggregate input gathers, rejecting non-numeric input columns
+/// before any scan work starts.
+pub(crate) fn plan_agg_inputs(spec: &GroupSpec, table: &Table) -> Result<AggInputs> {
     // Distinct aggregate input columns (Count aggregates need none), each
     // gathered once per batch and shared by every aggregate reading it.
     let mut input_cols: Vec<usize> = Vec::new();
@@ -228,6 +220,40 @@ pub fn group_aggregate_with(
             )));
         }
     }
+    Ok(AggInputs {
+        input_cols,
+        agg_input,
+    })
+}
+
+/// Run the group phase of a query — batched filter, group-id assignment,
+/// columnar aggregation — producing the cacheable [`GroupedResult`].
+pub fn group_aggregate(spec: &GroupSpec, table: &Table) -> Result<GroupedResult> {
+    let mut gt = GroupTable::new(spec.group_cols.len());
+    group_aggregate_with(spec, table, &mut gt)
+}
+
+/// [`group_aggregate`] against a caller-provided [`GroupTable`], so a
+/// session can reuse the table's hash-map and key-arena allocations across
+/// queries. The table is cleared first.
+pub fn group_aggregate_with(
+    spec: &GroupSpec,
+    table: &Table,
+    gt: &mut GroupTable,
+) -> Result<GroupedResult> {
+    gt.clear(spec.group_cols.len());
+    let mut counts = GroupCounts::default();
+    let mut acc: Vec<AggColumns> = spec.aggs.iter().map(|_| AggColumns::default()).collect();
+
+    let mut sel = SelectionVector::with_capacity(BATCH_ROWS);
+    let mut keys: Vec<u64> = Vec::with_capacity(BATCH_ROWS * spec.group_cols.len());
+    let mut hashes: Vec<u64> = Vec::with_capacity(BATCH_ROWS);
+    let mut gids: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+
+    let AggInputs {
+        input_cols,
+        agg_input,
+    } = plan_agg_inputs(spec, table)?;
     let mut input_scratch: Vec<Vec<f64>> = input_cols
         .iter()
         .map(|_| Vec::with_capacity(BATCH_ROWS))

@@ -106,6 +106,13 @@ impl GroupTable {
         &self.keys[gid * self.width..(gid + 1) * self.width]
     }
 
+    /// The whole key arena in group-id order (`width` lanes per group) —
+    /// what the morsel-merge feeds back through [`GroupTable::assign`] to
+    /// remap a partition's local group ids onto the global table.
+    pub(crate) fn key_arena(&self) -> &[u64] {
+        &self.keys
+    }
+
     /// Reset for a new query with keys of `width` lanes, keeping the
     /// allocations of the slot array and key arena.
     pub fn clear(&mut self, width: usize) {
@@ -429,6 +436,48 @@ impl GroupedResult {
     /// Number of groups.
     pub fn num_groups(&self) -> usize {
         self.num_groups
+    }
+
+    /// A structural fingerprint over every field of the finished group
+    /// phase, with floats hashed by *bit pattern* (NaNs and signed zeros
+    /// included). Two `GroupedResult`s with equal fingerprints agree on
+    /// group order, rendered attributes, every aggregate's exact f64 bits,
+    /// and both sort permutations — the identity contract the
+    /// morsel-parallel scan is held to against the sequential engine, and
+    /// what the N-scaling bench asserts before timing anything.
+    pub fn result_fingerprint(&self) -> u64 {
+        let mut h = fold_hash(0, self.num_groups as u64);
+        h = fold_hash(h, self.width as u64);
+        for name in &self.attr_names {
+            h = fold_hash(h, name.len() as u64);
+            for b in name.as_bytes() {
+                h = fold_hash(h, u64::from(*b));
+            }
+        }
+        for pool in &self.attr_pool {
+            h = fold_hash(h, pool.len() as u64);
+            for s in pool {
+                h = fold_hash(h, s.len() as u64);
+                for b in s.as_bytes() {
+                    h = fold_hash(h, u64::from(*b));
+                }
+            }
+        }
+        for &code in &self.attr_codes {
+            h = fold_hash(h, u64::from(code));
+        }
+        for col in &self.finished {
+            h = fold_hash(h, col.len() as u64);
+            for v in col {
+                h = fold_hash(h, v.to_bits());
+            }
+        }
+        for ord in [&self.order_asc, &self.order_desc] {
+            for &g in ord.iter() {
+                h = fold_hash(h, u64::from(g));
+            }
+        }
+        finish_hash(h)
     }
 
     /// Number of aggregates finished per group.

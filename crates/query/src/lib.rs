@@ -54,6 +54,7 @@ pub mod ast;
 pub mod exec;
 pub mod group;
 pub mod lexer;
+pub mod parallel;
 pub mod parser;
 pub mod plan;
 
@@ -62,6 +63,10 @@ pub use exec::{
     execute, execute_rows, group_aggregate, group_aggregate_with, QueryOutput, QueryRow,
 };
 pub use group::{GroupTable, GroupedResult};
+pub use parallel::{
+    group_aggregate_auto, group_aggregate_parallel, group_aggregate_parallel_with, ParallelConfig,
+    ParallelScanStats,
+};
 pub use parser::parse;
 pub use plan::{bind, BoundQuery, GroupSpec, OutputSpec};
 
