@@ -58,6 +58,14 @@ fn enforced(doc: &Json) -> Vec<(String, f64)> {
         "store_warm_start.speedup".into(),
         doc.path("store_warm_start.speedup"),
     );
+    push(
+        "serve_tick.latency_headroom".into(),
+        doc.path("serve_tick.latency_headroom"),
+    );
+    push(
+        "serve_tick.throughput_ticks_per_s".into(),
+        doc.path("serve_tick.throughput_ticks_per_s"),
+    );
     for wl in doc
         .path("plane_build.workloads")
         .map(Json::items)

@@ -1,14 +1,27 @@
-//! A minimal JSON reader for the perf-trajectory gate.
+//! A minimal JSON value, parser, and serializer — no external deps.
 //!
-//! `BENCH_hotpath.json` is produced by our own binaries, so this parser
-//! only needs to read well-formed JSON — but it still rejects malformed
-//! input with positioned errors instead of misreading it, because the gate
-//! compares a *committed* file that humans occasionally touch. No external
-//! dependencies (the build environment is offline); numbers parse as
-//! `f64`, which is exact for everything the baseline emits.
+//! Two consumers share this module: the perf-trajectory gate reads
+//! `BENCH_hotpath.json` (well-formed, but occasionally human-edited, so
+//! malformed input must fail with a positioned error instead of being
+//! misread), and the session server (`qagview_serve`) speaks JSON over
+//! its hand-rolled HTTP/1.1 protocol, where the input is *hostile by
+//! assumption*: truncated documents, absurd nesting, garbage bytes. The
+//! parser therefore never panics, bounds its recursion depth, and types
+//! every failure.
+//!
+//! Serialization is deterministic: object keys are stored in a `BTreeMap`
+//! and emitted in sorted order, and floats print via Rust's shortest
+//! round-trip formatting — parsing a serialized number recovers the exact
+//! `f64` bits, which the serving layer's byte-identity tests rely on.
+//! Non-finite floats (which valid JSON cannot carry) serialize as `null`.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Deep enough for every
+/// document the workspace produces, shallow enough that a hostile
+/// `[[[[…` cannot overflow the stack.
+const MAX_DEPTH: usize = 128;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,8 +36,8 @@ pub enum Json {
     Str(String),
     /// An array.
     Arr(Vec<Json>),
-    /// An object. Key order is not preserved (the gate looks keys up by
-    /// path, never iterates for output).
+    /// An object. Key order is not preserved; serialization emits keys in
+    /// sorted order, so output is deterministic.
     Obj(BTreeMap<String, Json>),
 }
 
@@ -61,9 +74,203 @@ impl Json {
         }
     }
 
+    /// The number stored here as a non-negative integer, if it is one
+    /// exactly (no fraction, no overflow past 2^53 where `f64` loses
+    /// integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && *v <= 9_007_199_254_740_992.0 && v.fract() == 0.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string stored here, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean stored here, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Walk a dotted path of object keys, e.g. `"query_exec.speedup"`.
     pub fn path(&self, dotted: &str) -> Option<&Json> {
         dotted.split('.').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// Build an object from key/value pairs (later duplicates win).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Insert into an object in place; a no-op on non-objects.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(map) = self {
+            map.insert(key.to_string(), value);
+        }
+    }
+
+    /// Serialize compactly (no insignificant whitespace).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize with two-space indentation, for committed artifacts a
+    /// human diffs.
+    pub fn to_text_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, level, '[', ']', items.len(), |out, i, lvl| {
+                    items[i].write(out, indent, lvl);
+                });
+            }
+            Json::Obj(map) => {
+                let entries: Vec<(&String, &Json)> = map.iter().collect();
+                write_seq(
+                    out,
+                    indent,
+                    level,
+                    '{',
+                    '}',
+                    entries.len(),
+                    |out, i, lvl| {
+                        let (k, v) = entries[i];
+                        write_escaped(out, k);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.write(out, indent, lvl);
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+    out.push(close);
+}
+
+/// Write an `f64` as a JSON number: Rust's shortest round-trip text for
+/// finite values (parse-back recovers identical bits), `null` for the
+/// non-finite values JSON cannot represent.
+fn write_f64(out: &mut String, v: f64) {
+    use fmt::Write as _;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
     }
 }
 
@@ -91,7 +298,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
         pos: 0,
     };
     p.skip_ws();
-    let v = p.value()?;
+    let v = p.value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing content after the document"));
@@ -131,10 +338,13 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, JsonError> {
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -224,8 +434,8 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // boundaries are valid).
+                    // Consume one UTF-8 scalar. The input arrived as a
+                    // `&str`, so boundaries are valid.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
                     let ch = rest.chars().next().expect("non-empty");
@@ -236,7 +446,7 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, JsonError> {
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -246,7 +456,7 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value()?);
+            items.push(self.value(depth + 1)?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -259,7 +469,7 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, JsonError> {
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -273,7 +483,7 @@ impl Parser<'_> {
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            let value = self.value()?;
+            let value = self.value(depth + 1)?;
             map.insert(key, value);
             self.skip_ws();
             match self.peek() {
@@ -352,5 +562,73 @@ mod tests {
         assert!(v.path("a.c").is_none());
         assert!(v.path("a.b.c").is_none());
         assert!(v.at(0).is_none());
+    }
+
+    #[test]
+    fn depth_bomb_is_a_typed_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let nested_obj = "{\"k\":".repeat(100_000);
+        assert!(parse(&nested_obj).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips_f64_bits() {
+        for v in [
+            0.25,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.23456789012345e300,
+            -9.87654321e-300,
+            42.0,
+        ] {
+            let text = Json::Num(v).to_text();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "via {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_text(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_text(), "null");
+    }
+
+    #[test]
+    fn serialization_escapes_and_sorts_keys() {
+        let v = Json::obj([
+            ("b", Json::from("x\"y\nz")),
+            ("a", Json::from(vec![Json::from(true), Json::Null])),
+        ]);
+        assert_eq!(v.to_text(), r#"{"a":[true,null],"b":"x\"y\nz"}"#);
+        let round = parse(&v.to_text()).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back_identically() {
+        let v = Json::obj([
+            ("metrics", Json::obj([("p50_us", Json::Num(12.5))])),
+            ("name", Json::from("serve_tick")),
+            (
+                "points",
+                Json::from(vec![Json::from(1u64), Json::from(2u64)]),
+            ),
+        ]);
+        let pretty = v.to_text_pretty();
+        assert!(pretty.contains("\n  "));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn accessor_helpers() {
+        let v = parse(r#"{"n": 7, "s": "x", "b": true, "f": 1.5, "big": 1e300}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("big").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
     }
 }

@@ -23,6 +23,9 @@
 //!   [`FaultIo`] for deterministic fault injection (short reads, torn
 //!   writes, `ENOSPC`, simulated crashes), and [`io::RetryPolicy`] for
 //!   bounded jittered-backoff retry.
+//! * [`json`] — a dependency-free JSON value, hostile-input-safe parser,
+//!   and deterministic serializer shared by the bench tooling and the
+//!   session server's wire protocol.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +35,7 @@ pub mod error;
 pub mod hash;
 pub mod intern;
 pub mod io;
+pub mod json;
 pub mod rng;
 pub mod value;
 pub mod wire;

@@ -101,6 +101,19 @@ impl Writer {
         }
     }
 
+    /// Append a length-prefixed UTF-8 string: a `u32` byte count followed
+    /// by the raw bytes. Used by session checkpoints to persist SQL text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is longer than `u32::MAX` bytes (a writer bug;
+    /// nothing in the workspace produces 4 GiB strings).
+    pub fn put_str_u32(&mut self, s: &str) {
+        let len = u32::try_from(s.len()).expect("string fits a u32 length prefix");
+        self.put_u32(len);
+        self.put_bytes(s.as_bytes());
+    }
+
     /// Overwrite 8 previously written bytes at `offset` with a `u64` —
     /// used to back-patch a checksum once the payload after it is final.
     ///
@@ -201,6 +214,19 @@ impl<'a> Reader<'a> {
             QagError::store(StoreErrorKind::Corrupt, "u32 run length overflows")
         })?)?;
         Ok(decode_u32_le(bytes))
+    }
+
+    /// Read a string written by [`Writer::put_str_u32`]: a `u32` byte
+    /// count, then that many UTF-8 bytes. Invalid UTF-8 is a typed
+    /// [`StoreErrorKind::Corrupt`] error, and the count is implicitly
+    /// bounded by the remaining bytes (a huge prefix in a corrupt file
+    /// fails as [`StoreErrorKind::Truncated`] before allocating).
+    pub fn read_str_u32(&mut self) -> Result<String> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| {
+            QagError::store(StoreErrorKind::Corrupt, "string section is not valid UTF-8")
+        })
     }
 
     /// Read a `u32` count that the caller knows cannot plausibly exceed
@@ -376,6 +402,46 @@ mod tests {
         assert_eq!(r.read_u32().unwrap(), 1);
         assert_eq!(r.read_u64().unwrap(), 42);
         assert_eq!(r.read_u32().unwrap(), 2);
+    }
+
+    #[test]
+    fn strings_round_trip_and_reject_bad_utf8() {
+        let mut w = Writer::new();
+        w.put_str_u32("SELECT … FROM ratingtable");
+        w.put_str_u32("");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.read_str_u32().unwrap(), "SELECT … FROM ratingtable");
+        assert_eq!(r.read_str_u32().unwrap(), "");
+        assert!(r.is_exhausted());
+
+        // A length prefix larger than the remaining bytes is Truncated.
+        let mut w = Writer::new();
+        w.put_u32(100);
+        w.put_bytes(b"short");
+        let bytes = w.into_bytes();
+        let err = Reader::new(&bytes).read_str_u32().unwrap_err();
+        assert!(matches!(
+            err,
+            QagError::Store {
+                kind: StoreErrorKind::Truncated,
+                ..
+            }
+        ));
+
+        // Invalid UTF-8 in the payload is Corrupt, not a panic.
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let err = Reader::new(&bytes).read_str_u32().unwrap_err();
+        assert!(matches!(
+            err,
+            QagError::Store {
+                kind: StoreErrorKind::Corrupt,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1202,6 +1202,40 @@ impl ExploreSession {
         self.state.as_ref()
     }
 
+    /// Snapshot everything needed to reconstruct this session later — on
+    /// this engine, a fresh engine, or a fresh process — such that its
+    /// next command responds byte-identically to the un-evicted session
+    /// (see [`crate::checkpoint`]).
+    pub fn checkpoint(&self) -> crate::checkpoint::SessionCheckpoint {
+        crate::checkpoint::SessionCheckpoint {
+            state: self.state.clone(),
+            last: self
+                .last
+                .as_ref()
+                .map(|lv| (lv.relation_fp, lv.solution.clone())),
+            budget_bytes: self.budget_bytes,
+            retained_bytes: self.retained_bytes,
+        }
+    }
+
+    /// Rebuild a session from a checkpoint (the other half of
+    /// [`ExploreSession::checkpoint`]).
+    pub(crate) fn resume_from(
+        engine: Arc<Explorer>,
+        cp: &crate::checkpoint::SessionCheckpoint,
+    ) -> ExploreSession {
+        ExploreSession {
+            engine,
+            state: cp.state.clone(),
+            last: cp.last.as_ref().map(|(fp, solution)| LastView {
+                relation_fp: *fp,
+                solution: solution.clone(),
+            }),
+            budget_bytes: cp.budget_bytes,
+            retained_bytes: cp.retained_bytes,
+        }
+    }
+
     /// Advance the session by one command and return the refreshed view.
     ///
     /// # Errors

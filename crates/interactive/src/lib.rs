@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod explore;
 pub mod interval_tree;
 pub mod plot;
@@ -48,6 +49,7 @@ pub mod session;
 pub mod store;
 
 pub use cache::{LayerStats, LruCache};
+pub use checkpoint::{checkpoint_file_name, SessionCheckpoint};
 pub use explore::{
     CacheLayer, CacheOutcome, CacheProvenance, ClusterView, Degradation, ExploreCommand,
     ExploreResponse, ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats,

@@ -214,7 +214,7 @@ pub fn to_bytes(pre: &Precomputed<'_>) -> Result<Vec<u8>> {
 /// Map a raw filesystem error to the typed store error, keeping file
 /// absence ([`StoreErrorKind::NotFound`]) distinct from real I/O trouble
 /// so callers never retry a clean miss.
-fn io_error(op: &str, path: &Path, e: std::io::Error) -> QagError {
+pub(crate) fn io_error(op: &str, path: &Path, e: std::io::Error) -> QagError {
     let kind = if e.kind() == std::io::ErrorKind::NotFound {
         StoreErrorKind::NotFound
     } else {
@@ -248,7 +248,7 @@ fn is_orphan_temp(path: &Path) -> bool {
 /// uniquely named temp file, write, **sync**, then rename over the final
 /// path. On any failure the temp file is removed (best-effort — a crash
 /// can orphan it, which [`clean_orphan_temps`] sweeps on the next open).
-fn write_image(io: &dyn StoreIo, path: &Path, bytes: &[u8]) -> Result<()> {
+pub(crate) fn write_image(io: &dyn StoreIo, path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = temp_path_for(path);
     let step =
         |op: &str, r: std::io::Result<()>| -> Result<()> { r.map_err(|e| io_error(op, path, e)) };

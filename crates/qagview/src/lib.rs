@@ -73,6 +73,7 @@ pub use qagview_hierarchy as hierarchy;
 pub use qagview_interactive as interactive;
 pub use qagview_lattice as lattice;
 pub use qagview_query as query;
+pub use qagview_serve as serve;
 pub use qagview_storage as storage;
 pub use qagview_userstudy as userstudy;
 pub use qagview_viz as viz;
@@ -114,6 +115,9 @@ pub mod prelude {
         AnswerSet, AnswerSetBuilder, AnswersHandle, CandidateIndex, Pattern, STAR,
     };
     pub use qagview_query::run_query;
+    pub use qagview_serve::{
+        Gateway, GatewayConfig, Metrics, Server, ServerConfig, SessionConfig, SessionStore,
+    };
     pub use qagview_storage::{Catalog, Cell, ColumnType, Schema, Table, TableBuilder, TableId};
     pub use qagview_viz::{optimal_placement, render_transition, Placement, Transition};
 }

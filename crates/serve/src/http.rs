@@ -1,0 +1,438 @@
+//! A minimal, strict HTTP/1.1 framing layer over blocking byte streams.
+//!
+//! The build box is offline, so there is no tokio/hyper; this module is
+//! the smallest parser that can speak the server's JSON protocol safely.
+//! It is deliberately *strict* — the input is hostile by assumption, and
+//! every deviation is a typed [`HttpError`] the connection loop turns
+//! into a 4xx/5xx response, never a panic and never a wedged connection:
+//!
+//! * request line and each header line are capped at [`MAX_LINE_BYTES`];
+//! * at most [`MAX_HEADERS`] headers;
+//! * bodies require an exact `Content-Length` (capped by the caller);
+//!   `Transfer-Encoding` is refused as 501 — chunked framing is a
+//!   smuggling surface this protocol does not need;
+//! * only `HTTP/1.1` is accepted, and keep-alive follows its defaults
+//!   (persistent unless `Connection: close`).
+//!
+//! The parser reads from any [`BufRead`], so the exact same code path
+//! serves TCP sockets and the in-process `&[u8]` entry point the load
+//! generator and fuzz tests drive.
+
+use std::io::{BufRead, Read, Write};
+
+/// Cap on the request line and on each header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Cap on the number of headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, uppercase as sent (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The request target, e.g. `/api/session/1f/command`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A framing-level refusal: the bytes on the wire are not a request this
+/// server accepts. The connection loop answers with the matching status
+/// and closes (framing errors poison the stream — there is no reliable
+/// way to find the next request boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400 — malformed request line, header, or length field; truncated
+    /// mid-request.
+    BadRequest(String),
+    /// 413 — declared body larger than the server's cap.
+    PayloadTooLarge(String),
+    /// 501 — a framing feature this server deliberately refuses
+    /// (`Transfer-Encoding`, non-1.1 versions).
+    NotImplemented(String),
+}
+
+impl HttpError {
+    /// The HTTP status this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::NotImplemented(_) => 501,
+        }
+    }
+
+    /// The human-readable detail.
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::BadRequest(m)
+            | HttpError::PayloadTooLarge(m)
+            | HttpError::NotImplemented(m) => m,
+        }
+    }
+}
+
+/// What one attempt to read a request from the stream produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A well-formed request.
+    Request(Request),
+    /// Clean end of stream before any request byte — the client hung up
+    /// between requests; not an error.
+    Eof,
+    /// Malformed bytes: answer with `error.status()` and close.
+    Error(HttpError),
+}
+
+fn bad(msg: impl Into<String>) -> ReadOutcome {
+    ReadOutcome::Error(HttpError::BadRequest(msg.into()))
+}
+
+/// Read one line (terminated by `\n`, with an optional preceding `\r`)
+/// into `buf`, enforcing the line cap. Returns the line without its
+/// terminator, or `None` on EOF with zero bytes read.
+fn read_line<R: BufRead>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Result<Option<Vec<u8>>, HttpError>> {
+    buf.clear();
+    // `take` bounds how much one line can pull regardless of content, so
+    // a terminator-free flood cannot grow the buffer past the cap.
+    let mut limited = r.take(MAX_LINE_BYTES as u64 + 1);
+    let n = limited.read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(Ok(None));
+    }
+    if buf.last() != Some(&b'\n') {
+        let why = if n > MAX_LINE_BYTES {
+            "line exceeds the 8 KiB cap"
+        } else {
+            "stream ended mid-line"
+        };
+        return Ok(Err(HttpError::BadRequest(why.into())));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(Ok(Some(buf.clone())))
+}
+
+/// Read one request from the stream.
+///
+/// `max_body_bytes` caps the declared `Content-Length`. The outer
+/// `io::Result` carries *transport* failures (reset, timeout) — the
+/// connection is simply dropped on those; everything protocol-shaped is
+/// inside [`ReadOutcome`].
+pub fn read_request<R: BufRead>(r: &mut R, max_body_bytes: usize) -> std::io::Result<ReadOutcome> {
+    let mut buf = Vec::with_capacity(256);
+
+    let line = match read_line(r, &mut buf)? {
+        Ok(None) => return Ok(ReadOutcome::Eof),
+        Ok(Some(line)) => line,
+        Err(e) => return Ok(ReadOutcome::Error(e)),
+    };
+    let line = match std::str::from_utf8(&line) {
+        Ok(s) => s,
+        Err(_) => return Ok(bad("request line is not UTF-8")),
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Ok(bad(format!("malformed request line {line:?}"))),
+    };
+    if version != "HTTP/1.1" {
+        return Ok(ReadOutcome::Error(HttpError::NotImplemented(format!(
+            "version {version:?}; only HTTP/1.1 is served"
+        ))));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Ok(bad(format!("malformed method {method:?}")));
+    }
+    if !path.starts_with('/') {
+        return Ok(bad(format!("request target {path:?} is not absolute")));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line(r, &mut buf)? {
+            Ok(None) => return Ok(bad("stream ended inside the header block")),
+            Ok(Some(line)) => line,
+            Err(e) => return Ok(ReadOutcome::Error(e)),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == MAX_HEADERS {
+            return Ok(bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let line = match std::str::from_utf8(&line) {
+            Ok(s) => s,
+            Err(_) => return Ok(bad("header line is not UTF-8")),
+        };
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(bad(format!("header line {line:?} has no colon")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Ok(bad(format!("malformed header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Ok(ReadOutcome::Error(HttpError::NotImplemented(
+            "Transfer-Encoding is not served; send Content-Length".into(),
+        )));
+    }
+
+    let mut body = Vec::new();
+    let lengths: Vec<&str> = headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    match lengths.as_slice() {
+        [] => {}
+        [one] => {
+            let n: usize = match one.parse() {
+                Ok(n) => n,
+                Err(_) => return Ok(bad(format!("unparseable Content-Length {one:?}"))),
+            };
+            if n > max_body_bytes {
+                return Ok(ReadOutcome::Error(HttpError::PayloadTooLarge(format!(
+                    "body of {n} bytes exceeds the {max_body_bytes}-byte cap"
+                ))));
+            }
+            body.resize(n, 0);
+            if r.read_exact(&mut body).is_err() {
+                return Ok(bad("stream ended before the declared body length"));
+            }
+        }
+        _ => return Ok(bad("conflicting Content-Length headers")),
+    }
+
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The JSON body.
+    pub body: Vec<u8>,
+    /// Whether to close the connection after writing.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// Mark this response as connection-closing.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Serialize a response to the stream (status line, `Content-Type`,
+/// `Content-Length`, `Connection`, blank line, body).
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len(),
+        if resp.close { "close" } else { "keep-alive" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(bytes: &[u8]) -> ReadOutcome {
+        read_request(&mut std::io::Cursor::new(bytes), 1024).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /api/session HTTP/1.1\r\ncontent-length: 4\r\nHost: x\r\n\r\n{\"a\"";
+        match read(raw) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/api/session");
+                assert_eq!(req.header("host"), Some("x"));
+                assert_eq!(req.body, b"{\"a\"");
+                assert!(!req.wants_close());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_lf_lines_are_accepted() {
+        let raw = b"GET /api/healthz HTTP/1.1\nhost: x\n\n";
+        assert!(matches!(read(raw), ReadOutcome::Request(_)));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_clean() {
+        assert_eq!(read(b""), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_400() {
+        for raw in [
+            &b"GET /x HTTP/1.1\r\nhost"[..], // mid-header EOF
+            b"GET /x HTTP/1.1\r\n",          // no blank line
+            b"GARBAGE\r\n\r\n",
+            b"GET  HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: pony\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 6\r\n\r\n12345",
+            b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            match read(raw) {
+                ReadOutcome::Error(HttpError::BadRequest(_)) => {}
+                other => panic!("{:?} gave {other:?}", String::from_utf8_lossy(raw)),
+            }
+        }
+    }
+
+    #[test]
+    fn version_and_transfer_encoding_are_501() {
+        for raw in [
+            &b"GET /x HTTP/1.0\r\n\r\n"[..],
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ] {
+            match read(raw) {
+                ReadOutcome::Error(HttpError::NotImplemented(_)) => {}
+                other => panic!("{:?} gave {other:?}", String::from_utf8_lossy(raw)),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 999999\r\n\r\n";
+        match read(raw) {
+            ReadOutcome::Error(HttpError::PayloadTooLarge(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_bounded() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 100_000));
+        // No terminator ever arrives; the cap must trip, not the memory.
+        match read(&raw) {
+            ReadOutcome::Error(HttpError::BadRequest(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            raw.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            read(&raw),
+            ReadOutcome::Error(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi".to_vec();
+        let mut cur = std::io::Cursor::new(raw);
+        match read_request(&mut cur, 1024).unwrap() {
+            ReadOutcome::Request(r) => assert_eq!(r.path, "/a"),
+            other => panic!("{other:?}"),
+        }
+        match read_request(&mut cur, 1024).unwrap() {
+            ReadOutcome::Request(r) => {
+                assert_eq!(r.path, "/b");
+                assert_eq!(r.body, b"hi");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(read_request(&mut cur, 1024).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn responses_frame_correctly() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, br#"{"ok":true}"#.to_vec())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(400, &b"{}"[..]).closing()).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("connection: close"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Cheap atomic request/session counters, exposed at `/api/metrics`.
+
+use qagview_common::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of everything the gateway does. All counters are
+/// relaxed atomics — they are observability, not synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests parsed off the wire (or handed in-process).
+    pub requests: AtomicU64,
+    /// Responses in the 200 range.
+    pub ok: AtomicU64,
+    /// Responses in the 400 range (including admission refusals).
+    pub client_errors: AtomicU64,
+    /// Responses in the 500 range.
+    pub server_errors: AtomicU64,
+    /// Commands applied successfully.
+    pub commands: AtomicU64,
+    /// Sessions created.
+    pub sessions_created: AtomicU64,
+    /// Sessions evicted to a checkpoint under the resident cap.
+    pub sessions_evicted: AtomicU64,
+    /// Sessions transparently restored from a checkpoint.
+    pub sessions_restored: AtomicU64,
+    /// Explicit checkpoint requests served.
+    pub checkpoints_written: AtomicU64,
+    /// Checkpoint writes that failed (the session stayed resident).
+    pub checkpoint_failures: AtomicU64,
+    /// Admission refusals: session cap (429).
+    pub refused_sessions: AtomicU64,
+    /// Admission refusals: connection cap (503).
+    pub refused_connections: AtomicU64,
+    /// Framing/JSON-level rejections (400/413/501).
+    pub protocol_errors: AtomicU64,
+}
+
+impl Metrics {
+    /// Increment a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one response by its status class.
+    pub fn count_status(&self, status: u16) {
+        let class = match status {
+            200..=299 => &self.ok,
+            400..=499 => &self.client_errors,
+            _ => &self.server_errors,
+        };
+        Metrics::bump(class);
+    }
+
+    /// Snapshot every counter as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let get = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        Json::obj([
+            ("requests", get(&self.requests)),
+            ("ok", get(&self.ok)),
+            ("client_errors", get(&self.client_errors)),
+            ("server_errors", get(&self.server_errors)),
+            ("commands", get(&self.commands)),
+            ("sessions_created", get(&self.sessions_created)),
+            ("sessions_evicted", get(&self.sessions_evicted)),
+            ("sessions_restored", get(&self.sessions_restored)),
+            ("checkpoints_written", get(&self.checkpoints_written)),
+            ("checkpoint_failures", get(&self.checkpoint_failures)),
+            ("refused_sessions", get(&self.refused_sessions)),
+            ("refused_connections", get(&self.refused_connections)),
+            ("protocol_errors", get(&self.protocol_errors)),
+        ])
+    }
+}

@@ -1,0 +1,414 @@
+//! The gateway (routing + dispatch) and the TCP server shell around it.
+//!
+//! [`Gateway`] is the protocol-agnostic core: it owns the shared
+//! [`Explorer`], the [`SessionStore`], and the [`Metrics`], and maps one
+//! [`Request`] to one [`Response`]. The TCP [`Server`] and the in-process
+//! [`Gateway::handle_bytes`] entry point (used by the load generator's
+//! latency baseline and the fuzz tests) drive the **same** parsing,
+//! routing, and serialization code — the only difference over the wire is
+//! the socket.
+//!
+//! # Endpoints
+//!
+//! | Method · path                         | Does                                        |
+//! |---------------------------------------|---------------------------------------------|
+//! | `POST /api/session`                   | create a session (optional `budget_bytes`)  |
+//! | `POST /api/session/{id}/command`      | apply one command, returns view + provenance|
+//! | `GET /api/session/{id}`               | session stats (resident or checkpointed)    |
+//! | `POST /api/session/{id}/checkpoint`   | checkpoint now (session stays resident)     |
+//! | `DELETE /api/session/{id}`            | drop the session and its checkpoint         |
+//! | `GET /api/metrics`                    | gateway counters + engine cache stats       |
+//! | `GET /api/healthz`                    | liveness probe                              |
+
+use crate::api::{self, ServeError};
+use crate::http::{read_request, write_response, ReadOutcome, Request, Response};
+use crate::metrics::Metrics;
+use crate::sessions::{SessionConfig, SessionStore};
+use qagview_common::json::Json;
+use qagview_interactive::{Explorer, ExplorerStats};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Session-store knobs (shards, resident cap, checkpoint directory).
+    pub sessions: SessionConfig,
+    /// Cap on a request body's declared `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            sessions: SessionConfig::default(),
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The routing core shared by the TCP server and in-process callers.
+#[derive(Debug)]
+pub struct Gateway {
+    engine: Arc<Explorer>,
+    sessions: SessionStore,
+    metrics: Arc<Metrics>,
+    cfg: GatewayConfig,
+}
+
+impl Gateway {
+    /// Build a gateway over a shared engine (warm-start the engine from a
+    /// `.qag` store directory by configuring
+    /// [`ExplorerConfig::store_dir`](qagview_interactive::ExplorerConfig)
+    /// before constructing it).
+    pub fn new(engine: Arc<Explorer>, cfg: GatewayConfig) -> Self {
+        let metrics = Arc::new(Metrics::default());
+        let sessions = SessionStore::new(
+            Arc::clone(&engine),
+            cfg.sessions.clone(),
+            Arc::clone(&metrics),
+        );
+        Gateway {
+            engine,
+            sessions,
+            metrics,
+            cfg,
+        }
+    }
+
+    /// The gateway's metrics counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The session store (exposed for tests and the load generator).
+    pub fn sessions(&self) -> &SessionStore {
+        &self.sessions
+    }
+
+    /// The configured body cap.
+    pub fn max_body_bytes(&self) -> usize {
+        self.cfg.max_body_bytes
+    }
+
+    /// Serve one parsed request.
+    pub fn handle(&self, req: &Request) -> Response {
+        Metrics::bump(&self.metrics.requests);
+        let resp = match self.route(req) {
+            Ok(body) => Response::json(200, body.to_text().into_bytes()),
+            Err(e) => Response::json(e.status(), e.to_json().to_text().into_bytes()),
+        };
+        self.metrics.count_status(resp.status);
+        resp
+    }
+
+    /// Parse and serve one raw HTTP request from bytes, returning the raw
+    /// HTTP response — the in-process twin of one TCP exchange. Framing
+    /// errors produce the same 4xx/5xx bytes the server would send.
+    pub fn handle_bytes(&self, raw: &[u8]) -> Vec<u8> {
+        let mut cursor = std::io::Cursor::new(raw);
+        let outcome = read_request(&mut cursor, self.cfg.max_body_bytes)
+            .expect("in-memory reads cannot fail");
+        let resp = match outcome {
+            ReadOutcome::Eof => return Vec::new(),
+            ReadOutcome::Error(e) => self.protocol_error_response(e),
+            ReadOutcome::Request(req) => self.handle(&req),
+        };
+        let mut out = Vec::with_capacity(resp.body.len() + 128);
+        write_response(&mut out, &resp).expect("in-memory writes cannot fail");
+        out
+    }
+
+    fn protocol_error_response(&self, e: crate::http::HttpError) -> Response {
+        Metrics::bump(&self.metrics.protocol_errors);
+        let err = ServeError::Protocol(e);
+        let resp = Response::json(err.status(), err.to_json().to_text().into_bytes()).closing();
+        self.metrics.count_status(resp.status);
+        resp
+    }
+
+    fn route(&self, req: &Request) -> Result<Json, ServeError> {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["api", "healthz"]) => Ok(Json::obj([("ok", Json::from(true))])),
+            ("GET", ["api", "metrics"]) => Ok(self.metrics_json()),
+            ("POST", ["api", "session"]) => self.create_session(&req.body),
+            (method, ["api", "session", id]) => {
+                let id = parse_id(id)?;
+                match method {
+                    "GET" => self.session_info(id),
+                    "DELETE" => {
+                        self.sessions.delete(id)?;
+                        Ok(Json::obj([
+                            ("session", Json::from(hex(id))),
+                            ("deleted", Json::from(true)),
+                        ]))
+                    }
+                    _ => Err(ServeError::MethodNotAllowed(format!(
+                        "{method} is not served on /api/session/{{id}}"
+                    ))),
+                }
+            }
+            ("POST", ["api", "session", id, "command"]) => {
+                let id = parse_id(id)?;
+                let cmd = api::parse_command(&req.body)?;
+                let outcome = self.sessions.command(id, cmd)?;
+                Ok(api::response_json(
+                    &hex(id),
+                    outcome.seq,
+                    outcome.restored,
+                    &outcome.response,
+                ))
+            }
+            ("POST", ["api", "session", id, "checkpoint"]) => {
+                let id = parse_id(id)?;
+                self.sessions.checkpoint(id)?;
+                Ok(Json::obj([
+                    ("session", Json::from(hex(id))),
+                    ("checkpointed", Json::from(true)),
+                ]))
+            }
+            (method, ["api", "session"]) => Err(ServeError::MethodNotAllowed(format!(
+                "{method} is not served on /api/session"
+            ))),
+            _ => Err(ServeError::UnknownRoute(req.path.clone())),
+        }
+    }
+
+    fn create_session(&self, body: &[u8]) -> Result<Json, ServeError> {
+        let budget = if body.is_empty() {
+            None
+        } else {
+            let text = std::str::from_utf8(body)
+                .map_err(|_| ServeError::BadJson("body is not UTF-8".into()))?;
+            let doc = qagview_common::json::parse(text)
+                .map_err(|e| ServeError::BadJson(e.to_string()))?;
+            match doc.get("budget_bytes") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(Some(v.as_u64().ok_or_else(|| {
+                    ServeError::BadCommand("\"budget_bytes\" must be a non-negative integer".into())
+                })?)),
+            }
+        };
+        let id = self.sessions.create(budget)?;
+        Ok(Json::obj([("session", Json::from(hex(id)))]))
+    }
+
+    fn session_info(&self, id: u64) -> Result<Json, ServeError> {
+        let info = self.sessions.info(id)?;
+        Ok(Json::obj([
+            ("session", Json::from(hex(id))),
+            ("resident", Json::from(info.resident)),
+            ("seq", info.seq.map_or(Json::Null, Json::from)),
+            (
+                "state",
+                info.state.as_ref().map_or(Json::Null, |s| {
+                    Json::obj([
+                        ("sql", Json::from(s.sql.as_str())),
+                        ("k", Json::from(s.k)),
+                        ("l", Json::from(s.l)),
+                        ("d", Json::from(s.d)),
+                    ])
+                }),
+            ),
+            ("retained_bytes", Json::from(info.retained_bytes)),
+            (
+                "budget_bytes",
+                info.budget_bytes.map_or(Json::Null, Json::from),
+            ),
+        ]))
+    }
+
+    fn metrics_json(&self) -> Json {
+        let mut doc = self.metrics.to_json();
+        doc.set("resident_sessions", Json::from(self.sessions.resident()));
+        doc.set("engine", engine_stats_json(&self.engine.stats()));
+        doc
+    }
+}
+
+fn hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+fn parse_id(s: &str) -> Result<u64, ServeError> {
+    if s.is_empty() || s.len() > 16 {
+        return Err(ServeError::UnknownSession(s.to_string()));
+    }
+    u64::from_str_radix(s, 16).map_err(|_| ServeError::UnknownSession(s.to_string()))
+}
+
+fn engine_stats_json(stats: &ExplorerStats) -> Json {
+    let layer = |l: &qagview_interactive::LayerStats| {
+        Json::obj([
+            ("hits", Json::from(l.hits)),
+            ("misses", Json::from(l.misses)),
+            ("evictions", Json::from(l.evictions)),
+            ("entries", Json::from(l.entries)),
+        ])
+    };
+    Json::obj([
+        ("group_phase", layer(&stats.group_phase)),
+        ("answers", layer(&stats.answers)),
+        ("planes", layer(&stats.planes)),
+        ("summarizers", layer(&stats.summarizers)),
+        (
+            "store",
+            Json::obj([
+                ("loads", Json::from(stats.store.loads)),
+                ("probe_misses", Json::from(stats.store.probe_misses)),
+                ("writes", Json::from(stats.store.writes)),
+                ("write_errors", Json::from(stats.store.write_errors)),
+                ("retries", Json::from(stats.store.retries)),
+                ("gc_evictions", Json::from(stats.store.gc_evictions)),
+                ("gc_bytes_freed", Json::from(stats.store.gc_bytes_freed)),
+            ]),
+        ),
+        ("poison_recoveries", Json::from(stats.poison.total())),
+    ])
+}
+
+/// TCP shell knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent-connection cap; excess connections get an immediate
+    /// 503 and are closed.
+    pub max_connections: usize,
+    /// Per-read socket timeout; an idle keep-alive connection is dropped
+    /// after this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running TCP server: one accept thread, one thread per connection.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `gateway`.
+    pub fn start(
+        gateway: Arc<Gateway>,
+        bind: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_thread = std::thread::Builder::new()
+            .name("qagview-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if active.load(Ordering::Acquire) >= cfg.max_connections {
+                        refuse_connection(&gateway, stream);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::AcqRel);
+                    let gw = Arc::clone(&gateway);
+                    let slot = Arc::clone(&active);
+                    let conn_cfg = cfg.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("qagview-serve-conn".into())
+                        .spawn(move || {
+                            serve_connection(&gw, stream, &conn_cfg);
+                            slot.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            })?;
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. In-flight connections
+    /// finish their current exchange and time out on the next read.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn refuse_connection(gateway: &Gateway, mut stream: TcpStream) {
+    Metrics::bump(&gateway.metrics.refused_connections);
+    let err = ServeError::Overloaded("connection cap reached; retry".into());
+    let resp = Response::json(err.status(), err.to_json().to_text().into_bytes()).closing();
+    gateway.metrics.count_status(resp.status);
+    let _ = write_response(&mut stream, &resp);
+}
+
+fn serve_connection(gateway: &Gateway, stream: TcpStream, cfg: &ServerConfig) {
+    // Nagle off: every exchange here is one small write the client is
+    // actively waiting on; coalescing would serialize ticks at ~40 ms.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, gateway.max_body_bytes()) {
+            Err(_) | Ok(ReadOutcome::Eof) => break, // hangup / timeout
+            Ok(ReadOutcome::Error(e)) => {
+                // Answer, then close: after a framing error there is no
+                // reliable next-request boundary in the stream.
+                let resp = gateway.protocol_error_response(e);
+                let _ = write_response(&mut writer, &resp);
+                break;
+            }
+            Ok(ReadOutcome::Request(req)) => {
+                let mut resp = gateway.handle(&req);
+                if req.wants_close() {
+                    resp.close = true;
+                }
+                if write_response(&mut writer, &resp).is_err() || resp.close {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = writer.flush();
+}

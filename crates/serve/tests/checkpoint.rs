@@ -1,0 +1,191 @@
+//! Checkpoint round-trips: restart restore is bit-identical, eviction
+//! under a tight resident cap is transparent, and write faults on the
+//! checkpoint path degrade — they never corrupt a session or a durable
+//! checkpoint.
+
+mod common;
+
+use common::{bare_replay, gateway_with, script, session_id, temp_dir, view_text};
+use qagview_common::io::{FaultIo, FaultKind};
+use qagview_common::wire::checksum64;
+use qagview_interactive::ExplorerConfig;
+use qagview_serve::{Gateway, SessionConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn sessions_with_dir(dir: &std::path::Path, max_resident: usize) -> SessionConfig {
+    SessionConfig {
+        max_resident,
+        checkpoint_dir: Some(PathBuf::from(dir)),
+        ..SessionConfig::default()
+    }
+}
+
+/// Drive the gateway through the same raw-bytes path a socket would.
+fn req(gw: &Gateway, method: &str, path: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let resp = gw.handle_bytes(raw.as_bytes());
+    let text = String::from_utf8(resp).unwrap();
+    let status: u16 = text.split(' ').nth(1).unwrap().parse().unwrap();
+    let body_at = text.find("\r\n\r\n").unwrap() + 4;
+    (status, text[body_at..].to_string())
+}
+
+fn create(gw: &Gateway) -> String {
+    let (status, body) = req(gw, "POST", "/api/session", "");
+    assert_eq!(status, 200, "{body}");
+    session_id(&body)
+}
+
+fn command(gw: &Gateway, sid: &str, body: &str) -> String {
+    let (status, resp) = req(gw, "POST", &format!("/api/session/{sid}/command"), body);
+    assert_eq!(status, 200, "{body} -> {resp}");
+    resp
+}
+
+fn restored(response_body: &str) -> bool {
+    qagview_common::json::parse(response_body)
+        .unwrap()
+        .path("provenance.restored")
+        .and_then(qagview_common::json::Json::as_bool)
+        .expect("provenance carries the restore marker")
+}
+
+#[test]
+fn restart_restore_is_bit_identical() {
+    let dir = temp_dir("restart");
+    let gw1 = gateway_with(ExplorerConfig::default(), sessions_with_dir(&dir, 8));
+    let sid = create(&gw1);
+    for cmd in &script(0) {
+        assert!(!restored(&command(&gw1, &sid, cmd)));
+    }
+    let (status, body) = req(&gw1, "POST", &format!("/api/session/{sid}/checkpoint"), "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"checkpointed\":true"));
+    drop(gw1); // the process dies here
+
+    // A new process: fresh gateway, fresh engine, same checkpoint dir.
+    let gw2 = gateway_with(ExplorerConfig::default(), sessions_with_dir(&dir, 8));
+
+    // Its freshly issued ids must not collide with the checkpointed one.
+    let fresh = create(&gw2);
+    assert_ne!(fresh, sid);
+
+    // The next command restores transparently: provenance says so, and
+    // the view is byte-identical to an uninterrupted sequential run.
+    let next = r#"{"cmd":"set_k","value":2}"#;
+    let body = command(&gw2, &sid, next);
+    assert!(
+        restored(&body),
+        "restore must be visible in provenance: {body}"
+    );
+    let view = view_text(&body);
+    let mut full = script(0);
+    full.push(next.to_string());
+    let oracle = bare_replay(&full);
+    assert_eq!(view, *oracle.last().unwrap(), "restored view diverges");
+    let digest = format!("{:016x}", checksum64(view.as_bytes()));
+    assert!(body.contains(&digest), "digest mismatch after restore");
+
+    // Once resident, the next command is an ordinary (non-restore) tick.
+    let again = command(&gw2, &sid, r#"{"cmd":"set_k","value":3}"#);
+    assert!(!restored(&again));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn eviction_under_a_one_session_cap_is_transparent() {
+    let dir = temp_dir("evict");
+    let gw = gateway_with(ExplorerConfig::default(), sessions_with_dir(&dir, 1));
+
+    // Two sessions ping-pong over a single resident slot: every command
+    // to the non-resident one evicts the other and restores from its
+    // just-written checkpoint.
+    let a = create(&gw);
+    let b = create(&gw); // evicts a
+    let script_a = script(0);
+    let script_b = script(1);
+    let mut views_a = Vec::new();
+    let mut views_b = Vec::new();
+    let mut restores = 0;
+    for (cmd_a, cmd_b) in script_a.iter().zip(&script_b) {
+        let resp = command(&gw, &a, cmd_a);
+        restores += usize::from(restored(&resp));
+        views_a.push(view_text(&resp));
+        let resp = command(&gw, &b, cmd_b);
+        restores += usize::from(restored(&resp));
+        views_b.push(view_text(&resp));
+    }
+    assert_eq!(gw.sessions().resident(), 1, "the cap held throughout");
+    assert!(restores >= 2, "the ping-pong must actually restore");
+    assert!(
+        gw.metrics()
+            .sessions_evicted
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 2,
+        "evictions must be counted"
+    );
+    assert_eq!(views_a, bare_replay(&script_a), "session a diverged");
+    assert_eq!(views_b, bare_replay(&script_b), "session b diverged");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_write_faults_degrade_never_corrupt() {
+    let dir = temp_dir("faults");
+    let fault = Arc::new(FaultIo::new());
+    let engine_cfg = ExplorerConfig {
+        store_io: Arc::clone(&fault) as _,
+        ..ExplorerConfig::default()
+    };
+    let gw = gateway_with(engine_cfg, sessions_with_dir(&dir, 1));
+
+    let a = create(&gw);
+    let script_a = script(2);
+    for cmd in &script_a {
+        command(&gw, &a, cmd);
+    }
+    // A good durable checkpoint of a's state, written fault-free.
+    let (status, _) = req(&gw, "POST", &format!("/api/session/{a}/checkpoint"), "");
+    assert_eq!(status, 200);
+
+    // Now every eviction attempt hits a write fault: admitting a second
+    // session finds nothing evictable and is refused with a typed 429 —
+    // and a is untouched.
+    fault.schedule(fault.ops_seen(), FaultKind::Error);
+    let (status, body) = req(&gw, "POST", "/api/session", "");
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("session_limit"), "{body}");
+    assert!(
+        gw.metrics()
+            .checkpoint_failures
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    let next = r#"{"cmd":"set_k","value":2}"#;
+    let resp = command(&gw, &a, next);
+    assert!(!restored(&resp), "a must have stayed resident");
+    let mut full = script_a.clone();
+    full.push(next.to_string());
+    assert_eq!(view_text(&resp), *bare_replay(&full).last().unwrap());
+
+    // An explicit checkpoint that tears mid-write is a typed 500; the
+    // session keeps serving and the older durable checkpoint survives
+    // (the tear happened on the temp file, never the real one).
+    fault.schedule(fault.ops_seen() + 1, FaultKind::TornWrite);
+    let (status, body) = req(&gw, "POST", &format!("/api/session/{a}/checkpoint"), "");
+    assert_eq!(status, 500, "{body}");
+    command(&gw, &a, r#"{"cmd":"set_l","value":4}"#);
+    drop(gw);
+
+    // A clean process over the same dir restores from the good (pre-tear)
+    // checkpoint, bit-identically.
+    let gw2 = gateway_with(ExplorerConfig::default(), sessions_with_dir(&dir, 8));
+    let resp = command(&gw2, &a, next);
+    assert!(restored(&resp));
+    assert_eq!(view_text(&resp), *bare_replay(&full).last().unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

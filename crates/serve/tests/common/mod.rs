@@ -1,0 +1,221 @@
+//! Shared fixture for the serve integration tests: a small in-memory
+//! catalog, gateway/server builders, a minimal blocking HTTP client, and
+//! scripted sessions.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use qagview_interactive::{Explorer, ExplorerConfig};
+use qagview_serve::{Gateway, GatewayConfig, SessionConfig};
+use qagview_storage::{Catalog, Cell, ColumnType, Schema, TableBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A compact three-attribute rating table with enough distinct groups to
+/// make summaries, drills, and transitions non-trivial.
+pub fn catalog() -> Catalog {
+    let schema = Schema::from_pairs(&[
+        ("genre", ColumnType::Str),
+        ("who", ColumnType::Str),
+        ("rating", ColumnType::Float),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    let rows: &[(&str, &str, f64)] = &[
+        ("adventure", "student", 4.75),
+        ("adventure", "student", 4.5),
+        ("adventure", "coder", 4.25),
+        ("adventure", "coder", 4.0),
+        ("adventure", "artist", 3.75),
+        ("romance", "student", 2.0),
+        ("romance", "coder", 1.5),
+        ("romance", "coder", 1.25),
+        ("romance", "artist", 2.25),
+        ("western", "student", 3.0),
+        ("western", "coder", 3.5),
+        ("western", "artist", 2.75),
+        ("scifi", "student", 4.0),
+        ("scifi", "coder", 3.25),
+        ("scifi", "artist", 3.0),
+    ];
+    for &(g, w, r) in rows {
+        b.push_row(vec![g.into(), w.into(), Cell::Float(r)])
+            .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register("ratings", b.finish());
+    c
+}
+
+/// The fixture query (dyadic ratings, so every aggregate is exact).
+pub const SQL: &str = "SELECT genre, who, AVG(rating) AS val FROM ratings \
+                       GROUP BY genre, who HAVING count(*) > 0 ORDER BY val DESC";
+
+/// A fresh unique temp directory.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qag-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A gateway over a fresh engine, with the given session knobs.
+pub fn gateway(sessions: SessionConfig) -> Arc<Gateway> {
+    gateway_with(ExplorerConfig::default(), sessions)
+}
+
+/// A gateway over an engine with an explicit [`ExplorerConfig`] (to wire
+/// in a store directory or a `FaultIo`).
+pub fn gateway_with(engine_cfg: ExplorerConfig, sessions: SessionConfig) -> Arc<Gateway> {
+    let engine = Arc::new(Explorer::with_config(catalog(), engine_cfg));
+    Arc::new(Gateway::new(
+        engine,
+        GatewayConfig {
+            sessions,
+            ..GatewayConfig::default()
+        },
+    ))
+}
+
+/// A blocking keep-alive HTTP/1.1 client for tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Send raw bytes without framing (for garbage injection).
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    /// One request/response exchange on the persistent connection.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes()).unwrap();
+        self.writer.write_all(body).unwrap();
+        self.writer.flush().unwrap();
+        self.read_response().expect("server closed mid-response")
+    }
+
+    /// Read one response off the wire; `None` on EOF before a byte.
+    pub fn read_response(&mut self) -> Option<(u16, String)> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let status: u16 = line.split(' ').nth(1)?.parse().ok()?;
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            self.reader.read_line(&mut h).ok()?;
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().ok()?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).ok()?;
+        Some((status, String::from_utf8(body).ok()?))
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn once(addr: std::net::SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    Client::connect(addr).request(method, path, body)
+}
+
+/// The scripted command bodies a "user" sends: slider sweeps, knob
+/// turns, a drill-down and back. `variant` picks one of several distinct
+/// scripts so concurrent sessions don't all follow the same path.
+pub fn script(variant: usize) -> Vec<String> {
+    let set_query = format!(r#"{{"cmd":"set_query","sql":"{SQL}"}}"#);
+    let common: Vec<String> = vec![
+        set_query,
+        r#"{"cmd":"set_k","value":3}"#.into(),
+        r#"{"cmd":"set_l","value":6}"#.into(),
+    ];
+    let tail: Vec<String> = match variant % 4 {
+        0 => vec![
+            r#"{"cmd":"set_threshold","value":1}"#.into(),
+            r#"{"cmd":"set_k","value":2}"#.into(),
+            r#"{"cmd":"set_d","value":1}"#.into(),
+        ],
+        1 => vec![
+            r#"{"cmd":"set_d","value":1}"#.into(),
+            r#"{"cmd":"set_threshold","value":1}"#.into(),
+            r#"{"cmd":"set_threshold","value":0}"#.into(),
+        ],
+        2 => vec![
+            r#"{"cmd":"set_k","value":4}"#.into(),
+            r#"{"cmd":"set_l","value":4}"#.into(),
+            r#"{"cmd":"set_k","value":2}"#.into(),
+        ],
+        _ => vec![
+            r#"{"cmd":"set_threshold","value":1}"#.into(),
+            r#"{"cmd":"set_k","value":2}"#.into(),
+            r#"{"cmd":"set_threshold","value":0}"#.into(),
+        ],
+    };
+    common.into_iter().chain(tail).collect()
+}
+
+/// Replay a script against a bare [`qagview_interactive::ExploreSession`]
+/// on a dedicated engine, returning the serialized view text of every
+/// response — the sequential oracle the server must match byte for byte.
+pub fn bare_replay(bodies: &[String]) -> Vec<String> {
+    let engine = Arc::new(Explorer::new(catalog()));
+    let mut session = qagview_interactive::ExploreSession::new(engine);
+    bodies
+        .iter()
+        .map(|body| {
+            let cmd = qagview_serve::parse_command(body.as_bytes()).unwrap();
+            let resp = session.apply(cmd).unwrap();
+            qagview_serve::view_json(&resp).to_text()
+        })
+        .collect()
+}
+
+/// Extract the serialized `"view"` object out of a command-response body.
+pub fn view_text(response_body: &str) -> String {
+    let doc = qagview_common::json::parse(response_body).unwrap();
+    doc.get("view").expect("response carries a view").to_text()
+}
+
+/// Extract the session id out of a create-response body.
+pub fn session_id(response_body: &str) -> String {
+    qagview_common::json::parse(response_body)
+        .unwrap()
+        .get("session")
+        .and_then(|s| s.as_str().map(str::to_string))
+        .expect("create response carries a session id")
+}

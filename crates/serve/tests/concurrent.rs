@@ -1,0 +1,112 @@
+//! Concurrency correctness: sessions driven from many threads must be
+//! indistinguishable — byte for byte, f64 bit for f64 bit — from the same
+//! scripts run sequentially against a bare `ExploreSession`, and
+//! interleaved commands on one session must serialize cleanly.
+
+mod common;
+
+use common::{bare_replay, once, script, session_id, view_text, Client};
+use qagview_common::wire::checksum64;
+use qagview_serve::{Server, ServerConfig, SessionConfig};
+use std::sync::Arc;
+
+fn digest_of(response_body: &str) -> String {
+    qagview_common::json::parse(response_body)
+        .unwrap()
+        .get("digest")
+        .and_then(|d| d.as_str().map(str::to_string))
+        .expect("response carries a digest")
+}
+
+#[test]
+fn disjoint_concurrent_sessions_match_the_sequential_oracle() {
+    let gw = common::gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    const THREADS: usize = 8;
+    let observed: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let (status, body) = client.request("POST", "/api/session", b"");
+                    assert_eq!(status, 200, "create failed: {body}");
+                    let sid = session_id(&body);
+                    let path = format!("/api/session/{sid}/command");
+                    script(t)
+                        .iter()
+                        .map(|cmd| {
+                            let (status, body) = client.request("POST", &path, cmd.as_bytes());
+                            assert_eq!(status, 200, "thread {t}: {cmd} -> {body}");
+                            // The advertised digest is the checksum of the
+                            // exact view bytes we are about to compare.
+                            let view = view_text(&body);
+                            let expect = format!("{:016x}", checksum64(view.as_bytes()));
+                            assert_eq!(digest_of(&body), expect, "thread {t} digest");
+                            view
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, views) in observed.iter().enumerate() {
+        let oracle = bare_replay(&script(t));
+        assert_eq!(
+            views, &oracle,
+            "thread {t}: concurrent views diverge from sequential replay"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn interleaved_commands_on_one_session_serialize() {
+    let gw = common::gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = once(addr, "POST", "/api/session", b"");
+    assert_eq!(status, 200);
+    let sid = session_id(&body);
+    let path = format!("/api/session/{sid}/command");
+    let (status, _) = once(addr, "POST", &path, script(0).remove(0).as_bytes());
+    assert_eq!(status, 200);
+
+    // Eight threads race valid commands at the same session. The session
+    // lock must serialize them: every one succeeds, and the sequence
+    // numbers they observe are exactly 2..=9, each claimed once.
+    const RACERS: u64 = 8;
+    let mut seqs: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..RACERS)
+            .map(|i| {
+                let path = &path;
+                scope.spawn(move || {
+                    // Group counts in the fixture are 1-2, so 0 and 1 are
+                    // the thresholds that keep the answer relation non-empty.
+                    let body = format!(r#"{{"cmd":"set_threshold","value":{}}}"#, i % 2);
+                    let (status, resp) = once(addr, "POST", path, body.as_bytes());
+                    assert_eq!(status, 200, "racer {i}: {resp}");
+                    qagview_common::json::parse(&resp)
+                        .unwrap()
+                        .get("seq")
+                        .and_then(qagview_common::json::Json::as_u64)
+                        .expect("response carries a seq")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    seqs.sort_unstable();
+    assert_eq!(seqs, (2..=RACERS + 1).collect::<Vec<_>>());
+
+    let (status, info) = once(addr, "GET", &format!("/api/session/{sid}"), b"");
+    assert_eq!(status, 200);
+    assert!(info.contains(&format!("\"seq\":{}", RACERS + 1)), "{info}");
+    server.shutdown();
+}

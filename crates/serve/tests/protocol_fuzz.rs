@@ -1,0 +1,226 @@
+//! Protocol robustness: hostile bytes — truncated headers, oversized
+//! bodies, bad JSON, unknown session ids, pipelined garbage — always get
+//! a typed error response. Never a panic, never a wedged connection, and
+//! server state is untouched by refused requests.
+
+mod common;
+
+use common::{gateway, once, script, session_id, view_text, Client};
+use proptest::prelude::*;
+use qagview_serve::{Server, ServerConfig, SessionConfig};
+use std::sync::Arc;
+
+fn parse_status(raw: &[u8]) -> u16 {
+    let text = std::str::from_utf8(raw).expect("response head is ASCII");
+    assert!(
+        text.starts_with("HTTP/1.1 "),
+        "not an HTTP response: {text:?}"
+    );
+    text.split(' ').nth(1).unwrap().parse().unwrap()
+}
+
+#[test]
+fn refusals_are_typed_and_state_is_untouched() {
+    let gw = gateway(SessionConfig::default());
+    // Establish a session with one applied command, then throw every
+    // class of hostile request at the gateway.
+    let create = gw.handle_bytes(b"POST /api/session HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+    assert_eq!(parse_status(&create), 200);
+    let body_at = create.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    let sid = session_id(std::str::from_utf8(&create[body_at..]).unwrap());
+    let cmd = script(0).remove(0);
+    let frame = |path: &str, body: &str| {
+        format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    let apply = gw.handle_bytes(frame(&format!("/api/session/{sid}/command"), &cmd).as_bytes());
+    assert_eq!(parse_status(&apply), 200);
+    let baseline_info =
+        gw.handle_bytes(format!("GET /api/session/{sid} HTTP/1.1\r\n\r\n").as_bytes());
+    assert_eq!(parse_status(&baseline_info), 200);
+
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),
+        (b"POST /api/session HTTP/1.1\r\ncontent-len".to_vec(), 400),
+        (b"POST /api/session HTTP/1.0\r\n\r\n".to_vec(), 501),
+        (
+            b"POST /api/session HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".to_vec(),
+            501,
+        ),
+        (
+            b"POST /api/session HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n".to_vec(),
+            413,
+        ),
+        (
+            frame(&format!("/api/session/{sid}/command"), "{not json").into_bytes(),
+            400,
+        ),
+        (
+            frame(&format!("/api/session/{sid}/command"), r#"{"cmd":"warp"}"#).into_bytes(),
+            400,
+        ),
+        (
+            frame("/api/session/00000000deadbeef/command", &cmd).into_bytes(),
+            404,
+        ),
+        (
+            frame("/api/session/not-hex-at-all/command", &cmd).into_bytes(),
+            404,
+        ),
+        (frame("/api/nowhere", "{}").into_bytes(), 404),
+        (
+            b"PATCH /api/session HTTP/1.1\r\ncontent-length: 0\r\n\r\n".to_vec(),
+            405,
+        ),
+    ];
+    for (raw, expected_status) in cases {
+        let resp = gw.handle_bytes(&raw);
+        let status = parse_status(&resp);
+        assert_eq!(
+            status,
+            expected_status,
+            "for {:?}",
+            String::from_utf8_lossy(&raw)
+        );
+        // Every refusal body is machine-readable JSON with a kind slug.
+        let body_at = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let body = qagview_common::json::parse(std::str::from_utf8(&resp[body_at..]).unwrap())
+            .expect("error bodies are valid JSON");
+        assert!(body.path("error.kind").is_some(), "kind missing");
+    }
+
+    // None of that touched the established session.
+    let info_after = gw.handle_bytes(format!("GET /api/session/{sid} HTTP/1.1\r\n\r\n").as_bytes());
+    assert_eq!(baseline_info, info_after, "refusals must not mutate state");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the in-process request path, and
+    /// whatever comes back is either nothing (clean EOF) or one
+    /// well-formed HTTP response.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0usize..512)) {
+        let gw = gateway(SessionConfig::default());
+        let resp = gw.handle_bytes(&bytes);
+        if !resp.is_empty() {
+            let status = parse_status(&resp);
+            prop_assert!((200..=599).contains(&status), "status {status}");
+        }
+    }
+
+    /// Every truncation of a valid request is refused cleanly (or, for
+    /// prefixes that happen to end exactly at a request boundary, served).
+    #[test]
+    fn truncated_valid_requests_never_panic(cut in 0usize..200) {
+        let gw = gateway(SessionConfig::default());
+        let body = r#"{"cmd":"set_k","value":3}"#;
+        let full = format!(
+            "POST /api/session/1/command HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let raw = full.as_bytes();
+        let cut = cut.min(raw.len());
+        let resp = gw.handle_bytes(&raw[..cut]);
+        if !resp.is_empty() {
+            parse_status(&resp);
+        }
+    }
+}
+
+#[test]
+fn tcp_connection_survives_neighbors_sending_garbage() {
+    let gw = gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // A healthy client sets up a session.
+    let mut good = Client::connect(addr);
+    let (status, body) = good.request("POST", "/api/session", b"");
+    assert_eq!(status, 200);
+    let sid = session_id(&body);
+    let cmd = script(1).remove(0);
+    let (status, first) = good.request(
+        "POST",
+        &format!("/api/session/{sid}/command"),
+        cmd.as_bytes(),
+    );
+    assert_eq!(status, 200);
+
+    // A hostile client sends pipelined garbage: one valid request
+    // followed by trash. The valid one is served; the trash earns a 400
+    // and the connection is closed — never wedged.
+    let mut bad = Client::connect(addr);
+    bad.send_raw(b"GET /api/healthz HTTP/1.1\r\n\r\n\x00\xff garbage\r\n\r\n");
+    let (status, _) = bad.read_response().unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = bad.read_response().unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        bad.read_response().is_none(),
+        "connection closes after framing error"
+    );
+
+    // Another hostile client sends an unterminated flood.
+    let mut flood = Client::connect(addr);
+    flood.send_raw(&vec![b'a'; 20_000]);
+    let (status, _) = flood.read_response().unwrap();
+    assert_eq!(status, 400);
+
+    // The healthy client's keep-alive connection still works, and the
+    // session still answers — byte-identically to before the noise.
+    let (status, again) = good.request("GET", &format!("/api/session/{sid}"), b"");
+    assert_eq!(status, 200);
+    assert!(again.contains("\"resident\":true"));
+    let (status, replay) = good.request(
+        "POST",
+        &format!("/api/session/{sid}/command"),
+        script(1)[1].as_bytes(),
+    );
+    assert_eq!(status, 200);
+    assert_ne!(view_text(&first), view_text(&replay)); // the knob moved
+    server.shutdown();
+}
+
+#[test]
+fn engine_refusals_leave_the_session_serving() {
+    let gw = gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let (_, body) = once(addr, "POST", "/api/session", b"");
+    let sid = session_id(&body);
+    let path = format!("/api/session/{sid}/command");
+
+    // First command must be set_query: a knob first is a typed 422.
+    let (status, body) = once(addr, "POST", &path, br#"{"cmd":"set_k","value":3}"#);
+    assert_eq!(status, 422);
+    assert!(body.contains("command_rejected"));
+
+    // Bad SQL after a good query is refused, state untouched.
+    let set_query = script(0).remove(0);
+    let (status, good) = once(addr, "POST", &path, set_query.as_bytes());
+    assert_eq!(status, 200);
+    let (status, _) = once(
+        addr,
+        "POST",
+        &path,
+        br#"{"cmd":"set_query","sql":"SELEKT broken"}"#,
+    );
+    assert_eq!(status, 422);
+    let (status, info) = once(addr, "GET", &format!("/api/session/{sid}"), b"");
+    assert_eq!(status, 200);
+    assert!(
+        info.contains("\"seq\":1"),
+        "refused command must not advance seq: {info}"
+    );
+    // And the view is still reproducible.
+    let (status, k2) = once(addr, "POST", &path, br#"{"cmd":"set_k","value":3}"#);
+    assert_eq!(status, 200);
+    assert_ne!(view_text(&good), view_text(&k2));
+    server.shutdown();
+}
