@@ -15,13 +15,20 @@
 //!   client pool. The gate: TCP p99 must stay within 10× the in-process
 //!   median (`latency_headroom = 10 · inproc_median / tcp_p99 ≥ 1`).
 //!
+//! With `--chaos`, the generator instead smoke-runs one faulted pass: a
+//! server whose connections are wrapped in a scripted [`NetScript`]
+//! (short reads/writes, a slow drip, a stall, a reset spread through the
+//! pass) driven by a reconnect-and-retry client; every confirmed view
+//! digest must still match the oracle, at least one fault must actually
+//! fire, and nothing else runs.
+//!
 //! With `--bench`, the resulting `serve_tick` section is merged into
 //! `BENCH_hotpath.json` at the repository root, where the
 //! `perf_trajectory` gate enforces `serve_tick.latency_headroom` and
 //! `serve_tick.throughput_ticks_per_s` against the committed baseline.
 //!
 //! ```text
-//! loadgen [--sessions N] [--clients C] [--tick-clients T] [--rows R] [--bench]
+//! loadgen [--sessions N] [--clients C] [--tick-clients T] [--rows R] [--bench] [--chaos]
 //! ```
 
 use qagview_bench::json::{self, Json};
@@ -32,7 +39,9 @@ use qagview_interactive::{
     ExploreCommand, ExploreResponse, ExploreSession, Explorer, ExplorerConfig,
 };
 use qagview_lattice::Pattern;
-use qagview_serve::{view_json, Gateway, GatewayConfig, Server, ServerConfig, SessionConfig};
+use qagview_serve::{
+    view_json, Gateway, GatewayConfig, NetFaultKind, NetScript, Server, ServerConfig, SessionConfig,
+};
 use qagview_storage::Catalog;
 use std::io::{BufRead, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -113,9 +122,28 @@ fn digest_hex(resp: &ExploreResponse) -> String {
     format!("{:016x}", checksum64(view_json(resp).to_text().as_bytes()))
 }
 
+/// The view digest with the `transition` panel dropped. A transition
+/// describes the delta from the *previous* view, so a command resent
+/// after a transport failure (absolute state, identical summary/plot)
+/// legitimately reports a self-transition; retried steps are checked
+/// against this stable digest instead of the full one.
+fn stable_digest_hex(view: &Json) -> String {
+    let mut v = view.clone();
+    if let Json::Obj(map) = &mut v {
+        map.remove("transition");
+    }
+    format!("{:016x}", checksum64(v.to_text().as_bytes()))
+}
+
+/// Per-step oracle digests: the full view and its transition-less twin.
+struct OracleStep {
+    full: String,
+    stable: String,
+}
+
 /// Sequential oracle: replay every script against a bare [`ExploreSession`]
 /// and return the per-step view digests the server must reproduce.
-fn oracle_digests(catalog: &Arc<Catalog>, scripts: &[Vec<Step>]) -> Vec<Vec<String>> {
+fn oracle_digests(catalog: &Arc<Catalog>, scripts: &[Vec<Step>]) -> Vec<Vec<OracleStep>> {
     let engine = Arc::new(Explorer::from_shared(
         Arc::clone(catalog),
         ExplorerConfig::default(),
@@ -143,9 +171,12 @@ fn oracle_digests(catalog: &Arc<Catalog>, scripts: &[Vec<Step>]) -> Vec<Vec<Stri
                         Step::DrillBack => ExploreCommand::DrillDown(Pattern::all_star(ARITY)),
                     };
                     let resp = session.apply(cmd).expect("oracle replay step");
-                    let digest = digest_hex(&resp);
+                    let step = OracleStep {
+                        full: digest_hex(&resp),
+                        stable: stable_digest_hex(&view_json(&resp)),
+                    };
                     prev = Some(resp);
-                    digest
+                    step
                 })
                 .collect()
         })
@@ -169,6 +200,53 @@ impl Client {
             reader: BufReader::new(stream.try_clone().expect("clone stream")),
             writer: stream,
         }
+    }
+
+    /// Like [`Client::request`] but transport failures are values — the
+    /// chaos pass is supposed to survive them.
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            if self.reader.read_line(&mut h)? == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "content length")
+                })?;
+            }
+        }
+        let mut buf = vec![0u8; content_length];
+        self.reader.read_exact(&mut buf)?;
+        let body = String::from_utf8(buf)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8"))?;
+        Ok((status, body))
     }
 
     fn request(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
@@ -246,7 +324,7 @@ fn run_load(
     sessions: usize,
     clients: usize,
     scripts: &[Vec<Step>],
-    oracle: &[Vec<String>],
+    oracle: &[Vec<OracleStep>],
 ) -> LoadOutcome {
     let max_steps = scripts.iter().map(Vec::len).max().unwrap_or(0);
     let t = Instant::now();
@@ -284,7 +362,7 @@ fn run_load(
                             let path = format!("/api/session/{}/command", ids[slot]);
                             let (status, resp) = client.request("POST", &path, body.as_bytes());
                             commands += 1;
-                            let expected = &oracle[variant][step_idx];
+                            let expected = &oracle[variant][step_idx].full;
                             if status != 200 || digest_of(&resp).as_ref() != Some(expected) {
                                 failures += 1;
                                 eprintln!(
@@ -418,6 +496,139 @@ fn tcp_ticks(addr: SocketAddr, clients: usize, ticks_each: usize) -> (f64, f64, 
     (percentile(&all, 0.50), percentile(&all, 0.99), throughput)
 }
 
+/// `--chaos`: one faulted pass. A scripted [`NetScript`] injects short
+/// reads/writes, a slow drip, a stall, and a reset at fixed op indices
+/// while a reconnect-and-retry client drives scripted sessions; every
+/// confirmed digest must match the oracle and at least one fault must
+/// fire. Returns `true` on a clean pass.
+fn run_chaos(
+    catalog: &Arc<Catalog>,
+    scripts: &[Vec<Step>],
+    oracle: &[Vec<OracleStep>],
+    sessions: usize,
+) -> bool {
+    let engine = Arc::new(Explorer::from_shared(
+        Arc::clone(catalog),
+        ExplorerConfig::default(),
+    ));
+    let gateway = Arc::new(Gateway::new(Arc::clone(&engine), GatewayConfig::default()));
+    let net = Arc::new(NetScript::new());
+    let kinds = [
+        NetFaultKind::ShortRead,
+        NetFaultKind::ShortWrite,
+        NetFaultKind::SlowDrip,
+        NetFaultKind::Stall,
+        NetFaultKind::Reset,
+    ];
+    for (i, kind) in kinds.iter().enumerate() {
+        net.schedule((25 + i * 50) as u64, *kind);
+    }
+    let cfg = ServerConfig {
+        read_timeout: std::time::Duration::from_millis(500),
+        request_deadline: std::time::Duration::from_secs(2),
+        write_timeout: std::time::Duration::from_secs(2),
+        net_script: Some(Arc::clone(&net)),
+        ..ServerConfig::default()
+    };
+    let mut server =
+        Server::start(Arc::clone(&gateway), "127.0.0.1:0", cfg).expect("bind chaos server");
+    let addr = server.addr();
+
+    let (mut commands, mut failures, mut resends) = (0u64, 0u64, 0u64);
+    for s in 0..sessions {
+        let variant = s % scripts.len();
+        let mut client: Option<Client> = None;
+        let mut id: Option<String> = None;
+        let mut prev: Option<String> = None;
+        for (step_idx, step) in scripts[variant].iter().enumerate() {
+            // One step: retry across transport failures and retryable
+            // refusals; resends are safe (absolute-state commands).
+            let mut sent = 0usize;
+            let confirmed = loop {
+                if sent >= 8 {
+                    break None;
+                }
+                if client.is_none() {
+                    client = Some(Client::connect(addr));
+                }
+                let c = client.as_mut().expect("client");
+                if id.is_none() {
+                    match c.try_request("POST", "/api/session", b"") {
+                        Ok((200, body)) => {
+                            id = json::parse(&body).ok().and_then(|d| {
+                                d.get("session").and_then(|s| s.as_str().map(String::from))
+                            });
+                            continue;
+                        }
+                        Ok(_) | Err(_) => {
+                            client = None;
+                            continue;
+                        }
+                    }
+                }
+                let path = format!(
+                    "/api/session/{}/command",
+                    id.as_deref().expect("session id")
+                );
+                let body = step_body(step, prev.as_deref());
+                sent += 1;
+                match c.try_request("POST", &path, body.as_bytes()) {
+                    Ok((200, resp)) => break Some((resp, sent > 1)),
+                    Ok((408 | 503, _)) => client = None,
+                    Ok((status, resp)) => {
+                        eprintln!("CHAOS FAIL session {s} step {step_idx}: {status} {resp}");
+                        break None;
+                    }
+                    Err(_) => client = None,
+                }
+            };
+            commands += 1;
+            match confirmed {
+                Some((resp, retried)) => {
+                    if retried {
+                        resends += 1;
+                    }
+                    let expected = &oracle[variant][step_idx];
+                    let ok = if retried {
+                        json::parse(&resp)
+                            .ok()
+                            .and_then(|d| d.get("view").cloned())
+                            .is_some_and(|v| stable_digest_hex(&v) == expected.stable)
+                    } else {
+                        digest_of(&resp).as_ref() == Some(&expected.full)
+                    };
+                    if !ok {
+                        failures += 1;
+                        eprintln!("CHAOS DIGEST MISMATCH session {s} step {step_idx}: {resp}");
+                    }
+                    prev = Some(resp);
+                }
+                None => failures += 1,
+            }
+        }
+    }
+    server.shutdown();
+    let fired = net.faults_fired();
+    let m = gateway.metrics();
+    let timeout_class = m
+        .request_timeouts
+        .load(std::sync::atomic::Ordering::Relaxed)
+        + m.idle_closes.load(std::sync::atomic::Ordering::Relaxed)
+        + m.write_timeouts.load(std::sync::atomic::Ordering::Relaxed);
+    let error_class = m.net_errors.load(std::sync::atomic::Ordering::Relaxed)
+        + m.protocol_errors.load(std::sync::atomic::Ordering::Relaxed);
+    eprintln!(
+        "chaos: {commands} commands across {sessions} sessions, {failures} failures, \
+         {resends} resent steps, {fired} faults fired \
+         ({timeout_class} timeout-class, {error_class} error-class events)"
+    );
+    if fired == 0 {
+        eprintln!("chaos: no fault ever fired — the pass proved nothing");
+        return false;
+    }
+    failures == 0
+}
+
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("qag-loadgen-{tag}-{}", std::process::id()));
     if dir.exists() {
@@ -433,6 +644,7 @@ fn main() {
     let mut tick_clients = 2usize;
     let mut rows = 20_000usize;
     let mut bench = false;
+    let mut chaos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |name: &str| -> usize {
@@ -446,6 +658,7 @@ fn main() {
             "--tick-clients" => tick_clients = num("--tick-clients"),
             "--rows" => rows = num("--rows"),
             "--bench" => bench = true,
+            "--chaos" => chaos = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -460,6 +673,12 @@ fn main() {
 
     // Sequential oracle first: the digests every concurrent session must hit.
     let oracle = oracle_digests(&catalog, &scripts);
+
+    if chaos {
+        // Smoke-run one faulted pass instead of the load/latency phases.
+        let ok = run_chaos(&catalog, &scripts, &oracle, sessions.clamp(1, 8));
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     // Warm the .qag store with one pass over the script states, then boot
     // the serving engine from it — the restarted-process serving path.

@@ -54,6 +54,19 @@ pub enum ServeError {
     },
     /// The server is at its connection cap.
     Overloaded(String),
+    /// The client did not deliver its request within the per-request
+    /// deadline (408); the connection is closed after this answer.
+    RequestTimeout,
+    /// The request's deadline budget ran out before the named stage
+    /// (session-lock wait, command execution) started real work — the
+    /// session state is untouched and the command was **not** applied.
+    DeadlineExceeded {
+        /// Which stage exhausted the budget (`"session_lock"`, `"execute"`).
+        stage: &'static str,
+    },
+    /// The server is draining: it finishes in-flight work and checkpoints
+    /// sessions, but accepts no new mutations.
+    Draining,
     /// The engine rejected the command (bad SQL, knob violation, memory
     /// budget, internal fault) — the session state is unchanged.
     Engine(QagError),
@@ -68,7 +81,10 @@ impl ServeError {
             ServeError::UnknownSession(_) | ServeError::UnknownRoute(_) => 404,
             ServeError::MethodNotAllowed(_) => 405,
             ServeError::SessionLimit { .. } => 429,
-            ServeError::Overloaded(_) => 503,
+            ServeError::RequestTimeout => 408,
+            ServeError::Overloaded(_)
+            | ServeError::DeadlineExceeded { .. }
+            | ServeError::Draining => 503,
             ServeError::Engine(e) => match e {
                 QagError::BudgetExceeded { .. } => 429,
                 QagError::Parse { .. }
@@ -94,6 +110,9 @@ impl ServeError {
             ServeError::MethodNotAllowed(_) => "method_not_allowed",
             ServeError::SessionLimit { .. } => "session_limit",
             ServeError::Overloaded(_) => "overloaded",
+            ServeError::RequestTimeout => "request_timeout",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Draining => "draining",
             ServeError::Engine(QagError::BudgetExceeded { .. }) => "budget_exceeded",
             ServeError::Engine(_) => "command_rejected",
         }
@@ -112,7 +131,26 @@ impl ServeError {
             ServeError::SessionLimit { resident, cap } => format!(
                 "session cap reached ({resident}/{cap} resident, none evictable); retry later"
             ),
+            ServeError::RequestTimeout => {
+                "the request was not delivered within the per-request deadline".into()
+            }
+            ServeError::DeadlineExceeded { stage } => format!(
+                "the request deadline expired before the {stage} stage; the command was not applied"
+            ),
+            ServeError::Draining => "the server is draining; no new work is accepted".into(),
             ServeError::Engine(e) => e.to_string(),
+        }
+    }
+
+    /// The `Retry-After` hint (seconds) for refusals a client should
+    /// retry, `None` for the rest.
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ServeError::SessionLimit { .. }
+            | ServeError::Overloaded(_)
+            | ServeError::DeadlineExceeded { .. } => Some(1),
+            ServeError::Draining => Some(2),
+            _ => None,
         }
     }
 
@@ -487,5 +525,25 @@ mod tests {
         });
         assert_eq!(budget.status(), 429);
         assert_eq!(budget.kind(), "budget_exceeded");
+    }
+
+    #[test]
+    fn deadline_refusals_are_typed_and_retryable() {
+        let t = ServeError::RequestTimeout;
+        assert_eq!(
+            (t.status(), t.kind(), t.retry_after()),
+            (408, "request_timeout", None)
+        );
+        let d = ServeError::DeadlineExceeded {
+            stage: "session_lock",
+        };
+        assert_eq!((d.status(), d.kind()), (503, "deadline_exceeded"));
+        assert_eq!(d.retry_after(), Some(1));
+        assert!(d.message().contains("session_lock"));
+        let dr = ServeError::Draining;
+        assert_eq!(
+            (dr.status(), dr.kind(), dr.retry_after()),
+            (503, "draining", Some(2))
+        );
     }
 }

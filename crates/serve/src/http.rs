@@ -223,8 +223,16 @@ pub fn read_request<R: BufRead>(r: &mut R, max_body_bytes: usize) -> std::io::Re
                 ))));
             }
             body.resize(n, 0);
-            if r.read_exact(&mut body).is_err() {
-                return Ok(bad("stream ended before the declared body length"));
+            if let Err(e) = r.read_exact(&mut body) {
+                // A clean EOF mid-body is a framing error (the client
+                // walked away from its own declared length); anything
+                // else — a stall hitting the read timeout, a reset — is
+                // a transport condition for the connection loop to
+                // classify (408 vs. silent close).
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    return Ok(bad("stream ended before the declared body length"));
+                }
+                return Err(e);
             }
         }
         _ => return Ok(bad("conflicting Content-Length headers")),
@@ -247,6 +255,8 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Whether to close the connection after writing.
     pub close: bool,
+    /// Emit a `Retry-After: <seconds>` header (backpressure refusals).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -256,6 +266,7 @@ impl Response {
             status,
             body: body.into(),
             close: false,
+            retry_after: None,
         }
     }
 
@@ -264,12 +275,19 @@ impl Response {
         self.close = true;
         self
     }
+
+    /// Attach (or clear) a `Retry-After` hint, in seconds.
+    pub fn with_retry_after(mut self, seconds: Option<u64>) -> Self {
+        self.retry_after = seconds;
+        self
+    }
 }
 
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        408 => "Request Timeout",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -283,17 +301,26 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Serialize a response to the stream (status line, `Content-Type`,
-/// `Content-Length`, `Connection`, blank line, body).
+/// `Content-Length`, optional `Retry-After`, `Connection`, blank line,
+/// body). The head and body are buffered into one write so a response is
+/// either absent or a single contiguous byte run from the transport's
+/// point of view — bounded by the body cap, never streamed.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    let retry = resp
+        .retry_after
+        .map(|s| format!("retry-after: {s}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{retry}connection: {}\r\n\r\n",
         resp.status,
         reason(resp.status),
         resp.body.len(),
         if resp.close { "close" } else { "keep-alive" },
     );
-    w.write_all(head.as_bytes())?;
-    w.write_all(&resp.body)?;
+    let mut frame = Vec::with_capacity(head.len() + resp.body.len());
+    frame.extend_from_slice(head.as_bytes());
+    frame.extend_from_slice(&resp.body);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -434,5 +461,24 @@ mod tests {
         assert!(String::from_utf8(out)
             .unwrap()
             .contains("connection: close"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_when_set() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            &Response::json(503, &b"{}"[..]).with_retry_after(Some(2)),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(408, &b"{}"[..])).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408 Request Timeout\r\n"));
+        assert!(!text.contains("retry-after"), "{text}");
     }
 }

@@ -23,7 +23,11 @@
 //!   restarts) via [`qagview_interactive::SessionCheckpoint`];
 //! * [`server`] — the [`Gateway`] routing core shared by TCP and
 //!   in-process callers, and the thread-per-connection [`Server`] with
-//!   a connection cap;
+//!   a connection cap, per-request deadline budgets, and graceful
+//!   drain-to-checkpoint shutdown;
+//! * [`net`] — deterministic network fault injection ([`NetScript`] +
+//!   [`FaultStream`]) and the [`Deadline`] budget type, mirroring the
+//!   engine's `FaultIo` pattern at the connection layer;
 //! * [`metrics`] — atomic counters behind `GET /api/metrics`.
 
 #![warn(missing_docs)]
@@ -32,11 +36,16 @@
 pub mod api;
 pub mod http;
 pub mod metrics;
+pub mod net;
 pub mod server;
 pub mod sessions;
 
 pub use api::{parse_command, response_json, view_digest, view_json, ServeError};
 pub use http::{HttpError, Request, Response};
 pub use metrics::Metrics;
-pub use server::{Gateway, GatewayConfig, Server, ServerConfig};
-pub use sessions::{CommandOutcome, SessionConfig, SessionInfo, SessionStore};
+pub use net::{
+    Deadline, FaultStream, NetEvent, NetFaultKind, NetFaultPlan, NetOp, NetScript,
+    ALL_NET_FAULT_KINDS,
+};
+pub use server::{DrainReport, Gateway, GatewayConfig, Server, ServerConfig};
+pub use sessions::{CommandOutcome, DrainOutcome, SessionConfig, SessionInfo, SessionStore};

@@ -33,6 +33,26 @@ pub struct Metrics {
     pub refused_connections: AtomicU64,
     /// Framing/JSON-level rejections (400/413/501).
     pub protocol_errors: AtomicU64,
+    /// Idle keep-alive connections closed silently at the read timeout.
+    pub idle_closes: AtomicU64,
+    /// Mid-request read timeouts answered with a 408.
+    pub request_timeouts: AtomicU64,
+    /// Response writes abandoned at the write timeout (slow reader).
+    pub write_timeouts: AtomicU64,
+    /// Connections dropped on transport errors (reset, aborted, hangup
+    /// mid-exchange) in either direction.
+    pub net_errors: AtomicU64,
+    /// Commands refused because the request's deadline budget ran out
+    /// before lock acquisition or execution (503, state untouched).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests refused because the server is draining (503).
+    pub refused_draining: AtomicU64,
+    /// Graceful drains started.
+    pub drains: AtomicU64,
+    /// Sessions checkpointed by a drain.
+    pub drain_checkpoints: AtomicU64,
+    /// Sessions a drain failed to checkpoint (left resident, not lost).
+    pub drain_checkpoint_failures: AtomicU64,
 }
 
 impl Metrics {
@@ -68,6 +88,18 @@ impl Metrics {
             ("refused_sessions", get(&self.refused_sessions)),
             ("refused_connections", get(&self.refused_connections)),
             ("protocol_errors", get(&self.protocol_errors)),
+            ("idle_closes", get(&self.idle_closes)),
+            ("request_timeouts", get(&self.request_timeouts)),
+            ("write_timeouts", get(&self.write_timeouts)),
+            ("net_errors", get(&self.net_errors)),
+            ("deadline_exceeded", get(&self.deadline_exceeded)),
+            ("refused_draining", get(&self.refused_draining)),
+            ("drains", get(&self.drains)),
+            ("drain_checkpoints", get(&self.drain_checkpoints)),
+            (
+                "drain_checkpoint_failures",
+                get(&self.drain_checkpoint_failures),
+            ),
         ])
     }
 }

@@ -1,0 +1,455 @@
+//! Deterministic network-fault injection for connection streams, and the
+//! request-deadline type threaded through the serving path.
+//!
+//! This is the wire-side analogue of the store's
+//! [`FaultIo`](qagview_common::FaultIo): a [`NetScript`] carries a global
+//! operation counter and a list of scheduled [`NetFaultPlan`]s, and a
+//! [`FaultStream`] wraps any `Read`/`Write` stream (a `TcpStream` half in
+//! production, an in-memory cursor in tests) so the production server and
+//! the chaos harness exercise **one** code path. With no script attached
+//! the server never constructs a `FaultStream` at all — fault injection
+//! is zero-cost when off.
+//!
+//! # Fault semantics
+//!
+//! | Kind         | On a read                         | On a write                     |
+//! |--------------|-----------------------------------|--------------------------------|
+//! | `ShortRead`  | deliver at most 1 byte            | accept at most half the buffer |
+//! | `ShortWrite` | deliver at most 1 byte            | accept at most half the buffer |
+//! | `Stall`      | `ErrorKind::TimedOut` — the same error a tripped `SO_RCVTIMEO`/`SO_SNDTIMEO` surfaces |
+//! | `Reset`      | `ErrorKind::ConnectionReset`      | `ErrorKind::ConnectionReset`   |
+//! | `SlowDrip`   | sticky: every later read on every stream of this script delivers at most 1 byte (slow-loris arrival pacing, without wall-clock sleeps) |
+//! | `Crash`      | sticky: this and every later op on every stream fails with `ConnectionAborted` until [`NetScript::reboot`] — a total NIC outage |
+//!
+//! Short reads and writes are *degradations*, not errors: correct callers
+//! (`BufRead` loops, `write_all`) absorb them and the exchange still
+//! completes byte-identically. Stalls and resets are *errors* the
+//! connection loop must turn into a typed refusal or a clean close —
+//! never a panic, never a wedged thread, never corrupted session state.
+//!
+//! With concurrent connections the global op counter interleaves
+//! nondeterministically, so a scheduled `at_op` means "some operation
+//! somewhere near that point"; the chaos harness asserts invariants that
+//! must hold regardless of which stream the fault lands on.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The direction of one socket operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetOp {
+    /// A read off the stream.
+    Read,
+    /// A write into the stream.
+    Write,
+}
+
+impl NetOp {
+    /// A stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetOp::Read => "read",
+            NetOp::Write => "write",
+        }
+    }
+}
+
+/// Every network fault the script can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// One read delivers at most 1 byte (fragmented arrival).
+    ShortRead,
+    /// One write accepts at most half its buffer (partial send).
+    ShortWrite,
+    /// The op times out, exactly as a tripped socket timeout would.
+    Stall,
+    /// The op fails with `ConnectionReset`.
+    Reset,
+    /// Sticky: all later reads deliver at most 1 byte (slow-loris pacing).
+    SlowDrip,
+    /// Sticky: all later ops on all streams fail until [`NetScript::reboot`].
+    Crash,
+}
+
+/// Every fault kind, for exhaustive chaos matrices.
+pub const ALL_NET_FAULT_KINDS: [NetFaultKind; 6] = [
+    NetFaultKind::ShortRead,
+    NetFaultKind::ShortWrite,
+    NetFaultKind::Stall,
+    NetFaultKind::Reset,
+    NetFaultKind::SlowDrip,
+    NetFaultKind::Crash,
+];
+
+impl NetFaultKind {
+    /// A stable lowercase slug (event logs, CLI args).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultKind::ShortRead => "short_read",
+            NetFaultKind::ShortWrite => "short_write",
+            NetFaultKind::Stall => "stall",
+            NetFaultKind::Reset => "reset",
+            NetFaultKind::SlowDrip => "slow_drip",
+            NetFaultKind::Crash => "crash",
+        }
+    }
+}
+
+impl std::fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled fault: fire `kind` at global operation index `at_op`.
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultPlan {
+    /// The 0-based global op index (reads and writes share one counter).
+    pub at_op: u64,
+    /// What to inject there.
+    pub kind: NetFaultKind,
+}
+
+/// One recorded socket operation.
+#[derive(Debug, Clone)]
+pub struct NetEvent {
+    /// Global op index.
+    pub op_index: u64,
+    /// Direction.
+    pub op: NetOp,
+    /// The fault injected here, if any (sticky faults are recorded on
+    /// every op they affect).
+    pub fault: Option<NetFaultKind>,
+    /// Bytes actually transferred.
+    pub bytes: usize,
+}
+
+/// The shared fault script: one per server, shared by every connection's
+/// [`FaultStream`]s. Cheap when empty; deterministic when scripted.
+#[derive(Debug, Default)]
+pub struct NetScript {
+    ops: AtomicU64,
+    crashed: AtomicBool,
+    dripping: AtomicBool,
+    state: Mutex<ScriptState>,
+}
+
+#[derive(Debug, Default)]
+struct ScriptState {
+    plans: Vec<NetFaultPlan>,
+    events: Vec<NetEvent>,
+}
+
+impl NetScript {
+    /// An empty script (no faults; still counts and records ops).
+    pub fn new() -> Self {
+        NetScript::default()
+    }
+
+    /// A script with faults pre-scheduled.
+    pub fn with_plan(plans: Vec<NetFaultPlan>) -> Self {
+        let script = NetScript::default();
+        script.state.lock().expect("net script lock").plans = plans;
+        script
+    }
+
+    /// Schedule one more fault.
+    pub fn schedule(&self, at_op: u64, kind: NetFaultKind) {
+        self.state
+            .lock()
+            .expect("net script lock")
+            .plans
+            .push(NetFaultPlan { at_op, kind });
+    }
+
+    /// Global operations seen so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `Crash` fault has fired and not been rebooted.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Clear the sticky `Crash` and `SlowDrip` states — the network came
+    /// back. Scheduled-but-unfired plans stay scheduled.
+    pub fn reboot(&self) {
+        self.crashed.store(false, Ordering::Relaxed);
+        self.dripping.store(false, Ordering::Relaxed);
+    }
+
+    /// A snapshot of every recorded operation.
+    pub fn events(&self) -> Vec<NetEvent> {
+        self.state.lock().expect("net script lock").events.clone()
+    }
+
+    /// How many recorded ops carried an injected fault.
+    pub fn faults_fired(&self) -> usize {
+        self.state
+            .lock()
+            .expect("net script lock")
+            .events
+            .iter()
+            .filter(|e| e.fault.is_some())
+            .count()
+    }
+
+    /// Claim the next op index and decide which fault (if any) applies.
+    fn fire(&self, _op: NetOp) -> (u64, Option<NetFaultKind>) {
+        let idx = self.ops.fetch_add(1, Ordering::Relaxed);
+        if self.crashed.load(Ordering::Relaxed) {
+            return (idx, Some(NetFaultKind::Crash));
+        }
+        let planned = {
+            let mut st = self.state.lock().expect("net script lock");
+            st.plans
+                .iter()
+                .position(|p| p.at_op == idx)
+                .map(|i| st.plans.remove(i).kind)
+        };
+        match planned {
+            Some(NetFaultKind::Crash) => {
+                self.crashed.store(true, Ordering::Relaxed);
+                (idx, Some(NetFaultKind::Crash))
+            }
+            Some(NetFaultKind::SlowDrip) => {
+                self.dripping.store(true, Ordering::Relaxed);
+                (idx, Some(NetFaultKind::SlowDrip))
+            }
+            Some(kind) => (idx, Some(kind)),
+            None if self.dripping.load(Ordering::Relaxed) => (idx, Some(NetFaultKind::SlowDrip)),
+            None => (idx, None),
+        }
+    }
+
+    fn record(&self, op_index: u64, op: NetOp, fault: Option<NetFaultKind>, bytes: usize) {
+        self.state
+            .lock()
+            .expect("net script lock")
+            .events
+            .push(NetEvent {
+                op_index,
+                op,
+                fault,
+                bytes,
+            });
+    }
+}
+
+/// A stream wrapper that consults a shared [`NetScript`] on every read
+/// and write. The server wraps both halves of a connection in
+/// `FaultStream`s sharing one script.
+#[derive(Debug)]
+pub struct FaultStream<S> {
+    inner: S,
+    script: std::sync::Arc<NetScript>,
+}
+
+impl<S> FaultStream<S> {
+    /// Wrap `inner` under `script`.
+    pub fn new(inner: S, script: std::sync::Arc<NetScript>) -> Self {
+        FaultStream { inner, script }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+fn injected(kind: NetFaultKind) -> io::Error {
+    let ek = match kind {
+        NetFaultKind::Stall => io::ErrorKind::TimedOut,
+        NetFaultKind::Reset => io::ErrorKind::ConnectionReset,
+        _ => io::ErrorKind::ConnectionAborted,
+    };
+    io::Error::new(ek, format!("injected network fault: {kind}"))
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        let (idx, fault) = self.script.fire(NetOp::Read);
+        match fault {
+            Some(k @ (NetFaultKind::Crash | NetFaultKind::Stall | NetFaultKind::Reset)) => {
+                self.script.record(idx, NetOp::Read, Some(k), 0);
+                Err(injected(k))
+            }
+            // All degradation kinds fragment the read to one byte; the
+            // direction-agnostic plan may land a write kind here.
+            Some(k) => {
+                let n = self.inner.read(&mut buf[..1])?;
+                self.script.record(idx, NetOp::Read, Some(k), n);
+                Ok(n)
+            }
+            None => {
+                let n = self.inner.read(buf)?;
+                self.script.record(idx, NetOp::Read, None, n);
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let (idx, fault) = self.script.fire(NetOp::Write);
+        match fault {
+            Some(k @ (NetFaultKind::Crash | NetFaultKind::Stall | NetFaultKind::Reset)) => {
+                self.script.record(idx, NetOp::Write, Some(k), 0);
+                Err(injected(k))
+            }
+            // Partial send: accept at most half the buffer (min 1 byte);
+            // `write_all` loops and the bytes still land in order.
+            Some(k) => {
+                let cut = (buf.len() / 2).max(1);
+                let n = self.inner.write(&buf[..cut])?;
+                self.script.record(idx, NetOp::Write, Some(k), n);
+                Ok(n)
+            }
+            None => {
+                let n = self.inner.write(buf)?;
+                self.script.record(idx, NetOp::Write, None, n);
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.script.is_crashed() {
+            return Err(injected(NetFaultKind::Crash));
+        }
+        self.inner.flush()
+    }
+}
+
+/// An absolute wall-clock budget for one unit of work, threaded from the
+/// connection loop through session-lock waits and command execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// Time left, or `None` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.checked_duration_since(Instant::now())
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn faulted_copy(
+        input: &[u8],
+        plans: Vec<NetFaultPlan>,
+    ) -> (Arc<NetScript>, io::Result<Vec<u8>>) {
+        let script = Arc::new(NetScript::with_plan(plans));
+        let mut reader = FaultStream::new(io::Cursor::new(input.to_vec()), Arc::clone(&script));
+        let mut writer = FaultStream::new(Vec::new(), Arc::clone(&script));
+        let mut out = Vec::new();
+        let result = io::copy(&mut reader, &mut out)
+            .and_then(|_| writer.write_all(&out).map(|()| writer.inner));
+        (script, result)
+    }
+
+    #[test]
+    fn clean_script_is_transparent() {
+        let (script, out) = faulted_copy(b"hello world", vec![]);
+        assert_eq!(out.unwrap(), b"hello world");
+        assert!(script.ops_seen() > 0);
+        assert_eq!(script.faults_fired(), 0);
+    }
+
+    #[test]
+    fn short_reads_and_writes_degrade_without_data_loss() {
+        for kind in [NetFaultKind::ShortRead, NetFaultKind::ShortWrite] {
+            let plans = (0..64)
+                .map(|i| NetFaultPlan { at_op: i, kind })
+                .collect::<Vec<_>>();
+            let (script, out) = faulted_copy(b"the bytes all arrive", plans);
+            assert_eq!(out.unwrap(), b"the bytes all arrive", "{kind}");
+            assert!(script.faults_fired() > 0, "{kind} never fired");
+        }
+    }
+
+    #[test]
+    fn slow_drip_is_sticky_and_fragmenting() {
+        let script = Arc::new(NetScript::with_plan(vec![NetFaultPlan {
+            at_op: 0,
+            kind: NetFaultKind::SlowDrip,
+        }]));
+        let mut reader = FaultStream::new(io::Cursor::new(b"abcdef".to_vec()), Arc::clone(&script));
+        let mut buf = [0u8; 4];
+        for expect in [b'a', b'b', b'c'] {
+            let n = reader.read(&mut buf).unwrap();
+            assert_eq!((n, buf[0]), (1, expect), "dripped reads are 1 byte");
+        }
+        script.reboot();
+        assert!(reader.read(&mut buf).unwrap() > 1, "reboot clears the drip");
+    }
+
+    #[test]
+    fn stall_and_reset_surface_the_right_error_kinds() {
+        for (kind, ek) in [
+            (NetFaultKind::Stall, io::ErrorKind::TimedOut),
+            (NetFaultKind::Reset, io::ErrorKind::ConnectionReset),
+        ] {
+            let script = Arc::new(NetScript::with_plan(vec![NetFaultPlan { at_op: 0, kind }]));
+            let mut reader = FaultStream::new(io::Cursor::new(b"x".to_vec()), script);
+            assert_eq!(reader.read(&mut [0u8; 8]).unwrap_err().kind(), ek, "{kind}");
+        }
+    }
+
+    #[test]
+    fn crash_poisons_every_stream_until_reboot() {
+        let script = Arc::new(NetScript::with_plan(vec![NetFaultPlan {
+            at_op: 1,
+            kind: NetFaultKind::Crash,
+        }]));
+        let mut a = FaultStream::new(io::Cursor::new(b"aa".to_vec()), Arc::clone(&script));
+        let mut b = FaultStream::new(Vec::new(), Arc::clone(&script));
+        assert!(a.read(&mut [0u8; 1]).is_ok()); // op 0
+        assert_eq!(
+            a.read(&mut [0u8; 1]).unwrap_err().kind(), // op 1: crash fires
+            io::ErrorKind::ConnectionAborted
+        );
+        assert!(b.write(b"x").is_err(), "crash is global across streams");
+        assert!(script.is_crashed());
+        script.reboot();
+        assert!(b.write(b"x").is_ok(), "reboot restores service");
+    }
+
+    #[test]
+    fn deadlines_expire() {
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(59));
+        let z = Deadline::after(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(z.expired());
+        assert!(z.remaining().is_none());
+    }
+}

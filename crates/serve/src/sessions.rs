@@ -32,6 +32,7 @@
 
 use crate::api::ServeError;
 use crate::metrics::Metrics;
+use crate::net::Deadline;
 use qagview_common::io::StoreIo;
 use qagview_common::{QagError, StoreErrorKind};
 use qagview_interactive::{
@@ -97,6 +98,16 @@ pub struct CommandOutcome {
     pub restored: bool,
     /// The engine's response.
     pub response: ExploreResponse,
+}
+
+/// What a drain sweep accomplished.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// Sessions checkpointed to disk and released.
+    pub checkpointed: usize,
+    /// Sessions that could not be checkpointed (still locked at the
+    /// deadline, or the write failed); they stay resident.
+    pub failures: usize,
 }
 
 /// A point-in-time description of one session, for the stats endpoint.
@@ -336,13 +347,48 @@ impl SessionStore {
     /// Apply one command to a session, serialized by the session lock.
     /// Any refusal leaves the session exactly as it was.
     pub fn command(&self, id: u64, cmd: ExploreCommand) -> Result<CommandOutcome, ServeError> {
+        self.command_deadline(id, cmd, None)
+    }
+
+    /// [`SessionStore::command`] under a deadline budget. The budget is
+    /// checked while *waiting* for the session lock and once more before
+    /// the command executes; once `apply` starts it runs to completion
+    /// (engine work is never interrupted mid-mutation). A deadline
+    /// refusal is a typed 503 that leaves the session untouched.
+    pub fn command_deadline(
+        &self,
+        id: u64,
+        cmd: ExploreCommand,
+        deadline: Option<Deadline>,
+    ) -> Result<CommandOutcome, ServeError> {
         loop {
             let (slot, restored) = self.resolve(id)?;
-            let mut inner = slot.inner.lock().expect("session lock");
+            let mut inner = match deadline {
+                None => slot.inner.lock().expect("session lock"),
+                // `std::sync::Mutex` has no timed lock: poll `try_lock`
+                // with a short park, refusing when the budget runs out.
+                Some(d) => loop {
+                    match slot.inner.try_lock() {
+                        Ok(guard) => break guard,
+                        Err(std::sync::TryLockError::Poisoned(_)) => panic!("session lock"),
+                        Err(std::sync::TryLockError::WouldBlock) => {
+                            if d.expired() {
+                                return Err(ServeError::DeadlineExceeded {
+                                    stage: "session_lock",
+                                });
+                            }
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                    }
+                },
+            };
             if inner.evicted {
                 // Evicted between resolve and lock: its state is safely in
                 // the checkpoint; re-resolve (which restores from it).
                 continue;
+            }
+            if deadline.is_some_and(|d| d.expired()) {
+                return Err(ServeError::DeadlineExceeded { stage: "execute" });
             }
             let response = inner.session.apply(cmd).map_err(ServeError::Engine)?;
             inner.seq += 1;
@@ -411,6 +457,72 @@ impl SessionStore {
             })?;
         Metrics::bump(&self.metrics.checkpoints_written);
         Ok(())
+    }
+
+    /// Checkpoint **every** resident session and remove it from the map —
+    /// the graceful-drain sweep. Each session's inner lock is polled
+    /// until acquired or `deadline` runs out (a session still mid-command
+    /// after the in-flight grace period is counted as a failure and left
+    /// resident, never dropped), and a checkpoint that cannot be written
+    /// likewise leaves its session resident: degrade, don't corrupt. A
+    /// restarted server over the same checkpoint directory restores every
+    /// drained session bit-identically.
+    pub fn drain_to_checkpoints(&self, deadline: Deadline) -> DrainOutcome {
+        let mut out = DrainOutcome::default();
+        let Some(dir) = self.cfg.checkpoint_dir.clone() else {
+            // Nowhere to spill: nothing to do (sessions die with the
+            // process exactly as they always did without a directory).
+            return out;
+        };
+        let mut slots: Vec<Arc<SessionSlot>> = Vec::new();
+        for shard in &self.shards {
+            slots.extend(shard.lock().expect("shard lock").values().cloned());
+        }
+        let io = self.io();
+        for slot in slots {
+            let inner = loop {
+                match slot.inner.try_lock() {
+                    Ok(guard) => break Some(guard),
+                    Err(std::sync::TryLockError::Poisoned(_)) => panic!("session lock"),
+                    Err(std::sync::TryLockError::WouldBlock) if deadline.expired() => break None,
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            };
+            let Some(mut inner) = inner else {
+                Metrics::bump(&self.metrics.drain_checkpoint_failures);
+                out.failures += 1;
+                continue;
+            };
+            if inner.evicted {
+                continue; // already safely on disk
+            }
+            let path = dir.join(checkpoint_file_name(slot.id));
+            match inner.session.checkpoint().save_io(io.as_ref(), &path) {
+                Ok(()) => {
+                    inner.evicted = true;
+                    drop(inner);
+                    let removed = self
+                        .shard(slot.id)
+                        .lock()
+                        .expect("shard lock")
+                        .remove(&slot.id)
+                        .is_some();
+                    if removed {
+                        self.resident.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    Metrics::bump(&self.metrics.drain_checkpoints);
+                    out.checkpointed += 1;
+                }
+                Err(_) => {
+                    Metrics::bump(&self.metrics.drain_checkpoint_failures);
+                    Metrics::bump(&self.metrics.checkpoint_failures);
+                    out.failures += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Drop a session: its resident slot (if any) and its checkpoint

@@ -106,6 +106,15 @@ impl Client {
         }
     }
 
+    /// Wrap an already-connected stream (for tests that pre-drip bytes
+    /// onto the wire before speaking HTTP).
+    pub fn from_stream(stream: TcpStream) -> Client {
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
     /// Send raw bytes without framing (for garbage injection).
     pub fn send_raw(&mut self, bytes: &[u8]) {
         self.writer.write_all(bytes).unwrap();

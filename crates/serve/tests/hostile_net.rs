@@ -1,0 +1,328 @@
+//! Hostile-network integration tests: slow-loris clients, idle
+//! keep-alive expiry, mid-request disconnects, expired deadline budgets,
+//! and the graceful drain-to-checkpoint path — all against a real TCP
+//! [`Server`] with tight [`ServerConfig`] budgets.
+
+mod common;
+
+use common::{bare_replay, gateway, script, session_id, view_text, Client};
+use qagview_serve::{Deadline, Server, ServerConfig, SessionConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn tight_cfg() -> ServerConfig {
+    ServerConfig {
+        max_connections: 32,
+        read_timeout: Duration::from_millis(400),
+        request_deadline: Duration::from_millis(300),
+        write_timeout: Duration::from_secs(2),
+        drain_deadline: Duration::from_secs(2),
+        net_script: None,
+    }
+}
+
+fn kind_of(body: &str) -> String {
+    qagview_common::json::parse(body)
+        .unwrap()
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str().map(str::to_string))
+        .expect("error body carries a kind")
+}
+
+/// Poll until `cond` holds or the budget runs out.
+fn eventually(budget: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn slow_loris_header_drip_gets_a_408_and_loses_the_connection() {
+    let gw = gateway(SessionConfig::default());
+    let mut srv = Server::start(std::sync::Arc::clone(&gw), "127.0.0.1:0", tight_cfg()).unwrap();
+
+    let stream = TcpStream::connect(srv.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // Drip the start of a valid request line one byte at a time — a
+    // classic slow-loris — then go quiet and let the 300 ms request
+    // deadline (armed at the first byte) run out.
+    for b in b"GET /api" {
+        if writer.write_all(&[*b]).is_err() {
+            break; // the server already gave up on us, as it should
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    let mut client = Client::from_stream(stream);
+    let (status, body) = client.read_response().expect("a typed 408 before close");
+    assert_eq!(status, 408);
+    assert_eq!(kind_of(&body), "request_timeout");
+    assert!(client.read_response().is_none(), "connection must close");
+    assert!(gw.metrics().request_timeouts.load(Ordering::Relaxed) >= 1);
+    assert_eq!(gw.metrics().idle_closes.load(Ordering::Relaxed), 0);
+    srv.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_expiry_is_a_silent_close_not_a_408() {
+    let gw = gateway(SessionConfig::default());
+    let mut srv = Server::start(std::sync::Arc::clone(&gw), "127.0.0.1:0", tight_cfg()).unwrap();
+
+    let mut client = Client::connect(srv.addr());
+    let (status, _) = client.request("GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    // Now go quiet: past the idle timeout the server closes without
+    // writing anything (there is nobody mid-request to answer).
+    assert!(
+        client.read_response().is_none(),
+        "server closes the idle connection"
+    );
+    assert!(gw.metrics().idle_closes.load(Ordering::Relaxed) >= 1);
+    assert_eq!(gw.metrics().request_timeouts.load(Ordering::Relaxed), 0);
+    assert!(
+        eventually(Duration::from_secs(2), || srv.active_connections() == 0),
+        "connection thread must be reclaimed"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_reclaims_the_connection_and_thread() {
+    let gw = gateway(SessionConfig::default());
+    let mut srv = Server::start(std::sync::Arc::clone(&gw), "127.0.0.1:0", tight_cfg()).unwrap();
+
+    {
+        let mut writer = TcpStream::connect(srv.addr()).unwrap();
+        writer
+            .write_all(b"POST /api/session HTTP/1.1\r\ncontent-length: 10\r\n\r\n{\"b")
+            .unwrap();
+        writer.flush().unwrap();
+        // Drop: the client vanishes three bytes into a ten-byte body.
+    }
+    assert!(
+        eventually(Duration::from_secs(2), || {
+            gw.metrics().protocol_errors.load(Ordering::Relaxed) >= 1
+        }),
+        "a clean hangup mid-body is a framing truncation"
+    );
+    assert!(
+        eventually(Duration::from_secs(2), || srv.active_connections() == 0),
+        "server must reclaim the half-fed connection"
+    );
+    assert_eq!(gw.sessions().resident(), 0, "no session was created");
+
+    // The stalled twin: same half-fed body, but the client stays
+    // connected and silent. That is a mid-request timeout — typed 408 —
+    // not a framing error.
+    let stream = TcpStream::connect(srv.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer
+        .write_all(b"POST /api/session HTTP/1.1\r\ncontent-length: 10\r\n\r\n{\"b")
+        .unwrap();
+    writer.flush().unwrap();
+    let mut client = Client::from_stream(stream);
+    let (status, body) = client.read_response().expect("a typed 408 before close");
+    assert_eq!(status, 408);
+    assert_eq!(kind_of(&body), "request_timeout");
+    assert!(gw.metrics().request_timeouts.load(Ordering::Relaxed) >= 1);
+    srv.shutdown();
+}
+
+#[test]
+fn disconnect_before_reading_the_response_leaves_the_session_unlocked() {
+    let gw = gateway(SessionConfig::default());
+    let mut srv = Server::start(std::sync::Arc::clone(&gw), "127.0.0.1:0", tight_cfg()).unwrap();
+    let bodies = script(0);
+
+    let mut client = Client::connect(srv.addr());
+    let (status, created) = client.request("POST", "/api/session", b"");
+    assert_eq!(status, 200);
+    let id = session_id(&created);
+    let path = format!("/api/session/{id}/command");
+
+    {
+        // Fire a command and vanish without reading the response.
+        let mut writer = TcpStream::connect(srv.addr()).unwrap();
+        let head = format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            bodies[0].len()
+        );
+        writer.write_all(head.as_bytes()).unwrap();
+        writer.write_all(bodies[0].as_bytes()).unwrap();
+        writer.flush().unwrap();
+    }
+    // The abandoned command still applies exactly once; wait for it.
+    assert!(
+        eventually(Duration::from_secs(2), || {
+            let (_, info) =
+                Client::connect(srv.addr()).request("GET", &format!("/api/session/{id}"), b"");
+            qagview_common::json::parse(&info)
+                .unwrap()
+                .get("seq")
+                .and_then(|s| s.as_u64())
+                == Some(1)
+        }),
+        "the abandoned command must commit"
+    );
+    // The session is not wedged: the next command proceeds normally and
+    // its view matches the sequential oracle byte for byte.
+    let (status, body) = client.request("POST", &path, bodies[1].as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(view_text(&body), bare_replay(&bodies[..2])[1]);
+    srv.shutdown();
+}
+
+#[test]
+fn expired_deadline_budget_is_a_typed_503_that_never_mutates_state() {
+    let gw = gateway(SessionConfig::default());
+    let bodies = script(1);
+    let created = gw.handle_bytes(b"POST /api/session HTTP/1.1\r\ncontent-length: 0\r\n\r\n");
+    let created = String::from_utf8_lossy(&created);
+    let id = session_id(created.split("\r\n\r\n").nth(1).unwrap());
+    let path = format!("/api/session/{id}/command");
+
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        bodies[0].len(),
+        bodies[0]
+    );
+    let mut cursor = std::io::Cursor::new(raw.as_bytes());
+    let outcome = qagview_serve::http::read_request(&mut cursor, 1 << 20).unwrap();
+    let qagview_serve::http::ReadOutcome::Request(req) = outcome else {
+        panic!("fixture request must parse");
+    };
+
+    // A budget that is already spent: the command is refused before it
+    // touches the session.
+    let resp = gw.handle_deadline(&req, Some(Deadline::after(Duration::ZERO)));
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.retry_after, Some(1));
+    assert_eq!(
+        kind_of(&String::from_utf8_lossy(&resp.body)),
+        "deadline_exceeded"
+    );
+    assert!(gw.metrics().deadline_exceeded.load(Ordering::Relaxed) >= 1);
+
+    // The refused command left no trace: the same command under no
+    // budget is seq 1 and matches the oracle.
+    let resp = gw.handle_deadline(&req, None);
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8_lossy(&resp.body);
+    let doc = qagview_common::json::parse(&body).unwrap();
+    assert_eq!(doc.get("seq").and_then(|s| s.as_u64()), Some(1));
+    assert_eq!(view_text(&body), bare_replay(&bodies[..1])[0]);
+}
+
+#[test]
+fn drain_checkpoints_every_resident_session_and_restart_restores_bit_identically() {
+    let dir = common::temp_dir("hostile-drain");
+    let sessions_cfg = SessionConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..SessionConfig::default()
+    };
+    let gw = gateway(sessions_cfg.clone());
+    let mut srv = Server::start(std::sync::Arc::clone(&gw), "127.0.0.1:0", tight_cfg()).unwrap();
+
+    // Three sessions, each five commands into a six-command script.
+    let mut ids = Vec::new();
+    for variant in 0..3usize {
+        let mut client = Client::connect(srv.addr());
+        let (_, created) = client.request("POST", "/api/session", b"");
+        let id = session_id(&created);
+        let bodies = script(variant);
+        for body in &bodies[..5] {
+            let (status, _) = client.request(
+                "POST",
+                &format!("/api/session/{id}/command"),
+                body.as_bytes(),
+            );
+            assert_eq!(status, 200);
+        }
+        ids.push(id);
+    }
+    assert_eq!(gw.sessions().resident(), 3);
+
+    let report = srv.drain();
+    assert_eq!(
+        report.checkpointed, 3,
+        "drain must checkpoint every resident session"
+    );
+    assert_eq!(report.checkpoint_failures, 0);
+    assert_eq!(gw.sessions().resident(), 0);
+    assert_eq!(gw.metrics().drains.load(Ordering::Relaxed), 1);
+    assert_eq!(gw.metrics().drain_checkpoints.load(Ordering::Relaxed), 3);
+    // Draining twice is a no-op, not a second sweep.
+    assert_eq!(srv.drain(), qagview_serve::DrainReport::default());
+
+    // A restarted server over the same directory picks each session up
+    // exactly where it stopped: command six matches the oracle's.
+    let gw2 = gateway(sessions_cfg);
+    let mut srv2 = Server::start(std::sync::Arc::clone(&gw2), "127.0.0.1:0", tight_cfg()).unwrap();
+    for (variant, id) in ids.iter().enumerate() {
+        let bodies = script(variant);
+        let (status, body) = Client::connect(srv2.addr()).request(
+            "POST",
+            &format!("/api/session/{id}/command"),
+            bodies[5].as_bytes(),
+        );
+        assert_eq!(status, 200);
+        let doc = qagview_common::json::parse(&body).unwrap();
+        // seq counts commands within a residency and restarts at a
+        // restore; what must carry over bit-identically is the state.
+        assert_eq!(doc.get("seq").and_then(|s| s.as_u64()), Some(1));
+        assert_eq!(
+            doc.get("provenance").and_then(|p| p.get("restored")),
+            Some(&qagview_common::json::Json::from(true)),
+            "the first command after restart is flagged restored"
+        );
+        assert_eq!(view_text(&body), bare_replay(&bodies)[5]);
+    }
+    srv2.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn healthz_flips_to_503_draining_and_mutations_are_refused() {
+    let gw = gateway(SessionConfig::default());
+    let mut srv = Server::start(std::sync::Arc::clone(&gw), "127.0.0.1:0", tight_cfg()).unwrap();
+
+    let (status, body) = Client::connect(srv.addr()).request("GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let doc = qagview_common::json::parse(&body).unwrap();
+    assert_eq!(doc.get("state").and_then(|s| s.as_str()), Some("serving"));
+    assert!(
+        doc.get("metrics").is_some(),
+        "healthz carries a metrics snapshot"
+    );
+
+    gw.begin_drain();
+    // The TCP accept loop is still up (drain() not called), so the wire
+    // view of a draining gateway is observable.
+    let (status, body) = Client::connect(srv.addr()).request("GET", "/healthz", b"");
+    assert_eq!(status, 503);
+    let doc = qagview_common::json::parse(&body).unwrap();
+    assert_eq!(doc.get("state").and_then(|s| s.as_str()), Some("draining"));
+
+    let (status, body) = Client::connect(srv.addr()).request("POST", "/api/session", b"");
+    assert_eq!(status, 503);
+    assert_eq!(kind_of(&body), "draining");
+    assert!(gw.metrics().refused_draining.load(Ordering::Relaxed) >= 1);
+    // Reads keep answering while draining.
+    let (status, _) = Client::connect(srv.addr()).request("GET", "/api/metrics", b"");
+    assert_eq!(status, 200);
+    srv.shutdown();
+}

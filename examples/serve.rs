@@ -211,14 +211,29 @@ fn main() {
             .unwrap_or(0),
     );
 
-    // Checkpoint explicitly, stop the server, boot a fresh one over the
-    // same directories — a process restart — and keep exploring the same
-    // session. The first command restores it; the view picks up exactly
-    // where the old process left off.
-    let (status, _) = client.request("POST", &format!("/api/session/{sid}/checkpoint"), "");
+    // Probe readiness, then drain: the server stops accepting, lets the
+    // in-flight requests finish, and checkpoints every resident session
+    // to disk. Boot a fresh server over the same directories — a process
+    // restart — and keep exploring the same session. The first command
+    // restores it; the view picks up exactly where the old process left
+    // off.
+    let (status, health) = client.request("GET", "/healthz", "");
     assert_eq!(status, 200);
-    srv.shutdown();
-    println!("\nserver stopped; restarting over the same store + checkpoint dirs");
+    println!(
+        "\nhealthz: {} ({} resident)",
+        health.get("state").and_then(|s| s.as_str()).unwrap_or("-"),
+        health
+            .get("resident_sessions")
+            .and_then(qagview::common::json::Json::as_u64)
+            .unwrap_or(0),
+    );
+    let report = srv.drain();
+    assert_eq!(report.checkpoint_failures, 0, "drain must persist cleanly");
+    println!(
+        "drained: {} session(s) checkpointed, {} failures, {} connection(s) forced",
+        report.checkpointed, report.checkpoint_failures, report.forced_connections
+    );
+    println!("server stopped; restarting over the same store + checkpoint dirs");
 
     let (mut srv2, addr2) = server(Arc::clone(&catalog), &store_dir, &ckpt_dir);
     let mut client2 = Client::connect(addr2);
