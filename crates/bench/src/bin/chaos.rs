@@ -21,9 +21,7 @@
 
 use qagview_common::io::ALL_FAULT_KINDS;
 use qagview_common::{FaultIo, FaultPlan, FxHasher, RetryPolicy};
-use qagview_interactive::{
-    ExploreCommand, ExploreResponse, ExploreSession, Explorer, ExplorerConfig,
-};
+use qagview_interactive::{ExploreCommand, ExploreResponse, Explorer, ExplorerConfig, SessionSpec};
 use qagview_storage::{Catalog, Cell, ColumnType, Schema, TableBuilder};
 use std::hash::Hasher as _;
 use std::path::{Path, PathBuf};
@@ -117,7 +115,9 @@ fn run_script(
     let mut digests = Vec::new();
     for _process in 0..2 {
         let engine = engine_over(io, dir, Arc::clone(catalog), seed);
-        let mut session = ExploreSession::new(engine);
+        let mut session = engine
+            .open_session(SessionSpec::default())
+            .expect("open session");
         for cmd in [
             ExploreCommand::SetQuery(SQL.into()),
             ExploreCommand::SetK(3),

@@ -146,7 +146,9 @@ fn oracle_digests(catalog: &Arc<Catalog>, variants: usize) -> Vec<Vec<StepOracle
                 Arc::clone(catalog),
                 ExplorerConfig::default(),
             ));
-            let mut session = qagview_interactive::ExploreSession::new(engine);
+            let mut session = engine
+                .open_session(qagview_interactive::SessionSpec::default())
+                .expect("open oracle session");
             script(v)
                 .iter()
                 .map(|body| {

@@ -35,9 +35,7 @@ use qagview_bench::json::{self, Json};
 use qagview_bench::repo_root;
 use qagview_common::wire::checksum64;
 use qagview_datagen::movielens::{self, MovieLensConfig};
-use qagview_interactive::{
-    ExploreCommand, ExploreResponse, ExploreSession, Explorer, ExplorerConfig,
-};
+use qagview_interactive::{ExploreCommand, ExploreResponse, Explorer, ExplorerConfig, SessionSpec};
 use qagview_lattice::Pattern;
 use qagview_serve::{
     view_json, Gateway, GatewayConfig, NetFaultKind, NetScript, Server, ServerConfig, SessionConfig,
@@ -141,7 +139,7 @@ struct OracleStep {
     stable: String,
 }
 
-/// Sequential oracle: replay every script against a bare [`ExploreSession`]
+/// Sequential oracle: replay every script against a bare in-process session
 /// and return the per-step view digests the server must reproduce.
 fn oracle_digests(catalog: &Arc<Catalog>, scripts: &[Vec<Step>]) -> Vec<Vec<OracleStep>> {
     let engine = Arc::new(Explorer::from_shared(
@@ -151,7 +149,9 @@ fn oracle_digests(catalog: &Arc<Catalog>, scripts: &[Vec<Step>]) -> Vec<Vec<Orac
     scripts
         .iter()
         .map(|script| {
-            let mut session = ExploreSession::new(Arc::clone(&engine));
+            let mut session = engine
+                .open_session(SessionSpec::default())
+                .expect("open oracle session");
             let mut prev: Option<ExploreResponse> = None;
             script
                 .iter()
@@ -690,7 +690,9 @@ fn main() {
     };
     {
         let warm = Arc::new(Explorer::from_shared(Arc::clone(&catalog), engine_cfg()));
-        let mut s = ExploreSession::new(warm);
+        let mut s = warm
+            .open_session(SessionSpec::default())
+            .expect("open warm session");
         for body in warm_bodies() {
             let cmd = qagview_serve::parse_command(body.as_bytes()).expect("warm command");
             s.apply(cmd).expect("store warm-up");

@@ -82,7 +82,9 @@ fn open_session(store_dir: Option<PathBuf>) -> (Arc<Explorer>, ExploreResponse) 
             ..Default::default()
         },
     ));
-    let mut session = ExploreSession::new(Arc::clone(&engine));
+    let mut session = engine
+        .open_session(SessionSpec::default())
+        .expect("open session");
     session
         .apply(ExploreCommand::SetQuery(SQL.into()))
         .expect("open session");

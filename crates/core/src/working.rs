@@ -27,6 +27,18 @@ pub enum EvalMode {
     /// the last round's coverage diff (30× reported speed-up).
     #[default]
     Delta,
+    /// Explicitly-approximate evaluation: every marginal is a fresh fused
+    /// scan through the 4-way-accumulator kernel
+    /// (`WorkingSet::marginal_fused_relaxed`, `relaxed-kernels`
+    /// feature), whose sums match the strict path within a documented
+    /// `1e-9` relative tolerance — never bit-for-bit. Only the
+    /// progressive pipeline's *approximate* plane builds select this
+    /// mode, where results already carry error bars that dwarf the
+    /// kernel tolerance; byte-identity paths (exact plane builds, stored
+    /// solutions, refinement) must keep using [`EvalMode::Delta`].
+    /// Without the feature the mode falls back to the strict fused
+    /// kernel, keeping the mode choice compile-safe.
+    Relaxed,
 }
 
 /// A pending merge considered by a greedy step.
@@ -79,6 +91,10 @@ impl Evaluator {
         match self.mode {
             EvalMode::Naive => w.marginal_naive(id),
             EvalMode::Delta => self.cache.marginal(w, id),
+            #[cfg(feature = "relaxed-kernels")]
+            EvalMode::Relaxed => w.marginal_fused_relaxed(id),
+            #[cfg(not(feature = "relaxed-kernels"))]
+            EvalMode::Relaxed => w.marginal_fused(id),
         }
     }
 
@@ -820,6 +836,29 @@ mod tests {
         assert!(sol.clusters[0].avg() >= sol.clusters[1].avg());
         assert!(sol.clusters[1].avg() >= sol.clusters[2].avg());
         assert_eq!(sol.covered, 3);
+    }
+
+    /// The explicitly-approximate evaluator mode answers every marginal
+    /// with an exact count and a sum within the relaxed kernel's `1e-9`
+    /// relative tolerance of the naive oracle — with the feature off it
+    /// degenerates to the strict fused kernel and matches bit-for-bit.
+    #[test]
+    fn relaxed_eval_mode_tracks_naive_within_tolerance() {
+        let s = answers();
+        let idx = CandidateIndex::build(&s, s.len()).unwrap();
+        let w = WorkingSet::with_top_l_singletons(&s, &idx).unwrap();
+        let mut relaxed = Evaluator::new(EvalMode::Relaxed);
+        for (id, _) in idx.iter() {
+            let (nsum, ncnt) = w.marginal_naive(id);
+            let (rsum, rcnt) = relaxed.marginal(&w, id);
+            assert_eq!(ncnt, rcnt, "counts are exact in every mode");
+            let scale = nsum.abs().max(1.0);
+            assert!(
+                (rsum - nsum).abs() <= 1e-9 * scale,
+                "candidate {id}: relaxed-mode {rsum} vs naive {nsum}"
+            );
+        }
+        assert!(relaxed.eval_calls() > 0);
     }
 
     /// Differential contract of the relaxed marginal against the strict

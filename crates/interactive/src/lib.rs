@@ -53,10 +53,14 @@ pub use checkpoint::{checkpoint_file_name, SessionCheckpoint};
 pub use explore::{
     CacheLayer, CacheOutcome, CacheProvenance, ClusterView, Degradation, ExploreCommand,
     ExploreResponse, ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats,
-    PoisonStats, StoreLayerStats, SummaryView,
+    Fidelity, FidelityMode, PoisonStats, SessionSpec, StoreLayerStats, SummaryView,
 };
+// The sampling knobs live in the query layer but are configured through
+// [`ExplorerConfig::sample`]; re-export them so engine configurers need
+// one import.
 pub use interval_tree::IntervalTree;
 pub use plot::{DSeries, GuidancePlot};
 pub use precompute::{DescentEngine, PrecomputeConfig, Precomputed};
+pub use qagview_query::{SampleSpec, SampleStats};
 pub use session::QuerySession;
 pub use store::{GcReport, StoreReader};

@@ -105,6 +105,9 @@ fn eval_code(eval: EvalMode) -> u8 {
     match eval {
         EvalMode::Naive => 0,
         EvalMode::Delta => 1,
+        // Never written in practice — approximate planes skip the store —
+        // but the mapping must stay total.
+        EvalMode::Relaxed => 2,
     }
 }
 
@@ -112,6 +115,7 @@ fn eval_from(code: u8) -> Result<EvalMode> {
     match code {
         0 => Ok(EvalMode::Naive),
         1 => Ok(EvalMode::Delta),
+        2 => Ok(EvalMode::Relaxed),
         other => Err(QagError::store(
             StoreErrorKind::Corrupt,
             format!("unknown eval-mode code {other}"),

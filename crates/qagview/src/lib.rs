@@ -8,12 +8,23 @@
 //!
 //! The primary API is the owned, command-driven exploration engine:
 //! [`Explorer`](interactive::Explorer) owns a shared catalog plus every
-//! cache layer of the paper's §6 interactive loop, and an
-//! [`ExploreSession`](interactive::ExploreSession) advances the state
-//! `(sql, k, L, D, threshold, drill)` one typed command at a time. Each
-//! command returns the refreshed summary, the Fig. 2 guidance plot, a
-//! band-diagram transition from the previous summary, and cache
-//! provenance saying which layer answered.
+//! cache layer of the paper's §6 interactive loop, and
+//! [`Explorer::open_session`](interactive::Explorer::open_session) —
+//! the one documented front door — turns a declarative
+//! [`SessionSpec`](interactive::SessionSpec) into an
+//! [`ExploreSession`](interactive::ExploreSession) that advances the
+//! state `(sql, k, L, D, threshold, drill, fidelity)` one typed command
+//! at a time. Each command returns the refreshed summary, the Fig. 2
+//! guidance plot, a band-diagram transition from the previous summary,
+//! cache provenance saying which layer answered, and a typed
+//! [`Fidelity`](interactive::Fidelity) tag saying whether the view is
+//! exact, sampled with error bounds, or freshly promoted to exact.
+//!
+//! Callers that want the answer relation itself rather than a session
+//! use [`Explorer::answer_relation`](interactive::Explorer::answer_relation);
+//! the free-standing row engine ([`query::run_query`] +
+//! [`answers_from_query`]) survives only as the differential test
+//! oracle for those paths.
 //!
 //! # The interactive loop, end to end
 //!
@@ -40,18 +51,22 @@
 //!
 //! // 2. An owned, Send + Sync engine; sessions share its caches.
 //! let engine = Arc::new(Explorer::new(catalog));
-//! let mut session = ExploreSession::new(Arc::clone(&engine));
 //!
-//! // 3. The paper-shaped aggregate query opens the loop.
-//! let r = session.apply(ExploreCommand::SetQuery(
-//!     "SELECT genre, who, AVG(rating) AS val FROM ratings \
-//!      GROUP BY genre, who HAVING count(*) > 0 ORDER BY val DESC".into(),
-//! )).unwrap();
-//! assert_eq!(r.summary.clusters[0].label, "(adventure, *)");
+//! // 3. The paper-shaped aggregate query opens the loop through the
+//! //    one front door: a SessionSpec.
+//! let mut session = engine.open_session(SessionSpec {
+//!     sql: Some(
+//!         "SELECT genre, who, AVG(rating) AS val FROM ratings \
+//!          GROUP BY genre, who HAVING count(*) > 0 ORDER BY val DESC".into(),
+//!     ),
+//!     ..Default::default()
+//! }).unwrap();
 //!
 //! // 4. A HAVING slider tick: the group phase is reused, and because the
 //! //    answer relation happens not to change, so is the whole plane.
 //! let r = session.apply(ExploreCommand::SetThreshold(0.5)).unwrap();
+//! assert_eq!(r.summary.clusters[0].label, "(adventure, *)");
+//! assert_eq!(r.fidelity, Fidelity::Exact);
 //! assert_eq!(r.provenance.group_phase, CacheOutcome::Hit);
 //! assert_eq!(r.provenance.plane, CacheOutcome::Hit);
 //!
@@ -85,11 +100,16 @@ use qagview_query::QueryOutput;
 /// Convert an executed query's output into the answer relation consumed by
 /// the summarization algorithms.
 ///
-/// This is the legacy free-function path, kept as the readable reference
-/// (and differential oracle) for the conversion: it renders every group to
+/// **Test oracle only.** Production callers go through
+/// [`Explorer::open_session`](interactive::Explorer::open_session) (for a
+/// session) or
+/// [`Explorer::answer_relation`](interactive::Explorer::answer_relation)
+/// (for the relation itself); this free-function path — paired with
+/// [`query::run_query`] — is kept as the readable reference and
+/// differential oracle for the conversion: it renders every group to
 /// display strings and re-interns them. The engine path —
-/// [`GroupedResult::apply_answers`](qagview_query::GroupedResult::apply_answers),
-/// which `Explorer` uses — skips that round trip and is byte-identical
+/// [`GroupedResult::apply_answers`](qagview_query::GroupedResult::apply_answers)
+/// — skips that round trip and is byte-identical
 /// (see `crates/query/tests/answers_direct.rs`).
 pub fn answers_from_query(output: &QueryOutput) -> Result<AnswerSet> {
     let mut builder = AnswerSetBuilder::new(output.attr_names.clone());
@@ -101,20 +121,26 @@ pub fn answers_from_query(output: &QueryOutput) -> Result<AnswerSet> {
 }
 
 /// Commonly used items in one import.
+///
+/// The prelude deliberately does **not** export the row-engine oracle
+/// (`run_query` / `answers_from_query`): engine callers open sessions via
+/// [`Explorer::open_session`](qagview_interactive::Explorer::open_session)
+/// or fetch relations via
+/// [`Explorer::answer_relation`](qagview_interactive::Explorer::answer_relation);
+/// tests that want the oracle import it by its full path.
 pub mod prelude {
-    pub use crate::answers_from_query;
     pub use qagview_common::{FaultIo, FaultKind, FaultPlan, RealIo, RetryPolicy, StoreIo};
     pub use qagview_core::{BottomUpOptions, EvalMode, Params, Seeding, Solution, Summarizer};
     pub use qagview_interactive::{
         store, CacheLayer, CacheOutcome, CacheProvenance, ClusterView, Degradation, ExploreCommand,
         ExploreResponse, ExploreSession, ExploreState, Explorer, ExplorerConfig, ExplorerStats,
-        GcReport, GuidancePlot, PoisonStats, PrecomputeConfig, Precomputed, QuerySession,
-        StoreLayerStats, StoreReader, SummaryView,
+        Fidelity, FidelityMode, GcReport, GuidancePlot, PoisonStats, PrecomputeConfig, Precomputed,
+        QuerySession, SampleSpec, SampleStats, SessionSpec, StoreLayerStats, StoreReader,
+        SummaryView,
     };
     pub use qagview_lattice::{
         AnswerSet, AnswerSetBuilder, AnswersHandle, CandidateIndex, Pattern, STAR,
     };
-    pub use qagview_query::run_query;
     pub use qagview_serve::{
         Gateway, GatewayConfig, Metrics, Server, ServerConfig, SessionConfig, SessionStore,
     };

@@ -317,14 +317,29 @@ impl GroupedResult {
         acc: &[AggColumns],
     ) -> Result<Self> {
         let n = gt.num_groups();
-        let width = group_cols.len();
-
         let mut finished = vec![Vec::with_capacity(n); aggs.len()];
         for (ai, agg) in aggs.iter().enumerate() {
             for gid in 0..n {
                 finished[ai].push(acc[ai].finish(agg.func, gid, counts));
             }
         }
+        Self::from_finished(table, group_cols, attr_names, gt, finished)
+    }
+
+    /// Finish a group phase from already-finished aggregate columns
+    /// (`[agg_idx][gid]`, gids in `gt` insertion order): render keys and
+    /// precompute the sort permutations. The exact path arrives here via
+    /// [`GroupedResult::finish`]; the sampled path injects per-group
+    /// *estimates* directly.
+    pub(crate) fn from_finished(
+        table: &Table,
+        group_cols: &[usize],
+        attr_names: Vec<String>,
+        gt: &GroupTable,
+        finished: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        let n = gt.num_groups();
+        let width = group_cols.len();
 
         // Render each *distinct* encoded value per lane once into a pool
         // and store per-group pool codes; output rows clone from the pool

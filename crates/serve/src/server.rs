@@ -12,7 +12,7 @@
 //!
 //! | Method · path                         | Does                                        |
 //! |---------------------------------------|---------------------------------------------|
-//! | `POST /api/session`                   | create a session (optional `budget_bytes`)  |
+//! | `POST /api/session`                   | create a session (optional `budget_bytes`, `fidelity`) |
 //! | `POST /api/session/{id}/command`      | apply one command, returns view + provenance|
 //! | `GET /api/session/{id}`               | session stats (resident or checkpointed)    |
 //! | `POST /api/session/{id}/checkpoint`   | checkpoint now (session stays resident)     |
@@ -51,7 +51,7 @@ use crate::metrics::Metrics;
 use crate::net::{Deadline, FaultStream, NetScript};
 use crate::sessions::{DrainOutcome, SessionConfig, SessionStore};
 use qagview_common::json::Json;
-use qagview_interactive::{Explorer, ExplorerStats};
+use qagview_interactive::{Explorer, ExplorerStats, SessionSpec};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -284,21 +284,27 @@ impl Gateway {
     }
 
     fn create_session(&self, body: &[u8]) -> Result<Json, ServeError> {
-        let budget = if body.is_empty() {
-            None
-        } else {
+        let mut spec = SessionSpec::default();
+        if !body.is_empty() {
             let text = std::str::from_utf8(body)
                 .map_err(|_| ServeError::BadJson("body is not UTF-8".into()))?;
             let doc = qagview_common::json::parse(text)
                 .map_err(|e| ServeError::BadJson(e.to_string()))?;
-            match doc.get("budget_bytes") {
+            spec.budget_bytes = match doc.get("budget_bytes") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(Some(v.as_u64().ok_or_else(|| {
                     ServeError::BadCommand("\"budget_bytes\" must be a non-negative integer".into())
                 })?)),
+            };
+            // v2 field; absent (a v1 client) means exact — the v1 behavior.
+            if let Some(v) = doc.get("fidelity") {
+                let mode = v.as_str().ok_or_else(|| {
+                    ServeError::BadCommand("\"fidelity\" must be a string".into())
+                })?;
+                spec.fidelity = crate::api::parse_fidelity_mode(mode)?;
             }
-        };
-        let id = self.sessions.create(budget)?;
+        }
+        let id = self.sessions.create(spec)?;
         Ok(Json::obj([("session", Json::from(hex(id)))]))
     }
 

@@ -37,7 +37,7 @@ use qagview_common::io::StoreIo;
 use qagview_common::{QagError, StoreErrorKind};
 use qagview_interactive::{
     checkpoint_file_name, ExploreCommand, ExploreResponse, ExploreSession, Explorer,
-    SessionCheckpoint,
+    SessionCheckpoint, SessionSpec,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -270,15 +270,13 @@ impl SessionStore {
         false
     }
 
-    /// Create a fresh session and return its id. `budget` overrides the
-    /// engine's default per-session memory budget when given.
-    pub fn create(&self, budget: Option<Option<u64>>) -> Result<u64, ServeError> {
+    /// Create a fresh session from `spec` and return its id. The spec's
+    /// budget override and default fidelity are applied by
+    /// [`Explorer::open_session`], the one documented front door.
+    pub fn create(&self, spec: SessionSpec) -> Result<u64, ServeError> {
         self.admit()?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut session = ExploreSession::new(Arc::clone(&self.engine));
-        if let Some(b) = budget {
-            session.set_budget_bytes(b);
-        }
+        let session = self.engine.open_session(spec).map_err(ServeError::Engine)?;
         let slot = Arc::new(SessionSlot {
             id,
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),

@@ -198,12 +198,15 @@ pub fn script(variant: usize) -> Vec<String> {
     common.into_iter().chain(tail).collect()
 }
 
-/// Replay a script against a bare [`qagview_interactive::ExploreSession`]
-/// on a dedicated engine, returning the serialized view text of every
-/// response — the sequential oracle the server must match byte for byte.
+/// Replay a script against a bare session opened through
+/// [`qagview_interactive::Explorer::open_session`] on a dedicated engine,
+/// returning the serialized view text of every response — the sequential
+/// oracle the server must match byte for byte.
 pub fn bare_replay(bodies: &[String]) -> Vec<String> {
     let engine = Arc::new(Explorer::new(catalog()));
-    let mut session = qagview_interactive::ExploreSession::new(engine);
+    let mut session = engine
+        .open_session(qagview_interactive::SessionSpec::default())
+        .expect("open_session with an empty spec cannot fail");
     bodies
         .iter()
         .map(|body| {

@@ -1,0 +1,206 @@
+//! Wire-protocol v2 coverage: a v1-shaped client still round-trips
+//! exact-mode sessions untouched, and the new fidelity surface
+//! (`fidelity` on create, `set_fidelity` / `await_exact` commands, the
+//! typed fidelity objects in responses) behaves end to end over HTTP.
+
+mod common;
+
+use common::{bare_replay, once, script, session_id, SQL};
+use qagview_common::json::{self, Json};
+use qagview_serve::{Server, ServerConfig, SessionConfig};
+use std::sync::Arc;
+
+/// What a v1 client reads out of a command response: exactly the fields
+/// the v1 protocol defined, via get-based lookups that ignore everything
+/// else. Panics if any v1 field went missing.
+fn v1_view(response_body: &str) -> String {
+    let doc = json::parse(response_body).unwrap();
+    for field in ["session", "seq", "digest", "provenance", "view"] {
+        assert!(doc.get(field).is_some(), "v1 field {field:?} missing");
+    }
+    let prov = doc.get("provenance").unwrap();
+    for field in [
+        "group_phase",
+        "answers",
+        "plane",
+        "degradations",
+        "restored",
+    ] {
+        assert!(prov.get(field).is_some(), "v1 provenance.{field} missing");
+    }
+    let view = doc.get("view").unwrap();
+    for field in ["state", "summary", "plot", "transition"] {
+        assert!(view.get(field).is_some(), "v1 view.{field} missing");
+    }
+    view.to_text()
+}
+
+fn fidelity_mode(response_body: &str) -> String {
+    json::parse(response_body)
+        .unwrap()
+        .get("fidelity")
+        .and_then(|f| f.get("mode"))
+        .and_then(|m| m.as_str().map(str::to_string))
+        .expect("v2 response carries a fidelity object")
+}
+
+fn summary_text(response_body: &str) -> String {
+    json::parse(response_body)
+        .unwrap()
+        .get("view")
+        .and_then(|v| v.get("summary"))
+        .expect("view carries a summary")
+        .to_text()
+}
+
+#[test]
+fn v1_shaped_client_round_trips_exact_sessions() {
+    let gw = common::gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // v1 create bodies: empty, and budget-only. No fidelity field.
+    let (status, body) = once(addr, "POST", "/api/session", b"");
+    assert_eq!(status, 200, "{body}");
+    let sid = session_id(&body);
+    let path = format!("/api/session/{sid}/command");
+
+    let views: Vec<String> = script(0)
+        .iter()
+        .map(|cmd| {
+            let (status, body) = once(addr, "POST", &path, cmd.as_bytes());
+            assert_eq!(status, 200, "{cmd} -> {body}");
+            // The server now stamps "v":2 and a fidelity object; a
+            // get-based v1 client never looks at them.
+            assert!(body.contains("\"v\":2"), "{body}");
+            assert_eq!(fidelity_mode(&body), "exact");
+            v1_view(&body)
+        })
+        .collect();
+
+    // The views a v1 client extracts are byte-identical to the bare
+    // sequential oracle — the v1 contract, unchanged under v2.
+    assert_eq!(views, bare_replay(&script(0)));
+    server.shutdown();
+}
+
+#[test]
+fn approximate_session_promotes_over_the_wire() {
+    let gw = common::gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // v2 create: fidelity requested at the session level.
+    let (status, body) = once(
+        addr,
+        "POST",
+        "/api/session",
+        br#"{"fidelity":"approximate"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let sid = session_id(&body);
+    let path = format!("/api/session/{sid}/command");
+
+    let set_query = format!(r#"{{"cmd":"set_query","sql":"{SQL}"}}"#);
+    let (status, approx) = once(addr, "POST", &path, set_query.as_bytes());
+    assert_eq!(status, 200, "{approx}");
+    assert_eq!(fidelity_mode(&approx), "approximate");
+    let doc = json::parse(&approx).unwrap();
+    let fid = doc.get("fidelity").unwrap();
+    assert!(fid.get("rel_err").is_some(), "{approx}");
+    assert!(
+        matches!(fid.get("confidence"), Some(Json::Num(c)) if (c - 0.95).abs() < 1e-12),
+        "{approx}"
+    );
+
+    // Promote. The response is the refined diff; the summary it carries
+    // is the exact one.
+    let (status, refined) = once(addr, "POST", &path, br#"{"cmd":"await_exact"}"#);
+    assert_eq!(status, 200, "{refined}");
+    assert_eq!(fidelity_mode(&refined), "refined");
+
+    // A cold exact session over the same SQL must serve the same summary
+    // bytes.
+    let (status, body) = once(addr, "POST", "/api/session", br#"{"fidelity":"exact"}"#);
+    assert_eq!(status, 200, "{body}");
+    let sid2 = session_id(&body);
+    let path2 = format!("/api/session/{sid2}/command");
+    let (status, exact) = once(addr, "POST", &path2, set_query.as_bytes());
+    assert_eq!(status, 200, "{exact}");
+    assert_eq!(fidelity_mode(&exact), "exact");
+    assert_eq!(summary_text(&refined), summary_text(&exact));
+
+    // After promotion the session serves exact views.
+    let (status, after) = once(addr, "POST", &path, br#"{"cmd":"set_k","value":3}"#);
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(fidelity_mode(&after), "exact");
+    server.shutdown();
+}
+
+#[test]
+fn set_fidelity_command_switches_a_live_session() {
+    let gw = common::gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = once(addr, "POST", "/api/session", b"");
+    assert_eq!(status, 200, "{body}");
+    let sid = session_id(&body);
+    let path = format!("/api/session/{sid}/command");
+
+    let set_query = format!(r#"{{"cmd":"set_query","sql":"{SQL}"}}"#);
+    let (status, body) = once(addr, "POST", &path, set_query.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(fidelity_mode(&body), "exact");
+
+    let (status, body) = once(
+        addr,
+        "POST",
+        &path,
+        br#"{"cmd":"set_fidelity","mode":"approximate"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(fidelity_mode(&body), "approximate");
+
+    let (status, body) = once(
+        addr,
+        "POST",
+        &path,
+        br#"{"cmd":"set_fidelity","mode":"exact"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(fidelity_mode(&body), "exact");
+    server.shutdown();
+}
+
+#[test]
+fn bad_fidelity_values_are_typed_refusals() {
+    let gw = common::gateway(SessionConfig::default());
+    let mut server =
+        Server::start(Arc::clone(&gw), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = once(addr, "POST", "/api/session", br#"{"fidelity":"fuzzy"}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad_command"), "{body}");
+
+    let (status, body) = once(addr, "POST", "/api/session", br#"{"fidelity":7}"#);
+    assert_eq!(status, 400, "{body}");
+
+    let (status, body) = once(addr, "POST", "/api/session", b"");
+    assert_eq!(status, 200);
+    let sid = session_id(&body);
+    let path = format!("/api/session/{sid}/command");
+    let (status, body) = once(
+        addr,
+        "POST",
+        &path,
+        br#"{"cmd":"set_fidelity","mode":"fuzzy"}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad_command"), "{body}");
+    server.shutdown();
+}

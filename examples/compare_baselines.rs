@@ -16,15 +16,15 @@ fn main() {
     let table = movielens::generate(&MovieLensConfig::default()).expect("generator");
     let mut catalog = Catalog::new();
     catalog.register("ratingtable", table);
-    let output = run_query(
-        &catalog,
-        "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
-         FROM ratingtable WHERE genres_adventure = 1 \
-         GROUP BY hdec, agegrp, gender, occupation \
-         HAVING count(*) > 50 ORDER BY val DESC",
-    )
-    .expect("query");
-    let answers = answers_from_query(&output).expect("answers");
+    let engine = Explorer::new(catalog);
+    let answers = engine
+        .answer_relation(
+            "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
+             FROM ratingtable WHERE genres_adventure = 1 \
+             GROUP BY hdec, agegrp, gender, occupation \
+             HAVING count(*) > 50 ORDER BY val DESC",
+        )
+        .expect("query");
     println!(
         "workload: n = {} answer groups; k = 4, L = 10, D = 2\n",
         answers.len()
@@ -32,7 +32,7 @@ fn main() {
     let l = 10.min(answers.len());
 
     // Our framework.
-    let summarizer = Summarizer::new(&answers, l).expect("index");
+    let summarizer = Summarizer::new(&*answers, l).expect("index");
     let ours = summarizer.hybrid(4, 2).expect("summarize");
     println!("== qagview (this paper) ==");
     print!("{}", ours.render(&answers, false));

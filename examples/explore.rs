@@ -63,7 +63,9 @@ fn main() {
 
     // The owned engine: Send + Sync, shareable across serving threads.
     let engine = Arc::new(Explorer::new(catalog));
-    let mut session = ExploreSession::new(Arc::clone(&engine));
+    let mut session = engine
+        .open_session(SessionSpec::default())
+        .expect("open session");
     let apply = |session: &mut ExploreSession, tag: &str, cmd: ExploreCommand| {
         let t = Instant::now();
         let r = session.apply(cmd).expect(tag);

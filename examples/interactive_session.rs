@@ -115,15 +115,16 @@ fn main() {
     let table = movielens::generate(&MovieLensConfig::default()).expect("generator");
     let mut catalog = Catalog::new();
     catalog.register("ratingtable", table);
-    let output = run_query(
-        &catalog,
-        "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
-         FROM ratingtable WHERE genres_adventure = 1 \
-         GROUP BY hdec, agegrp, gender, occupation \
-         HAVING count(*) > 50 ORDER BY val DESC",
-    )
-    .expect("query");
-    let answers = answers_from_query(&output).expect("answers");
+    let engine = Explorer::new(catalog);
+    let answers = (*engine
+        .answer_relation(
+            "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
+             FROM ratingtable WHERE genres_adventure = 1 \
+             GROUP BY hdec, agegrp, gender, occupation \
+             HAVING count(*) > 50 ORDER BY val DESC",
+        )
+        .expect("query"))
+    .clone();
     println!(
         "answer relation: n = {} groups over m = 4 attributes\n",
         answers.len()

@@ -27,8 +27,8 @@ fn main() {
                FROM ratingtable WHERE genres_adventure = 1 \
                GROUP BY hdec, agegrp, gender, occupation \
                HAVING count(*) > 50 ORDER BY val DESC";
-    let output = run_query(&catalog, sql).expect("query executes");
-    let answers = answers_from_query(&output).expect("answers");
+    let engine = Explorer::new(catalog);
+    let answers = engine.answer_relation(sql).expect("query executes");
     println!(
         "\nanswer relation: n = {} groups over m = 4 attributes",
         answers.len()
@@ -49,7 +49,7 @@ fn main() {
     }
 
     // Fig. 1b/1c: k = 4, L = 8, D = 2.
-    let summarizer = Summarizer::new(&answers, 8).expect("index");
+    let summarizer = Summarizer::new(&*answers, 8).expect("index");
     let solution = summarizer.hybrid(4, 2).expect("summarize");
     println!("\nFig. 1b/1c: clusters for k=4, L=8, D=2:");
     print!("{}", solution.render(&answers, true));
@@ -58,7 +58,7 @@ fn main() {
     let l = 15.min(answers.len());
     let t1 = Instant::now();
     let pre = Precomputed::build(
-        &answers,
+        &*answers,
         l,
         PrecomputeConfig {
             k_min: 2,

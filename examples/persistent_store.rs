@@ -51,7 +51,9 @@ fn main() {
 
     // Engine 1: nothing on disk — the plane build runs cold and persists.
     let first = engine(Arc::clone(&catalog), &dir);
-    let mut session = ExploreSession::new(Arc::clone(&first));
+    let mut session = first
+        .open_session(SessionSpec::default())
+        .expect("open session");
     let t = Instant::now();
     let cold = session
         .apply(ExploreCommand::SetQuery(SQL.into()))
@@ -72,7 +74,9 @@ fn main() {
     // Engine 2: a "restarted process" — same catalog, empty caches. The
     // plane comes off disk instead of being rebuilt.
     let second = engine(Arc::clone(&catalog), &dir);
-    let mut session2 = ExploreSession::new(Arc::clone(&second));
+    let mut session2 = second
+        .open_session(SessionSpec::default())
+        .expect("open session");
     let t = Instant::now();
     let warm = session2
         .apply(ExploreCommand::SetQuery(SQL.into()))

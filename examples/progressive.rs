@@ -1,0 +1,113 @@
+//! Progressive mode end to end: open Example 1.1 approximately for a
+//! millisecond-scale first paint with error bounds, keep exploring on the
+//! sampled pipeline, then promote to exact with `AwaitExact` and verify
+//! the refined summary matches a cold exact session bit for bit.
+//!
+//! ```text
+//! cargo run --release --example progressive
+//! ```
+
+use qagview::datagen::movielens::{self, MovieLensConfig};
+use qagview::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SQL: &str = "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
+                   FROM ratingtable WHERE genres_adventure = 1 \
+                   GROUP BY hdec, agegrp, gender, occupation \
+                   HAVING count(*) > 50 ORDER BY val DESC";
+
+fn fidelity_str(f: Fidelity) -> String {
+    match f {
+        Fidelity::Exact => "exact".into(),
+        Fidelity::Approximate {
+            rel_err,
+            confidence,
+        } => format!(
+            "approximate (rel_err <= {rel_err:.4} at {:.0}% confidence)",
+            confidence * 100.0
+        ),
+        Fidelity::Refined => "refined".into(),
+    }
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let table = movielens::generate(&MovieLensConfig {
+        ratings: 1_000_000,
+        ..Default::default()
+    })
+    .expect("generator");
+    println!(
+        "generated RatingTable: {} rows in {:?}",
+        table.num_rows(),
+        t0.elapsed()
+    );
+    let mut catalog = Catalog::new();
+    catalog.register("ratingtable", table);
+    let catalog = Arc::new(catalog);
+
+    // Approximate session: the first paint runs the seeded sampled group
+    // phase instead of the full scan.
+    let engine = Arc::new(Explorer::from_shared(
+        Arc::clone(&catalog),
+        ExplorerConfig::default(),
+    ));
+    let t = Instant::now();
+    let mut session = engine
+        .open_session(SessionSpec {
+            sql: Some(SQL.into()),
+            fidelity: FidelityMode::Approximate,
+            ..Default::default()
+        })
+        .expect("approximate open");
+    let first_paint = t.elapsed();
+
+    // Explore on the sampled pipeline; every response carries its bounds.
+    let r = session.apply(ExploreCommand::SetK(6)).expect("set k");
+    println!(
+        "\nfirst paint in {first_paint:?}; k=6 view is {}",
+        fidelity_str(r.fidelity)
+    );
+    for c in r.summary.clusters.iter().take(4) {
+        println!("  {}  avg {:.2} [{} tuples]", c.label, c.avg, c.size);
+    }
+
+    // Promote: joins the background refinement worker, serves the exact
+    // summary, and diffs it against the approximate one.
+    let t = Instant::now();
+    let refined = session.apply(ExploreCommand::AwaitExact).expect("promote");
+    println!(
+        "\npromoted to {} in {:?}",
+        fidelity_str(refined.fidelity),
+        t.elapsed()
+    );
+    if let Some(tr) = &refined.transition {
+        println!("summary diff, approximate -> exact (band diagram):");
+        print!("{}", tr.render_optimal());
+    }
+
+    // The promise progressive mode keeps: the refined view is
+    // bit-identical to a store-less cold exact session at the same state.
+    let cold_engine = Arc::new(Explorer::from_shared(catalog, ExplorerConfig::default()));
+    let t = Instant::now();
+    let mut cold = cold_engine
+        .open_session(SessionSpec {
+            sql: Some(SQL.into()),
+            ..Default::default()
+        })
+        .expect("exact open");
+    let exact = cold.apply(ExploreCommand::SetK(6)).expect("set k");
+    println!("\nexact cold open + k=6: {:?}", t.elapsed());
+    assert_eq!(refined.summary, exact.summary, "refined != cold exact");
+    for (a, b) in refined
+        .summary
+        .clusters
+        .iter()
+        .zip(exact.summary.clusters.iter())
+    {
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        assert_eq!(a.avg.to_bits(), b.avg.to_bits());
+    }
+    println!("refined summary is bit-identical to the cold exact path");
+}

@@ -52,26 +52,28 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.register("ratingtable", builder.finish());
 
-    // The Example 1.1 query shape.
+    // The Example 1.1 query shape, answered through the engine front
+    // door: the relation comes back dense-coded and rank-ordered, and the
+    // engine's caches stay warm for any session opened on the same query.
     let sql = "SELECT hdec, agegrp, gender, occupation, AVG(rating) AS val \
                FROM ratingtable GROUP BY hdec, agegrp, gender, occupation \
                HAVING count(*) > 1 ORDER BY val DESC";
     println!("query:\n  {sql}\n");
-    let output = run_query(&catalog, sql).expect("query executes");
-    println!("answer relation S ({} groups):", output.rows.len());
-    for (rank, row) in output.rows.iter().enumerate() {
-        println!(
-            "  {:>2}. {} | {:.2}",
-            rank + 1,
-            row.attrs.join(", "),
-            row.val
-        );
+    let engine = Explorer::new(catalog);
+    let answers = engine.answer_relation(sql).expect("query executes");
+    println!("answer relation S ({} groups):", answers.len());
+    for (rank, (_, codes, val)) in answers.iter().enumerate() {
+        let attrs: Vec<&str> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| answers.code_text(i, c))
+            .collect();
+        println!("  {:>2}. {} | {val:.2}", rank + 1, attrs.join(", "));
     }
 
     // Summarize: k = 3 clusters covering the top L = 5, pairwise distance
     // >= 2.
-    let answers = answers_from_query(&output).expect("well-formed answers");
-    let summarizer = Summarizer::new(&answers, 5).expect("candidate index");
+    let summarizer = Summarizer::new(&*answers, 5).expect("candidate index");
     let solution = summarizer.hybrid(3, 2).expect("feasible summarization");
 
     println!("\nclusters (k <= 3, L = 5, D = 2):");

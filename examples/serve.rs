@@ -142,8 +142,12 @@ fn main() {
                 ..Default::default()
             },
         ));
-        let mut s = ExploreSession::new(engine);
-        s.apply(ExploreCommand::SetQuery(SQL.into())).expect("warm");
+        engine
+            .open_session(SessionSpec {
+                sql: Some(SQL.into()),
+                ..Default::default()
+            })
+            .expect("warm");
     }
 
     let (mut srv, addr) = server(Arc::clone(&catalog), &store_dir, &ckpt_dir);

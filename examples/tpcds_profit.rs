@@ -27,20 +27,20 @@ fn main() {
                GROUP BY item_brand, item_category, store, demo_gender, channel, \
                quarter, demo_education, customer_state \
                HAVING count(*) > 2 ORDER BY val DESC";
+    let engine = Explorer::new(catalog);
     let t1 = Instant::now();
-    let output = run_query(&catalog, sql).expect("query executes");
+    let answers = engine.answer_relation(sql).expect("query executes");
     println!(
         "aggregate query: N = {} groups in {:?}",
-        output.rows.len(),
+        answers.len(),
         t1.elapsed()
     );
 
-    let answers = answers_from_query(&output).expect("answers");
     let l = 500.min(answers.len());
 
     // Initialization (the per-query candidate-index build of Fig. 9).
     let t2 = Instant::now();
-    let summarizer = Summarizer::new(&answers, l).expect("index");
+    let summarizer = Summarizer::new(&*answers, l).expect("index");
     println!(
         "initialization (candidate generation + tuple mapping): {:?}, {} candidates",
         t2.elapsed(),
@@ -70,7 +70,7 @@ fn main() {
     // Precomputation + interactive retrieval.
     let t4 = Instant::now();
     let pre = Precomputed::build(
-        &answers,
+        &*answers,
         l,
         PrecomputeConfig {
             k_min: 5,

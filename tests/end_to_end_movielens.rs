@@ -3,6 +3,10 @@
 
 use qagview::datagen::movielens::{self, MovieLensConfig};
 use qagview::prelude::*;
+// The row-engine oracle, imported by full path: this integration suite
+// deliberately exercises the reference pipeline, not the cached engine.
+use qagview::answers_from_query;
+use qagview::query::run_query;
 
 fn example_answers() -> AnswerSet {
     let table = movielens::generate(&MovieLensConfig::small(42)).expect("generator");

@@ -58,7 +58,7 @@ const STORES_SQL: &str = "SELECT store, SUM(profit) AS val FROM stores GROUP BY 
 #[test]
 fn threshold_tick_after_set_k_hits_group_cache_and_plane() {
     let engine = Arc::new(Explorer::new(catalog()));
-    let mut session = ExploreSession::new(Arc::clone(&engine));
+    let mut session = engine.open_session(SessionSpec::default()).unwrap();
 
     let r = session
         .apply(ExploreCommand::SetQuery(RATINGS_SQL.into()))
@@ -93,7 +93,7 @@ fn threshold_tick_after_set_k_hits_group_cache_and_plane() {
 #[test]
 fn set_query_to_a_new_table_keeps_other_tables_entries() {
     let engine = Arc::new(Explorer::new(catalog()));
-    let mut session = ExploreSession::new(Arc::clone(&engine));
+    let mut session = engine.open_session(SessionSpec::default()).unwrap();
 
     session
         .apply(ExploreCommand::SetQuery(RATINGS_SQL.into()))
@@ -137,7 +137,9 @@ fn concurrent_sessions_match_sequential_runs() {
         Arc::clone(&shared),
         ExplorerConfig::default(),
     ));
-    let mut reference_session = ExploreSession::new(reference_engine);
+    let mut reference_session = reference_engine
+        .open_session(SessionSpec::default())
+        .unwrap();
     let reference: Vec<ExploreResponse> = commands()
         .into_iter()
         .map(|c| reference_session.apply(c).unwrap())
@@ -153,7 +155,7 @@ fn concurrent_sessions_match_sequential_runs() {
             .map(|_| {
                 let engine = Arc::clone(&engine);
                 scope.spawn(move || {
-                    let mut session = ExploreSession::new(engine);
+                    let mut session = engine.open_session(SessionSpec::default()).unwrap();
                     commands()
                         .into_iter()
                         .map(|c| session.apply(c).unwrap())
@@ -200,7 +202,7 @@ fn concurrent_sessions_match_sequential_runs() {
 #[test]
 fn transitions_connect_consecutive_summaries() {
     let engine = Arc::new(Explorer::new(catalog()));
-    let mut session = ExploreSession::new(Arc::clone(&engine));
+    let mut session = engine.open_session(SessionSpec::default()).unwrap();
     session
         .apply(ExploreCommand::SetQuery(RATINGS_SQL.into()))
         .unwrap();

@@ -2,6 +2,10 @@
 //! HAVING, ordering and LIMIT all affect the downstream summarization.
 
 use qagview::prelude::*;
+// The row-engine oracle, imported by full path: these tests pin the
+// reference SQL semantics the engine's cached paths are diffed against.
+use qagview::answers_from_query;
+use qagview::query::run_query;
 
 fn catalog() -> Catalog {
     let schema = Schema::from_pairs(&[

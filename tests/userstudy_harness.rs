@@ -5,6 +5,10 @@
 use qagview::datagen::movielens::{self, MovieLensConfig};
 use qagview::prelude::*;
 use qagview::userstudy::{run_study, run_study_averaged, StudyConfig, DEFAULT_STUDY_SEEDS};
+// The row-engine oracle, imported by full path: the study must run on
+// query-derived relations independent of the engine's cache layers.
+use qagview::answers_from_query;
+use qagview::query::run_query;
 
 fn study_answers() -> AnswerSet {
     let table = movielens::generate(&MovieLensConfig::default()).expect("generator");
